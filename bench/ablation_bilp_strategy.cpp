@@ -1,0 +1,121 @@
+/// Ablation A5 — the lexicographic refinement inside the ε-constraint
+/// sweep (ilp/bilp.hpp).
+///
+/// Each sweep iteration solves TWO ILPs: max damage under the cost bound,
+/// then min cost at that damage.  A cheaper variant skips the second
+/// solve and trusts the first solution's cost.  This bench shows the
+/// cheap variant (a) returns weakly dominated points (same damage,
+/// higher cost) and (b) can terminate the sweep early — quantifying why
+/// the refinement is worth 2x the ILP solves.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "casestudies/dataserver.hpp"
+#include "core/bilp_method.hpp"
+#include "core/enumerative.hpp"
+#include "ilp/ilp.hpp"
+#include "util/rng.hpp"
+
+using namespace atcd;
+using namespace atcd::bench;
+
+namespace {
+
+/// The no-refinement sweep: one ILP per point.
+std::vector<CdPoint> sweep_without_refinement(const CdAt& m,
+                                              std::size_t* solves) {
+  auto bp = make_bilp(m);
+  std::vector<CdPoint> pts;
+  lp::LinearProgram region = bp.base;
+  std::vector<std::pair<int, double>> cost_terms;
+  for (int v = 0; v < region.num_vars(); ++v)
+    if (bp.obj2[static_cast<std::size_t>(v)] != 0.0)
+      cost_terms.emplace_back(v, bp.obj2[static_cast<std::size_t>(v)]);
+  const double eps = 0.5;  // integer costs in these models
+  for (;;) {
+    lp::LinearProgram prog = region;
+    for (int v = 0; v < prog.num_vars(); ++v)
+      prog.set_obj(v, bp.obj1[static_cast<std::size_t>(v)]);
+    const auto r = ilp::solve(ilp::IntegerProgram{prog, bp.integer_vars});
+    ++*solves;
+    if (r.status != ilp::IlpStatus::Optimal) break;
+    double cost = 0, damage = 0;
+    for (int v = 0; v < prog.num_vars(); ++v) {
+      cost += bp.obj2[static_cast<std::size_t>(v)] *
+              r.x[static_cast<std::size_t>(v)];
+      damage -= bp.obj1[static_cast<std::size_t>(v)] *
+                r.x[static_cast<std::size_t>(v)];
+    }
+    pts.push_back({cost, damage});
+    if (cost < eps) break;  // reached the zero-cost point
+    region.add_row(cost_terms, lp::Sense::LE, cost - eps);
+  }
+  return pts;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A5 — ε-constraint sweep with/without "
+               "lexicographic refinement",
+               "paper Sec. VII / [18] (implementation strategy)");
+  const auto ds = casestudies::make_dataserver();
+
+  BilpRunStats with_stats;
+  Front2d with_ref;
+  const double t_with =
+      time_once([&] { with_ref = cdpf_bilp(ds, &with_stats); });
+
+  std::size_t without_solves = 0;
+  std::vector<CdPoint> without_ref;
+  const double t_without = time_once(
+      [&] { without_ref = sweep_without_refinement(ds, &without_solves); });
+
+  std::printf("\ndata server AT:\n");
+  std::printf("with refinement:    %zu points, %zu ILP solves, %.4fs\n",
+              with_ref.size(), with_stats.ilp_solves, t_with);
+  std::printf("without refinement: %zu points, %zu ILP solves, %.4fs\n",
+              without_ref.size(), without_solves, t_without);
+
+  // How many of the unrefined points are actually Pareto-optimal?
+  const auto exact = cdpf_enumerative(ds);
+  std::size_t optimal = 0;
+  for (const auto& p : without_ref)
+    for (const auto& e : exact)
+      if (std::abs(p.cost - e.value.cost) < 1e-6 &&
+          std::abs(p.damage - e.value.damage) < 1e-6) {
+        ++optimal;
+        break;
+      }
+  std::printf("unrefined points that lie on the true front: %zu/%zu\n",
+              optimal, without_ref.size());
+  std::printf("refined front matches enumeration: %s\n",
+              with_ref.same_values(exact, 1e-7) ? "yes" : "NO");
+
+  // Random DAG models: count how often the cheap sweep is wrong.
+  Rng rng(4711);
+  int wrong = 0;
+  const int trials = 20;
+  for (int it = 0; it < trials; ++it) {
+    const auto rnd = randomize_decorations(ds.tree, rng).deterministic();
+    std::size_t s = 0;
+    const auto cheap = sweep_without_refinement(rnd, &s);
+    const auto truth = cdpf_enumerative(rnd);
+    bool all_on_front = cheap.size() == truth.size();
+    for (const auto& p : cheap) {
+      bool found = false;
+      for (const auto& e : truth)
+        found |= std::abs(p.cost - e.value.cost) < 1e-6 &&
+                 std::abs(p.damage - e.value.damage) < 1e-6;
+      all_on_front &= found;
+    }
+    if (!all_on_front) ++wrong;
+  }
+  std::printf("\nrandom decorations on the same DAG: cheap sweep deviates "
+              "from the true front on %d/%d models\n", wrong, trials);
+  std::printf("conclusion: the second (tie-breaking) ILP per point is "
+              "required for exact fronts; it costs ~2x solves but the "
+              "sweep length is identical.\n");
+  return 0;
+}

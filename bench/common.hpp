@@ -1,0 +1,62 @@
+#pragma once
+/// Shared utilities for the benchmark harness.
+///
+/// Every bench binary regenerates one table or figure of the paper (see
+/// DESIGN.md §3) and prints it in a stable textual form.  Binaries run
+/// with laptop-friendly defaults; pass --full for paper-scale workloads
+/// (documented per binary).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace atcd::bench {
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i)
+    if (argv[i] == flag) return true;
+  return false;
+}
+
+/// Times a callable once, returning seconds.
+template <typename Fn>
+double time_once(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.seconds();
+}
+
+struct Stats {
+  double min = 0, mean = 0, max = 0, stddev = 0;
+  std::size_t n = 0;
+};
+
+inline Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace atcd::bench

@@ -1,0 +1,101 @@
+/// Extension bench — the sequential attacker of Sec. VIII ("the attacker
+/// may choose to reallocate their budget based on BASs that have
+/// succeeded or failed"), which the paper leaves to future work.
+///
+/// Quantifies the *adaptivity gain*: optimal adaptive expected damage vs
+/// the paper's static EDgC, across budgets, on the factory example and on
+/// random treelike models.  A large gap means the static model
+/// underestimates a reactive adversary at that budget.
+
+#include <cstdio>
+#include <vector>
+
+#include "adaptive/adaptive.hpp"
+#include "bench/common.hpp"
+#include "casestudies/factory.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "util/rng.hpp"
+
+using namespace atcd;
+using namespace atcd::bench;
+
+namespace {
+
+AttackTree random_tree(Rng& rng, std::size_t n_bas) {
+  AttackTree t;
+  std::vector<NodeId> open;
+  for (std::size_t i = 0; i < n_bas; ++i)
+    open.push_back(t.add_bas("b" + std::to_string(i)));
+  int g = 0;
+  while (open.size() > 1) {
+    const std::size_t arity =
+        std::min<std::size_t>(open.size(), 2 + rng.below(2));
+    std::vector<NodeId> cs;
+    for (std::size_t i = 0; i < arity; ++i) {
+      const std::size_t pick = rng.below(open.size());
+      cs.push_back(open[pick]);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    open.push_back(t.add_gate(rng.chance(0.5) ? NodeType::OR : NodeType::AND,
+                              "g" + std::to_string(g++), cs));
+  }
+  t.set_root(open[0]);
+  t.finalize();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Extension — adaptive (sequential) attacker vs static EDgC",
+               "paper Sec. VIII extensions (left to future work)");
+
+  const auto fac = casestudies::make_factory_probabilistic();
+  std::printf("\nfactory running example:\n");
+  std::printf("%8s %14s %14s %10s %12s\n", "budget", "static EDgC",
+              "adaptive", "gain", "first move");
+  for (double budget : {1.0, 3.0, 4.0, 5.0, 6.0}) {
+    const auto s = edgc_bottom_up(fac, budget);
+    const auto a = adaptive::adaptive_edgc(fac, budget);
+    std::printf("%8g %14.4f %14.4f %9.2f%% %12s\n", budget, s.damage,
+                a.expected_damage,
+                100.0 * (a.expected_damage - s.damage) /
+                    std::max(1e-12, s.damage),
+                a.first_move == kNoNode
+                    ? "-"
+                    : fac.tree.name(a.first_move).c_str());
+  }
+
+  std::printf("\nrandom treelike models (|B| = 10, paper decorations), "
+              "budget = 30%% of total cost:\n");
+  Rng rng(909);
+  const int trials = 40;
+  double sum_gain = 0, max_gain = 0;
+  int positive = 0;
+  double t_static = 0, t_adaptive = 0;
+  for (int it = 0; it < trials; ++it) {
+    const auto t = random_tree(rng, 10);
+    const auto m = randomize_decorations(t, rng);
+    double total = 0;
+    for (double c : m.cost) total += c;
+    const double budget = 0.3 * total;
+    double s_val = 0, a_val = 0;
+    t_static += time_once([&] { s_val = edgc_bottom_up(m, budget).damage; });
+    t_adaptive += time_once(
+        [&] { a_val = adaptive::adaptive_edgc(m, budget).expected_damage; });
+    const double gain = (a_val - s_val) / std::max(1e-12, s_val);
+    sum_gain += gain;
+    max_gain = std::max(max_gain, gain);
+    if (gain > 1e-9) ++positive;
+  }
+  std::printf("adaptivity helps on %d/%d models; mean gain %.2f%%, max "
+              "gain %.2f%%\n", positive, trials,
+              100.0 * sum_gain / trials, 100.0 * max_gain);
+  std::printf("time: static EDgC %.4fs total vs adaptive expectimax %.4fs "
+              "total (3^|B| states)\n", t_static, t_adaptive);
+  std::printf("\nconclusion: the static model of the paper is a lower "
+              "bound on a reactive adversary; the gap is model- and "
+              "budget-dependent and can be substantial on AND/OR mixes "
+              "with cheap 'probe' steps.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Regenerates Fig. 6a: the deterministic cost-damage Pareto front of the
+/// panda-reservation IoT AT (Fig. 4), with the attack-set table A1-A8.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "casestudies/panda.hpp"
+#include "core/bottom_up.hpp"
+#include "util/timer.hpp"
+
+using namespace atcd;
+
+int main() {
+  bench::print_header("Fig. 6a — deterministic CDPF of the panda IoT AT",
+                      "paper Sec. X-A, Fig. 6a");
+  const auto m = casestudies::make_panda().deterministic();
+  std::printf("model: |N| = %zu, |B| = %zu, treelike = %s\n",
+              m.tree.node_count(), m.tree.bas_count(),
+              m.tree.is_treelike() ? "yes" : "no");
+
+  Timer t;
+  const auto f = cdpf_bottom_up(m);
+  const double secs = t.seconds();
+
+  std::printf("\n%-4s %6s %8s  %-4s %s\n", "A", "cost", "damage", "top",
+              "attack");
+  int k = 0;
+  for (const auto& p : f) {
+    if (p.value.cost == 0) continue;
+    std::printf("A%-3d %6g %8g  %-4s %s\n", ++k, p.value.cost,
+                p.value.damage,
+                is_successful(m.tree, p.witness) ? "y" : "n",
+                attack_to_string(m.tree, p.witness).c_str());
+  }
+  std::printf("\npaper Fig. 6a: (3,20) (4,50) (7,65) (11,75) (13,80) "
+              "(17,90) (22,95) (30,100), all reaching the top\n");
+  std::printf("bottom-up time: %.4fs (paper: 0.044s on an i7 laptop; "
+              "enumeration of 2^22 attacks took 34h)\n", secs);
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Regenerates Fig. 7a: mean CDPF computation time on the random treelike
+/// suite Ttree, deterministic setting — enumeration vs bottom-up vs BILP.
+/// Paper shape to reproduce: BU < BILP << enumeration, with enumeration
+/// only feasible on the smallest groups.
+
+#include "bench/fig7_common.hpp"
+#include "core/bilp_method.hpp"
+#include "core/bottom_up.hpp"
+#include "core/enumerative.hpp"
+
+using namespace atcd;
+using namespace atcd::bench;
+
+int main(int argc, char** argv) {
+  print_header("Fig. 7a — Ttree, deterministic CDPF",
+               "paper Sec. X-D, Fig. 7a (Enum/BU/BILP over 500 random "
+               "treelike ATs)");
+  const auto opt = fig7_options(argc, argv, /*treelike=*/true);
+  run_fig7(opt,
+           {
+               {"enum",
+                [](const CdpAt& m) {
+                  (void)cdpf_enumerative(m.deterministic(), 20);
+                  return true;
+                },
+                20},  // paper: enumeration only for N < 30
+               {"bottom-up",
+                [](const CdpAt& m) {
+                  (void)cdpf_bottom_up(m.deterministic());
+                  return true;
+                }},
+               {"bilp",
+                [](const CdpAt& m) {
+                  (void)cdpf_bilp(m.deterministic());
+                  return true;
+                }},
+           });
+  return 0;
+}

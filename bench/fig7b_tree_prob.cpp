@@ -1,0 +1,33 @@
+/// Regenerates Fig. 7b: mean CEDPF computation time on Ttree,
+/// probabilistic setting — enumeration vs bottom-up.  Paper shape:
+/// probabilistic BU is slower than deterministic BU on large ATs (fronts
+/// are larger, Example 10), but still orders of magnitude below
+/// enumeration.
+
+#include "bench/fig7_common.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "core/enumerative.hpp"
+
+using namespace atcd;
+using namespace atcd::bench;
+
+int main(int argc, char** argv) {
+  print_header("Fig. 7b — Ttree, probabilistic CEDPF",
+               "paper Sec. X-D, Fig. 7b (Enum/BU)");
+  auto opt = fig7_options(argc, argv, /*treelike=*/true);
+  run_fig7(opt,
+           {
+               {"enum",
+                [](const CdpAt& m) {
+                  (void)cedpf_enumerative(m, 18);
+                  return true;
+                },
+                18},
+               {"bottom-up",
+                [](const CdpAt& m) {
+                  (void)cedpf_bottom_up(m);
+                  return true;
+                }},
+           });
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// Regenerates Fig. 7c: mean CDPF computation time on the random DAG
+/// suite TDAG, deterministic setting — enumeration vs BILP.  (Bottom-up
+/// does not apply: sub-AT attack spaces overlap on DAGs.)
+
+#include "bench/fig7_common.hpp"
+#include "core/bilp_method.hpp"
+#include "core/enumerative.hpp"
+
+using namespace atcd;
+using namespace atcd::bench;
+
+int main(int argc, char** argv) {
+  print_header("Fig. 7c — TDAG, deterministic CDPF",
+               "paper Sec. X-D, Fig. 7c (Enum/BILP over 500 random DAG "
+               "ATs)");
+  auto opt = fig7_options(argc, argv, /*treelike=*/false);
+  if (!has_flag(argc, argv, "--full")) opt.max_n = 50;
+  run_fig7(opt,
+           {
+               {"enum",
+                [](const CdpAt& m) {
+                  (void)cdpf_enumerative(m.deterministic(), 20);
+                  return true;
+                },
+                20},
+               {"bilp",
+                [](const CdpAt& m) {
+                  (void)cdpf_bilp(m.deterministic());
+                  return true;
+                }},
+           });
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// atcd_cli — command-line front-end for the library's textual model
+/// format (at/parser.hpp).
+///
+/// Usage:
+///   atcd_cli <model-file> info
+///   atcd_cli <model-file> cdpf | cedpf
+///   atcd_cli <model-file> dgc  <budget>  [--prob]
+///   atcd_cli <model-file> cgd  <threshold> [--prob]
+///   atcd_cli <model-file> dot
+///
+/// The model format is one statement per line ('#' comments):
+///   bas  <name> [cost=<c>] [damage=<d>] [prob=<p>]
+///   or   <name> = <child>, <child>, ... [damage=<d>]
+///   and  <name> = <child>, <child>, ... [damage=<d>]
+///   root <name>
+///
+/// A sample model ships in examples/data/factory.atcd.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "at/dot.hpp"
+#include "at/parser.hpp"
+#include "core/problems.hpp"
+
+using namespace atcd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: atcd_cli <model-file> "
+               "(info | cdpf | cedpf | dgc <U> [--prob] | "
+               "cgd <L> [--prob] | dot)\n");
+  return 2;
+}
+
+void print_front(const AttackTree& t, const Front2d& f, const char* damage_col) {
+  std::printf("%10s %12s  %s\n", "cost", damage_col, "attack");
+  for (const auto& p : f)
+    std::printf("%10g %12g  %s\n", p.value.cost, p.value.damage,
+                attack_to_string(t, p.witness).c_str());
+}
+
+void print_opt(const AttackTree& t, const OptAttack& r) {
+  if (!r.feasible) {
+    std::printf("infeasible\n");
+    return;
+  }
+  std::printf("cost=%g damage=%g attack=%s\n", r.cost, r.damage,
+              attack_to_string(t, r.witness).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    const auto parsed = parse_model_file(argv[1]);
+    const CdAt det{parsed.tree, parsed.cost, parsed.damage};
+    const CdpAt prob{parsed.tree, parsed.cost, parsed.damage, parsed.prob};
+    const std::string cmd = argv[2];
+    const bool use_prob = argc > 3 && std::strcmp(argv[argc - 1], "--prob") == 0;
+
+    if (cmd == "info") {
+      std::printf("nodes: %zu (BASs: %zu), edges: %zu, shape: %s\n",
+                  parsed.tree.node_count(), parsed.tree.bas_count(),
+                  parsed.tree.edge_count(),
+                  parsed.tree.is_treelike() ? "treelike" : "DAG");
+      double total_damage_sum = 0, total_cost_sum = 0;
+      for (double d : parsed.damage) total_damage_sum += d;
+      for (double c : parsed.cost) total_cost_sum += c;
+      std::printf("total decorated damage: %g, total BAS cost: %g\n",
+                  total_damage_sum, total_cost_sum);
+      std::printf("root: %s\n",
+                  parsed.tree.name(parsed.tree.root()).c_str());
+      return 0;
+    }
+    if (cmd == "cdpf") {
+      print_front(parsed.tree, cdpf(det), "damage");
+      return 0;
+    }
+    if (cmd == "cedpf") {
+      print_front(parsed.tree, cedpf(prob), "E[damage]");
+      return 0;
+    }
+    if (cmd == "dgc" && argc >= 4) {
+      const double budget = std::atof(argv[3]);
+      print_opt(parsed.tree,
+                use_prob ? edgc(prob, budget) : dgc(det, budget));
+      return 0;
+    }
+    if (cmd == "cgd" && argc >= 4) {
+      const double threshold = std::atof(argv[3]);
+      print_opt(parsed.tree,
+                use_prob ? cged(prob, threshold) : cgd(det, threshold));
+      return 0;
+    }
+    if (cmd == "dot") {
+      std::printf("%s", to_dot(parsed.tree, parsed.cost, parsed.damage,
+                               parsed.prob).c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

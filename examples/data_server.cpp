@@ -1,0 +1,71 @@
+/// Case study: a data server on a network behind a firewall (paper
+/// Sec. X-B, Fig. 5).  The AT is DAG-shaped — the FTP connection feeds
+/// three exploits — so the bottom-up engine does not apply and the
+/// analysis runs through the BILP engine (Thms 6-7).  Also demonstrates
+/// the BDD extension for the probabilistic-DAG open problem, and the
+/// classic "minimal attack" metrics the paper contrasts against.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bdd/at_bdd.hpp"
+#include "casestudies/dataserver.hpp"
+#include "core/problems.hpp"
+
+using namespace atcd;
+
+int main() {
+  const auto m = casestudies::make_dataserver();
+  std::printf("Data server behind a firewall (Fig. 5)\n");
+  std::printf("nodes: %zu, attack steps: %zu, DAG-shaped: %s\n\n",
+              m.tree.node_count(), m.tree.bas_count(),
+              m.tree.is_treelike() ? "no" : "yes");
+
+  // Engine::Auto resolves to BILP for deterministic DAGs.
+  std::printf("Cost-damage Pareto front (cost = attack time, 1/100 s):\n");
+  const auto front = cdpf(m);
+  for (const auto& p : front) {
+    if (p.value.cost == 0) continue;
+    std::printf("  cost %5g -> damage %5g  top=%s  %s\n", p.value.cost,
+                p.value.damage,
+                is_successful(m.tree, p.witness) ? "yes" : "no ",
+                attack_to_string(m.tree, p.witness).c_str());
+  }
+  std::printf("\nObservations (matching the paper):\n"
+              " * every optimal attack contains the previous one, so the\n"
+              "   defense priority order is unambiguous: FTP buffer\n"
+              "   overflow (b6,b8) first, then the LICQ/suid pair, ...\n"
+              " * the cheapest optimal attack does NOT reach the root —\n"
+              "   a minimal-attack analysis would have missed it.\n");
+
+  // Classic metrics for contrast.
+  std::printf("\nClassic (successful-attack-only) metrics via BDD:\n");
+  std::printf("  min cost of a successful attack: %g\n",
+              min_cost_of_successful_attack(m));
+  std::printf("  number of successful attacks:    %.0f of %.0f\n",
+              count_successful_attacks(m.tree),
+              std::pow(2.0, static_cast<double>(m.tree.bas_count())));
+
+  // Constrained queries (Thm 7).
+  const auto r = dgc(m, 600.0);
+  std::printf("\nDgC: with 6s of attack time, worst case damage is %g "
+              "(%s)\n", r.damage, attack_to_string(m.tree, r.witness).c_str());
+  const auto c = cgd(m, 60.0);
+  std::printf("CgD: damage >= 60 requires cost >= %g\n", c.cost);
+
+  // Probabilistic DAG analysis — the paper's open problem, solved exactly
+  // (exponential in |B| = 12, fine here) via the shared-BDD engine.
+  CdpAt pm{m.tree, m.cost, m.damage,
+           std::vector<double>(m.tree.bas_count(), 0.7)};
+  std::printf("\nProbabilistic DAG front (p = 0.7 everywhere; BDD engine, "
+              "exact):\n");
+  std::size_t shown = 0;
+  for (const auto& p : cedpf(pm)) {
+    if (p.value.cost == 0) continue;
+    std::printf("  cost %5g -> E[damage] %7.3f  %s\n", p.value.cost,
+                p.value.damage, attack_to_string(m.tree, p.witness).c_str());
+    if (++shown == 6) break;
+  }
+  std::printf("  (first %zu of %zu points)\n", shown, cedpf(pm).size());
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Case study: privacy attacks on a wireless IoT sensor network tracking
+/// giant pandas (paper Sec. X-A, Fig. 4).  Walks through the security
+/// analysis the paper performs: compute both Pareto fronts, identify the
+/// minimal attacks that anchor them, and derive defense priorities.
+
+#include <cstdio>
+
+#include "casestudies/panda.hpp"
+#include "core/problems.hpp"
+
+using namespace atcd;
+
+int main() {
+  const auto model = casestudies::make_panda();
+  const auto det = model.deterministic();
+  std::printf("Panda-reservation IoT sensor network (Fig. 4)\n");
+  std::printf("nodes: %zu, attack steps: %zu, attacks: 2^%zu\n\n",
+              model.tree.node_count(), model.tree.bas_count(),
+              model.tree.bas_count());
+
+  // Deterministic analysis: which attacks are worth defending against?
+  std::printf("Deterministic cost-damage Pareto front:\n");
+  const auto front = cdpf(det);
+  for (const auto& p : front) {
+    if (p.value.cost == 0) continue;
+    std::printf("  cost %3g -> damage %3g MUSD  %s\n", p.value.cost,
+                p.value.damage,
+                attack_to_string(model.tree, p.witness).c_str());
+  }
+
+  std::printf("\nReading the front like the paper does:\n");
+  std::printf(" * {b18} (internal leakage) does 20 MUSD for cost 3 — the\n"
+              "   cheapest damaging attack.\n");
+  std::printf(" * base-station compromise ({b19,b20} or {b21,b22}) does 50\n"
+              "   MUSD for cost 4 — the best damage-per-cost on the front.\n");
+  std::printf(" * beyond cost 7 the curve tapers off: extra budget buys\n"
+              "   ever less damage, so defenses should focus on internal\n"
+              "   leakage and the base station.\n");
+
+  // Attacker profiling via DgC (paper Sec. IV-A application).
+  std::printf("\nAttacker profiles (DgC):\n");
+  for (double budget : {4.0, 11.0, 30.0}) {
+    const auto r = dgc(det, budget);
+    std::printf("  budget %4g: damage %5g  %s\n", budget, r.damage,
+                attack_to_string(model.tree, r.witness).c_str());
+  }
+
+  // Defender-side what-if: if internal leakage (b18) were fully
+  // mitigated, how does the front move?  (Model the mitigation as an
+  // unaffordable cost.)
+  auto hardened = det;
+  hardened.cost[model.tree.bas_index(
+      *model.tree.find("b18_internal_leakage"))] = 1e6;
+  std::printf("\nAfter hardening b18 (internal leakage impossible):\n");
+  for (const auto& p : cdpf(hardened)) {
+    if (p.value.cost == 0 || p.value.cost > 40) continue;
+    std::printf("  cost %3g -> damage %3g MUSD  %s\n", p.value.cost,
+                p.value.damage,
+                attack_to_string(model.tree, p.witness).c_str());
+  }
+  std::printf("  (the paper: 'after defenses are put in place, a new "
+              "cost-damage analysis is needed')\n");
+
+  // Probabilistic analysis: steps can fail, so redundancy pays.
+  std::printf("\nProbabilistic front (first entries):\n");
+  const auto pfront = cedpf(model);
+  std::size_t shown = 0;
+  for (const auto& p : pfront) {
+    if (p.value.cost == 0) continue;
+    std::printf("  cost %3g -> E[damage] %6.3f  %s\n", p.value.cost,
+                p.value.damage,
+                attack_to_string(model.tree, p.witness).c_str());
+    if (++shown == 5) break;
+  }
+  std::printf("  ... (%zu Pareto-optimal attacks vs %zu deterministic —\n"
+              "  attempting redundant OR children buys success "
+              "probability)\n", pfront.size(), front.size());
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "adaptive/adaptive.hpp"
+
+#include <unordered_map>
+
+namespace atcd::adaptive {
+namespace {
+
+/// Shared evaluation context for one adaptive_edgc call.
+struct Search {
+  const CdpAt& m;
+  const CdAt det;
+  double budget;
+  std::size_t nb;
+  std::unordered_map<std::uint64_t, double> memo;
+  std::unordered_map<std::uint64_t, double> damage_memo;
+
+  explicit Search(const CdpAt& model, double u)
+      : m(model),
+        det{model.tree, model.cost, model.damage},
+        budget(u),
+        nb(model.tree.bas_count()) {}
+
+  static std::uint64_t key(std::uint64_t attempted, std::uint64_t succeeded) {
+    return attempted << 32 | succeeded;
+  }
+
+  double damage_of(std::uint64_t succeeded) {
+    auto [it, inserted] = damage_memo.try_emplace(succeeded, 0.0);
+    if (inserted)
+      it->second = total_damage(det, Attack::from_mask(nb, succeeded));
+    return it->second;
+  }
+
+  /// Value of the state where `attempted` BASs were tried (costing
+  /// `spent`) and `succeeded` of them succeeded.
+  double value(std::uint64_t attempted, std::uint64_t succeeded,
+               double spent) {
+    const auto k = key(attempted, succeeded);
+    if (const auto it = memo.find(k); it != memo.end()) return it->second;
+
+    // Stopping yields the damage of the current success set; attempting
+    // any affordable BAS can only help (damage is monotone), so take the
+    // max over stop and all affordable continuations.
+    double best = damage_of(succeeded);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (attempted >> b & 1) continue;
+      const double c = m.cost[b];
+      if (spent + c > budget) continue;
+      const double p = m.prob[b];
+      const std::uint64_t att2 = attempted | (std::uint64_t{1} << b);
+      const double v = p * value(att2, succeeded | (std::uint64_t{1} << b),
+                                 spent + c) +
+                       (1.0 - p) * value(att2, succeeded, spent + c);
+      if (v > best) best = v;
+    }
+    memo.emplace(k, best);
+    return best;
+  }
+
+  /// Optimal next attempt at a state, or kNoNode when stopping is optimal.
+  NodeId best_move(std::uint64_t attempted, std::uint64_t succeeded,
+                   double spent) {
+    double best = damage_of(succeeded);
+    NodeId move = kNoNode;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (attempted >> b & 1) continue;
+      const double c = m.cost[b];
+      if (spent + c > budget) continue;
+      const double p = m.prob[b];
+      const std::uint64_t att2 = attempted | (std::uint64_t{1} << b);
+      const double v = p * value(att2, succeeded | (std::uint64_t{1} << b),
+                                 spent + c) +
+                       (1.0 - p) * value(att2, succeeded, spent + c);
+      if (v > best + 1e-15) {
+        best = v;
+        move = m.tree.bas_id(static_cast<std::uint32_t>(b));
+      }
+    }
+    return move;
+  }
+};
+
+void check_cap(const CdpAt& m, std::size_t max_bas, const char* who) {
+  m.validate();
+  if (m.tree.bas_count() > max_bas)
+    throw CapacityError(std::string(who) + ": " +
+                        std::to_string(m.tree.bas_count()) +
+                        " BASs exceeds the state-space cap of " +
+                        std::to_string(max_bas));
+}
+
+}  // namespace
+
+AdaptiveResult adaptive_edgc(const CdpAt& m, double budget,
+                             std::size_t max_bas) {
+  check_cap(m, max_bas, "adaptive_edgc");
+  Search s(m, budget);
+  AdaptiveResult r;
+  r.expected_damage = s.value(0, 0, 0.0);
+  r.first_move = s.best_move(0, 0, 0.0);
+  r.states_explored = s.memo.size();
+  return r;
+}
+
+double simulate_adaptive_policy(const CdpAt& m, double budget, Rng& rng,
+                                std::size_t max_bas) {
+  check_cap(m, max_bas, "simulate_adaptive_policy");
+  Search s(m, budget);
+  std::uint64_t attempted = 0, succeeded = 0;
+  double spent = 0.0;
+  for (;;) {
+    const NodeId move = s.best_move(attempted, succeeded, spent);
+    if (move == kNoNode) break;
+    const std::uint32_t b = m.tree.bas_index(move);
+    attempted |= std::uint64_t{1} << b;
+    spent += m.cost[b];
+    if (rng.chance(m.prob[b])) succeeded |= std::uint64_t{1} << b;
+  }
+  return total_damage(CdAt{m.tree, m.cost, m.damage},
+                      Attack::from_mask(m.tree.bas_count(), succeeded));
+}
+
+}  // namespace atcd::adaptive

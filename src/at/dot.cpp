@@ -1,0 +1,45 @@
+#include "at/dot.hpp"
+
+#include <sstream>
+
+namespace atcd {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const AttackTree& t, const std::vector<double>& cost,
+                   const std::vector<double>& damage,
+                   const std::vector<double>& prob) {
+  std::ostringstream out;
+  out << "digraph attack_tree {\n  rankdir=TB;\n";
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    const auto& n = t.node(v);
+    std::ostringstream label;
+    label << escape(n.name);
+    if (n.type != NodeType::BAS) label << "\\n[" << to_string(n.type) << "]";
+    if (!damage.empty() && damage[v] != 0) label << "\\nd=" << damage[v];
+    if (n.type == NodeType::BAS) {
+      if (!cost.empty() && cost[n.bas_index] != 0)
+        label << "\\nc=" << cost[n.bas_index];
+      if (!prob.empty() && prob[n.bas_index] != 1.0)
+        label << "\\np=" << prob[n.bas_index];
+    }
+    out << "  n" << v << " [label=\"" << label.str() << "\", shape="
+        << (n.type == NodeType::BAS ? "ellipse" : "box") << "];\n";
+  }
+  for (NodeId v = 0; v < t.node_count(); ++v)
+    for (NodeId c : t.children(v)) out << "  n" << v << " -> n" << c << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace atcd

@@ -1,0 +1,23 @@
+#pragma once
+/// \file dot.hpp
+/// Graphviz DOT export of decorated attack trees, for documentation and
+/// debugging.  Gates are drawn as boxes labelled with their type, BASs as
+/// ellipses; nonzero damage/cost/probability values are shown in the label
+/// in the style of the paper's figures.
+
+#include <string>
+#include <vector>
+
+#include "at/attack_tree.hpp"
+
+namespace atcd {
+
+/// Renders the tree as a DOT digraph.  Any decoration vector may be empty
+/// to omit that attribute.  \p cost and \p prob are indexed by BAS index,
+/// \p damage by NodeId.
+std::string to_dot(const AttackTree& t,
+                   const std::vector<double>& cost = {},
+                   const std::vector<double>& damage = {},
+                   const std::vector<double>& prob = {});
+
+}  // namespace atcd

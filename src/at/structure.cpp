@@ -1,0 +1,69 @@
+#include "at/structure.hpp"
+
+namespace atcd {
+
+std::vector<char> evaluate_structure(const AttackTree& t, const Attack& x) {
+  if (!t.finalized()) throw ModelError("evaluate_structure: tree not finalized");
+  if (x.size() != t.bas_count())
+    throw ModelError("evaluate_structure: attack size mismatch");
+  std::vector<char> s(t.node_count(), 0);
+  for (NodeId v : t.topological_order()) {
+    const auto& n = t.node(v);
+    switch (n.type) {
+      case NodeType::BAS:
+        s[v] = x.test(n.bas_index) ? 1 : 0;
+        break;
+      case NodeType::OR: {
+        char val = 0;
+        for (NodeId c : n.children) val |= s[c];
+        s[v] = val;
+        break;
+      }
+      case NodeType::AND: {
+        char val = 1;
+        for (NodeId c : n.children) val &= s[c];
+        s[v] = val;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+bool structure(const AttackTree& t, const Attack& x, NodeId v) {
+  return evaluate_structure(t, x)[v] != 0;
+}
+
+bool is_successful(const AttackTree& t, const Attack& x) {
+  return structure(t, x, t.root());
+}
+
+Attack empty_attack(const AttackTree& t) { return Attack(t.bas_count()); }
+
+Attack make_attack(const AttackTree& t,
+                   const std::vector<std::string>& bas_names) {
+  Attack x(t.bas_count());
+  for (const auto& name : bas_names) {
+    const auto id = t.find(name);
+    if (!id) throw ModelError("make_attack: unknown BAS '" + name + "'");
+    if (!t.is_bas(*id))
+      throw ModelError("make_attack: node '" + name + "' is not a BAS");
+    x.set(t.bas_index(*id));
+  }
+  return x;
+}
+
+std::string attack_to_string(const AttackTree& t, const Attack& x) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!x.test(i)) continue;
+    if (!first) out += ", ";
+    out += t.name(t.bas_id(static_cast<std::uint32_t>(i)));
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace atcd

@@ -1,0 +1,41 @@
+#pragma once
+/// \file structure.hpp
+/// The structure function S : A x N -> B of Definition 3: given an attack
+/// x (a set of activated BASs) and a node v, S(x,v) says whether v is
+/// reached by x.  Evaluated for all nodes at once in O(|N|+|E|) over the
+/// topological order — this also serves as the inner loop of the
+/// enumerative baseline.
+
+#include <vector>
+
+#include "at/attack_tree.hpp"
+#include "util/bitset.hpp"
+
+namespace atcd {
+
+/// An attack: bit i corresponds to the BAS with dense index i (Def. 2).
+using Attack = DynBitset;
+
+/// Returns S(x, v) for every node v, indexed by NodeId.
+/// Precondition: t.finalized() and x.size() == t.bas_count().
+std::vector<char> evaluate_structure(const AttackTree& t, const Attack& x);
+
+/// Returns S(x, v) for a single node (evaluates the whole sub-DAG).
+bool structure(const AttackTree& t, const Attack& x, NodeId v);
+
+/// True iff the attack reaches the root (a "successful" attack in the
+/// terminology of prior work; this paper deliberately also scores
+/// unsuccessful attacks).
+bool is_successful(const AttackTree& t, const Attack& x);
+
+/// The empty attack over t's BASs.
+Attack empty_attack(const AttackTree& t);
+
+/// Attack activating exactly the named BASs.  Throws ModelError if a name
+/// is unknown or names a non-leaf.
+Attack make_attack(const AttackTree& t, const std::vector<std::string>& bas_names);
+
+/// Human-readable set notation, e.g. "{pb, fd}".
+std::string attack_to_string(const AttackTree& t, const Attack& x);
+
+}  // namespace atcd

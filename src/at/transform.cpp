@@ -1,0 +1,82 @@
+#include "at/transform.hpp"
+
+namespace atcd {
+
+BinarizeResult binarize(const AttackTree& t) {
+  if (!t.finalized()) throw ModelError("binarize: tree not finalized");
+  BinarizeResult r;
+  r.node_map.assign(t.node_count(), kNoNode);
+
+  // Creation order of t is children-before-parents, so a single pass can
+  // rebuild every node after its children.
+  for (NodeId v : t.topological_order()) {
+    const auto& n = t.node(v);
+    if (n.type == NodeType::BAS) {
+      const NodeId nv = r.tree.add_bas(n.name);
+      r.node_map[v] = nv;
+      continue;
+    }
+    // Map children, then chain them pairwise right-to-left:
+    // g(c1, c2, ..., ck) => g(c1, g(c2, ... g(c_{k-1}, c_k)...)).
+    std::vector<NodeId> cs;
+    cs.reserve(n.children.size());
+    for (NodeId c : n.children) cs.push_back(r.node_map[c]);
+    if (cs.size() <= 2) {
+      r.node_map[v] = r.tree.add_gate(n.type, n.name, cs);
+      continue;
+    }
+    NodeId acc = cs.back();
+    int aux = 0;
+    for (std::size_t i = cs.size() - 1; i-- > 1;) {
+      acc = r.tree.add_gate(n.type, n.name + "#aux" + std::to_string(aux++),
+                            {cs[i], acc});
+    }
+    r.node_map[v] = r.tree.add_gate(n.type, n.name, {cs[0], acc});
+  }
+
+  r.tree.set_root(r.node_map[t.root()]);
+  r.tree.finalize();
+
+  r.origin.assign(r.tree.node_count(), kNoNode);
+  for (NodeId v = 0; v < t.node_count(); ++v) r.origin[r.node_map[v]] = v;
+  return r;
+}
+
+SubtreeResult subtree(const AttackTree& t, NodeId v) {
+  if (!t.finalized()) throw ModelError("subtree: tree not finalized");
+  if (v >= t.node_count()) throw ModelError("subtree: unknown node");
+
+  // Mark reachable nodes.
+  std::vector<char> reach(t.node_count(), 0);
+  std::vector<NodeId> stack{v};
+  reach[v] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId c : t.children(u))
+      if (!reach[c]) {
+        reach[c] = 1;
+        stack.push_back(c);
+      }
+  }
+
+  SubtreeResult r;
+  r.node_map.assign(t.node_count(), kNoNode);
+  for (NodeId u : t.topological_order()) {
+    if (!reach[u]) continue;
+    const auto& n = t.node(u);
+    if (n.type == NodeType::BAS) {
+      r.node_map[u] = r.tree.add_bas(n.name);
+    } else {
+      std::vector<NodeId> cs;
+      cs.reserve(n.children.size());
+      for (NodeId c : n.children) cs.push_back(r.node_map[c]);
+      r.node_map[u] = r.tree.add_gate(n.type, n.name, cs);
+    }
+  }
+  r.tree.set_root(r.node_map[v]);
+  r.tree.finalize();
+  return r;
+}
+
+}  // namespace atcd

@@ -1,0 +1,42 @@
+#pragma once
+/// \file transform.hpp
+/// Structural AT transformations.
+///
+/// The paper's bottom-up formalisation (Sec. VI) assumes binary gates
+/// ("purely to simplify notation"); our engines fold n-ary gates natively,
+/// but binarize() is provided for parity and is exercised by tests showing
+/// both formulations agree.
+
+#include <vector>
+
+#include "at/attack_tree.hpp"
+
+namespace atcd {
+
+/// Result of binarize(): the rewritten tree plus index maps relating it to
+/// the original so decorations (cost/damage/probability) can be carried over.
+struct BinarizeResult {
+  AttackTree tree;  ///< finalized; every gate has exactly 1 or 2 children
+  /// For each node of the *original* tree, the corresponding node in the
+  /// binarized tree (the node that carries its damage value).
+  std::vector<NodeId> node_map;
+  /// For each node of the *binarized* tree, the original node it stems
+  /// from, or kNoNode for auxiliary gates introduced by the rewrite.
+  std::vector<NodeId> origin;
+};
+
+/// Rewrites every k-ary gate (k > 2) into a right-leaning chain of binary
+/// gates of the same type.  Auxiliary nodes are named "<name>#aux<i>" and
+/// represent zero-damage intermediates.  BAS order (and hence attack
+/// vectors) is preserved.
+BinarizeResult binarize(const AttackTree& t);
+
+/// Extracts the sub-DAG rooted at \p v as a standalone finalized tree.
+/// node_map maps original reachable nodes to new ids (kNoNode elsewhere).
+struct SubtreeResult {
+  AttackTree tree;
+  std::vector<NodeId> node_map;
+};
+SubtreeResult subtree(const AttackTree& t, NodeId v);
+
+}  // namespace atcd

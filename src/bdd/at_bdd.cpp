@@ -1,0 +1,113 @@
+#include "bdd/at_bdd.hpp"
+
+namespace atcd {
+namespace {
+
+void check_cap(const AttackTree& t, std::size_t max_bas, const char* who) {
+  if (t.bas_count() > max_bas)
+    throw CapacityError(std::string(who) + ": " +
+                        std::to_string(t.bas_count()) +
+                        " BASs exceeds the enumeration cap of " +
+                        std::to_string(max_bas));
+}
+
+}  // namespace
+
+AtBdd::AtBdd(const AttackTree& t)
+    : tree_(t), mgr_(static_cast<std::uint32_t>(t.bas_count())) {
+  if (!t.finalized()) throw ModelError("AtBdd: tree not finalized");
+  fn_.assign(t.node_count(), bdd::kFalse);
+  for (NodeId v : t.topological_order()) {
+    const auto& n = t.node(v);
+    switch (n.type) {
+      case NodeType::BAS:
+        fn_[v] = mgr_.var(n.bas_index);
+        break;
+      case NodeType::OR: {
+        bdd::Ref acc = bdd::kFalse;
+        for (NodeId c : n.children) acc = mgr_.apply_or(acc, fn_[c]);
+        fn_[v] = acc;
+        break;
+      }
+      case NodeType::AND: {
+        bdd::Ref acc = bdd::kTrue;
+        for (NodeId c : n.children) acc = mgr_.apply_and(acc, fn_[c]);
+        fn_[v] = acc;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<double> AtBdd::probabilistic_structure(const CdpAt& m,
+                                                   const Attack& x) const {
+  if (x.size() != tree_.bas_count() || m.prob.size() != tree_.bas_count())
+    throw ModelError("AtBdd: attack size mismatch");
+  // P(var i) = p_i if attempted, 0 otherwise; the BDD handles shared BASs.
+  std::vector<double> q(tree_.bas_count(), 0.0);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    if (x.test(i)) q[i] = m.prob[i];
+  std::vector<double> ps(tree_.node_count(), 0.0);
+  for (NodeId v = 0; v < tree_.node_count(); ++v)
+    ps[v] = mgr_.probability(fn_[v], q);
+  return ps;
+}
+
+double AtBdd::expected_damage(const CdpAt& m, const Attack& x) const {
+  const auto ps = probabilistic_structure(m, x);
+  double sum = 0.0;
+  for (NodeId v = 0; v < tree_.node_count(); ++v) sum += ps[v] * m.damage[v];
+  return sum;
+}
+
+Front2d cedpf_bdd(const CdpAt& m, std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "cedpf_bdd");
+  const AtBdd compiled(m.tree);
+  const std::size_t nb = m.tree.bas_count();
+  std::vector<FrontPoint> cands;
+  cands.reserve(std::size_t{1} << nb);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << nb); ++mask) {
+    Attack x = Attack::from_mask(nb, mask);
+    double c = 0.0;
+    for (std::size_t i = 0; i < nb; ++i)
+      if (mask >> i & 1) c += m.cost[i];
+    cands.push_back({CdPoint{c, compiled.expected_damage(m, x)}, std::move(x)});
+  }
+  return Front2d::of_candidates(std::move(cands));
+}
+
+OptAttack edgc_bdd(const CdpAt& m, double budget, std::size_t max_bas) {
+  const auto front = cedpf_bdd(m, max_bas);
+  const FrontPoint* p = front.max_damage_within_cost(budget);
+  if (!p) return {};
+  return OptAttack{true, p->value.cost, p->value.damage, p->witness};
+}
+
+OptAttack cged_bdd(const CdpAt& m, double threshold, std::size_t max_bas) {
+  const auto front = cedpf_bdd(m, max_bas);
+  const FrontPoint* p = front.min_cost_with_damage(threshold);
+  if (!p) return {};
+  return OptAttack{true, p->value.cost, p->value.damage, p->witness};
+}
+
+double min_cost_of_successful_attack(const CdAt& m) {
+  m.validate();
+  const AtBdd compiled(m.tree);
+  return compiled.manager().min_true_weight(
+      compiled.node_function(m.tree.root()), m.cost);
+}
+
+double count_successful_attacks(const AttackTree& t) {
+  const AtBdd compiled(t);
+  return compiled.manager().sat_count(compiled.node_function(t.root()));
+}
+
+double root_reach_probability_all_in(const CdpAt& m) {
+  m.validate();
+  const AtBdd compiled(m.tree);
+  return compiled.manager().probability(
+      compiled.node_function(m.tree.root()), m.prob);
+}
+
+}  // namespace atcd

@@ -1,0 +1,192 @@
+#include "bdd/bdd.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace atcd::bdd {
+namespace {
+
+// Exact (injective) key packing for the unique table: 16 bits of level,
+// 24 bits per child ref.  kMaxNodes keeps the packing injective.
+constexpr std::uint32_t kMaxNodes = 1u << 24;
+constexpr std::uint32_t kMaxLevels = 1u << 16;
+
+std::uint64_t pack3(std::uint32_t level, Ref lo, Ref hi) {
+  return (static_cast<std::uint64_t>(level) << 48) |
+         (static_cast<std::uint64_t>(lo) << 24) | hi;
+}
+
+}  // namespace
+
+Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
+  if (num_vars + 1 >= kMaxLevels) throw Error("bdd: too many variables");
+  // Terminals: level == num_vars (below every variable).
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1
+}
+
+Ref Manager::make(std::uint32_t lvl, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = pack3(lvl, lo, hi);
+  if (const auto it = unique_.find(key); it != unique_.end())
+    return it->second;
+  if (nodes_.size() >= kMaxNodes)
+    throw CapacityError("bdd: node limit (2^24) exceeded");
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({lvl, lo, hi});
+  unique_.emplace(key, r);
+  return r;
+}
+
+Ref Manager::var(std::uint32_t level) {
+  if (level >= num_vars_) throw Error("bdd: variable level out of range");
+  return make(level, kFalse, kTrue);
+}
+
+Ref Manager::apply(int op, Ref a, Ref b) {
+  // Terminal cases.
+  if (op == 0) {  // AND
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+  } else {  // OR
+    if (a == kTrue || b == kTrue) return kTrue;
+    if (a == kFalse) return b;
+    if (b == kFalse) return a;
+  }
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);  // commutative: canonicalize the cache key
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32 | b) * 2 + static_cast<unsigned>(op);
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const std::uint32_t la = nodes_[a].level, lb = nodes_[b].level;
+  const std::uint32_t top = la < lb ? la : lb;
+  const Ref a_lo = la == top ? nodes_[a].lo : a;
+  const Ref a_hi = la == top ? nodes_[a].hi : a;
+  const Ref b_lo = lb == top ? nodes_[b].lo : b;
+  const Ref b_hi = lb == top ? nodes_[b].hi : b;
+  const Ref lo = apply(op, a_lo, b_lo);
+  const Ref hi = apply(op, a_hi, b_hi);
+  const Ref r = make(top, lo, hi);
+  cache_.emplace(key, r);
+  return r;
+}
+
+Ref Manager::apply_and(Ref a, Ref b) { return apply(0, a, b); }
+Ref Manager::apply_or(Ref a, Ref b) { return apply(1, a, b); }
+
+Ref Manager::negate(Ref a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32 | 0xFFFFFFFFull) * 2;
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const Ref r =
+      make(nodes_[a].level, negate(nodes_[a].lo), negate(nodes_[a].hi));
+  cache_.emplace(key, r);
+  return r;
+}
+
+Ref Manager::restrict_var(Ref a, std::uint32_t lvl, bool value) {
+  if (a <= kTrue) return a;
+  const Node& n = nodes_[a];
+  if (n.level > lvl) return a;
+  if (n.level == lvl) return value ? n.hi : n.lo;
+  return make(n.level, restrict_var(n.lo, lvl, value),
+              restrict_var(n.hi, lvl, value));
+}
+
+double Manager::probability(Ref a, const std::vector<double>& p) const {
+  if (p.size() != num_vars_) throw Error("bdd: probability vector size");
+  std::unordered_map<Ref, double> memo;
+  memo[kFalse] = 0.0;
+  memo[kTrue] = 1.0;
+  // Iterative post-order to avoid deep recursion.
+  std::vector<Ref> stack{a};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    if (memo.count(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[r];
+    const bool lo_done = memo.count(n.lo), hi_done = memo.count(n.hi);
+    if (lo_done && hi_done) {
+      const double pv = p[n.level];
+      memo[r] = (1.0 - pv) * memo[n.lo] + pv * memo[n.hi];
+      stack.pop_back();
+    } else {
+      if (!lo_done) stack.push_back(n.lo);
+      if (!hi_done) stack.push_back(n.hi);
+    }
+  }
+  return memo[a];
+}
+
+bool Manager::evaluate(Ref a, const std::vector<bool>& assignment) const {
+  if (assignment.size() != num_vars_) throw Error("bdd: assignment size");
+  while (a > kTrue) {
+    const Node& n = nodes_[a];
+    a = assignment[n.level] ? n.hi : n.lo;
+  }
+  return a == kTrue;
+}
+
+double Manager::sat_count(Ref a) const {
+  std::unordered_map<Ref, double> memo;
+  memo[kFalse] = 0.0;
+  memo[kTrue] = 1.0;
+  std::vector<Ref> stack{a};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    if (memo.count(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[r];
+    if (memo.count(n.lo) && memo.count(n.hi)) {
+      // Each child count is over assignments of variables strictly below
+      // its own level; scale by the skipped levels.
+      const double lo = memo[n.lo] *
+                        std::pow(2.0, nodes_[n.lo].level - n.level - 1);
+      const double hi = memo[n.hi] *
+                        std::pow(2.0, nodes_[n.hi].level - n.level - 1);
+      memo[r] = lo + hi;
+      stack.pop_back();
+    } else {
+      if (!memo.count(n.lo)) stack.push_back(n.lo);
+      if (!memo.count(n.hi)) stack.push_back(n.hi);
+    }
+  }
+  return memo[a] * std::pow(2.0, nodes_[a].level);
+}
+
+double Manager::min_true_weight(Ref a,
+                                const std::vector<double>& weight) const {
+  if (weight.size() != num_vars_) throw Error("bdd: weight vector size");
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::unordered_map<Ref, double> memo;
+  memo[kFalse] = inf;
+  memo[kTrue] = 0.0;
+  std::vector<Ref> stack{a};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    if (memo.count(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[r];
+    if (memo.count(n.lo) && memo.count(n.hi)) {
+      memo[r] = std::min(memo[n.lo], weight[n.level] + memo[n.hi]);
+      stack.pop_back();
+    } else {
+      if (!memo.count(n.lo)) stack.push_back(n.lo);
+      if (!memo.count(n.hi)) stack.push_back(n.hi);
+    }
+  }
+  return memo[a];
+}
+
+}  // namespace atcd::bdd

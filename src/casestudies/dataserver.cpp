@@ -1,0 +1,75 @@
+#include "casestudies/dataserver.hpp"
+
+namespace atcd::casestudies {
+
+CdAt make_dataserver() {
+  CdAt m;
+  auto& t = m.tree;
+  auto bas = [&](const char* name, double cost) {
+    const NodeId id = t.add_bas(name);
+    m.cost.push_back(cost);
+    return id;
+  };
+
+  // --- SMTP path (b1-b5). ---
+  const NodeId b1 = bas("b1_internet_connection_smtp", 100);
+  const NodeId b2 = bas("b2_ftp_rhost_attack_smtp", 161);
+  const NodeId b3 = bas("b3_rsh_login_smtp", 147);
+  const NodeId b4 = bas("b4_licq_remote_to_user", 155);
+  const NodeId b5 = bas("b5_local_bo_at_daemon", 150);
+  const NodeId smtp_auth_bypassed =
+      t.add_gate(NodeType::AND, "smtp_authentication_bypassed", {b1, b2});
+  const NodeId user_access_smtp = t.add_gate(
+      NodeType::AND, "user_access_smtp_server", {smtp_auth_bypassed, b3});
+  const NodeId user_access_terminal = t.add_gate(
+      NodeType::AND, "user_access_terminal", {user_access_smtp, b4});
+  const NodeId root_access_terminal = t.add_gate(
+      NodeType::AND, "root_access_terminal", {user_access_terminal, b5});
+
+  // --- FTP path (b6-b10); b6 is shared by three exploits (DAG). ---
+  const NodeId b6 = bas("b6_internet_connection_ftp", 100);
+  const NodeId b7 = bas("b7_attack_via_ssh", 155);
+  const NodeId b8 = bas("b8_attack_via_ftp", 150);
+  const NodeId b9 = bas("b9_ftp_rhost_attack_ftp", 147);
+  const NodeId b10 = bas("b10_rsh_login_ftp", 161);
+  const NodeId ssh_bo =
+      t.add_gate(NodeType::AND, "ssh_buffer_overflow", {b6, b7});
+  const NodeId ftp_bo =
+      t.add_gate(NodeType::AND, "ftp_buffer_overflow", {b6, b8});
+  const NodeId root_access_ftp =
+      t.add_gate(NodeType::OR, "root_access_ftp_server", {ssh_bo, ftp_bo});
+  const NodeId ftp_auth_bypassed =
+      t.add_gate(NodeType::AND, "ftp_authentication_bypassed", {b6, b9});
+  const NodeId login_ftp =
+      t.add_gate(NodeType::AND, "login_ftp_server", {ftp_auth_bypassed, b10});
+  const NodeId user_access_ftp = t.add_gate(
+      NodeType::OR, "user_access_ftp_server", {login_ftp, root_access_ftp});
+
+  // --- Data server (b11, b12); reachable from either path (DAG). ---
+  const NodeId b11 = bas("b11_licq_remote_to_user_ds", 155);
+  const NodeId b12 = bas("b12_suid_buffer_overflow", 163);
+  // root_access_terminal is deliberately redundant for reaching the top
+  // (it requires user_access_smtp, itself a child of this OR) but carries
+  // damage — exactly the paper's remark about UserAccessToTerminal.
+  const NodeId connect_ds = t.add_gate(
+      NodeType::OR, "connect_data_server",
+      {user_access_ftp, user_access_smtp, root_access_terminal});
+  const NodeId user_access_ds = t.add_gate(
+      NodeType::AND, "user_access_data_server", {connect_ds, b11});
+  const NodeId root_access_ds = t.add_gate(
+      NodeType::AND, "root_access_data_server", {user_access_ds, b12});
+  t.set_root(root_access_ds);
+  t.finalize();
+
+  m.damage.assign(t.node_count(), 0.0);
+  m.damage[user_access_smtp] = 10.8;
+  m.damage[user_access_terminal] = 5.0;
+  m.damage[root_access_terminal] = 7.0;
+  m.damage[root_access_ftp] = 10.5;
+  m.damage[user_access_ftp] = 13.5;
+  m.damage[root_access_ds] = 36.0;
+  m.validate();
+  return m;
+}
+
+}  // namespace atcd::casestudies

@@ -1,0 +1,23 @@
+#pragma once
+/// \file dataserver.hpp
+/// Case study 2 (paper Sec. X-B, Fig. 5): attacking a data server on a
+/// network behind a firewall using known exploits (Dewri et al. [23]).
+/// DAG-shaped (the FTP-server connection and SMTP user access feed several
+/// parents), 25 nodes, 12 BASs.  Damage values are the unitless composite
+/// scores of [23]; costs are expected attack durations (in 1/100 s,
+/// following Zhao et al. [38]).  Deterministic analysis only, like the
+/// paper.
+///
+/// Reconstruction note: calibrated so every published Pareto point of
+/// Fig. 6c is exact (verified in tests):
+///   (0,0) (250,24) (568,60) (976,70.8) (1131,75.8) (1281,82.8),
+/// with (250,24) = {b6,b8} the only optimal attack missing the top node.
+
+#include "core/cdat.hpp"
+
+namespace atcd::casestudies {
+
+/// The cd-AT of Fig. 5.
+CdAt make_dataserver();
+
+}  // namespace atcd::casestudies

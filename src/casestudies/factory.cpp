@@ -1,0 +1,32 @@
+#include "casestudies/factory.hpp"
+
+namespace atcd::casestudies {
+
+CdAt make_factory() {
+  CdAt m;
+  auto& t = m.tree;
+  const NodeId ca = t.add_bas("ca");  // cyberattack
+  const NodeId pb = t.add_bas("pb");  // place bomb
+  const NodeId fd = t.add_bas("fd");  // force door
+  const NodeId dr = t.add_gate(NodeType::AND, "dr", {pb, fd});  // destroy robot
+  const NodeId ps = t.add_gate(NodeType::OR, "ps", {ca, dr});   // prod. shutdown
+  t.set_root(ps);
+  t.finalize();
+
+  m.cost = {/*ca*/ 1.0, /*pb*/ 3.0, /*fd*/ 2.0};
+  m.damage.assign(t.node_count(), 0.0);
+  m.damage[fd] = 10.0;
+  m.damage[dr] = 100.0;
+  m.damage[ps] = 200.0;
+  m.validate();
+  return m;
+}
+
+CdpAt make_factory_probabilistic() {
+  const CdAt det = make_factory();
+  CdpAt m{det.tree, det.cost, det.damage, {/*ca*/ 0.2, /*pb*/ 0.4, /*fd*/ 0.9}};
+  m.validate();
+  return m;
+}
+
+}  // namespace atcd::casestudies

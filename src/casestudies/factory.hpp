@@ -1,0 +1,21 @@
+#pragma once
+/// \file factory.hpp
+/// The running example of the paper (Fig. 1): production in a factory is
+/// shut down either by a cyberattack or by destroying the production
+/// robot (force the door, place a bomb).  Damage in 1000 USD on the
+/// internal nodes; Example 8 adds success probabilities.
+///
+/// Ground truth used in tests (paper Examples 1-2, eq. (3), Fig. 3):
+///   PF(T) = {(0,0), (1,200), (3,210), (5,310)}.
+
+#include "core/cdat.hpp"
+
+namespace atcd::casestudies {
+
+/// Deterministic model of Fig. 1 / Example 1.
+CdAt make_factory();
+
+/// Probabilistic extension of Example 8: p(ca)=0.2, p(pb)=0.4, p(fd)=0.9.
+CdpAt make_factory_probabilistic();
+
+}  // namespace atcd::casestudies

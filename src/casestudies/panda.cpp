@@ -1,0 +1,103 @@
+#include "casestudies/panda.hpp"
+
+namespace atcd::casestudies {
+
+CdpAt make_panda() {
+  CdpAt m;
+  auto& t = m.tree;
+  std::vector<double> damage_by_id;
+  auto bas = [&](const char* name, double cost, double prob) {
+    const NodeId id = t.add_bas(name);
+    m.cost.push_back(cost);
+    m.prob.push_back(prob);
+    return id;
+  };
+
+  // --- Branch 1: messages deciphered (b1-b3). ---
+  const NodeId b1 = bas("b1_obtain_messages", 1, 0.5);
+  const NodeId b2 = bas("b2_analytical_reasoning", 4, 0.5);
+  const NodeId b3 = bas("b3_brute_force", 3, 0.3);
+  const NodeId password_cracked =
+      t.add_gate(NodeType::OR, "password_cracked", {b2, b3});
+  const NodeId messages_deciphered =
+      t.add_gate(NodeType::AND, "messages_deciphered", {b1, password_cracked});
+
+  // --- Branch 2: info obtained through a compromised node (b4-b6). ---
+  const NodeId b4 = bas("b4_look_for_nodes", 2, 0.5);
+  const NodeId b5 = bas("b5_crack_security", 3, 0.5);
+  const NodeId b6 = bas("b6_search_information", 2, 0.7);
+  const NodeId node_compromised =
+      t.add_gate(NodeType::AND, "node_compromised", {b4, b5});
+  const NodeId info_through_node = t.add_gate(
+      NodeType::AND, "info_obtained_through_node", {node_compromised, b6});
+  const NodeId location_info_captured =
+      t.add_gate(NodeType::OR, "location_info_captured",
+                 {messages_deciphered, info_through_node});
+
+  // --- Branch 3: global eavesdropping (b7-b10). ---
+  const NodeId b7 = bas("b7_high_monitor_equipment", 4, 0.9);
+  const NodeId b8 = bas("b8_physical_layer", 2, 0.7);
+  const NodeId b9 = bas("b9_mac_layer", 3, 0.7);
+  const NodeId b10 = bas("b10_appliance_layer", 3, 0.7);
+  const NodeId global_traffic = t.add_gate(
+      NodeType::OR, "global_traffic_info_collection", {b8, b9, b10});
+  const NodeId global_eavesdropping = t.add_gate(
+      NodeType::AND, "global_eavesdropping", {b7, global_traffic});
+  const NodeId global_info_compromised = t.add_gate(
+      NodeType::OR, "global_info_compromised", {global_eavesdropping});
+
+  // --- Branch 4: group / local eavesdropping (b11-b16). ---
+  const NodeId b11 = bas("b11_compute_local_location_info", 2, 0.9);
+  const NodeId b12 = bas("b12_group_monitor_equipment", 3, 0.9);
+  const NodeId b13 = bas("b13_traffic_information_collection", 3, 0.9);
+  const NodeId b14 = bas("b14_analyze_collected_information", 2, 0.5);
+  const NodeId b15 = bas("b15_find_base_station", 1, 0.7);
+  const NodeId b16 = bas("b16_follow_hop_by_hop", 3, 0.5);
+  const NodeId group_eavesdropping = t.add_gate(
+      NodeType::AND, "group_eavesdropping", {b11, b12, b13});
+  const NodeId local_eavesdropping = t.add_gate(
+      NodeType::AND, "local_eavesdropping", {b14, b15, b16});
+  const NodeId location_info_eavesdropped =
+      t.add_gate(NodeType::OR, "location_info_eavesdropped",
+                 {group_eavesdropping, local_eavesdropping});
+
+  // --- Branch 5: purchased info (b17, b18). ---
+  const NodeId b17 = bas("b17_purchase_from_3rd_party", 5, 0.5);
+  const NodeId b18 = bas("b18_internal_leakage", 3, 0.9);
+  const NodeId location_info_purchased = t.add_gate(
+      NodeType::OR, "location_info_purchased", {b17, b18});
+
+  // --- Branch 6: base station compromised (b19-b22). ---
+  const NodeId b19 = bas("b19_look_for_base_station", 1, 0.7);
+  const NodeId b20 = bas("b20_crack_password", 3, 0.3);
+  const NodeId b21 = bas("b21_send_malicious_codes", 1, 0.3);
+  const NodeId b22 = bas("b22_malicious_codes_ran", 3, 0.3);
+  const NodeId physical_theft =
+      t.add_gate(NodeType::AND, "physical_theft", {b19, b20});
+  const NodeId code_theft =
+      t.add_gate(NodeType::AND, "code_theft", {b21, b22});
+  const NodeId base_station_compromised =
+      t.add_gate(NodeType::OR, "base_station_compromised",
+                 {physical_theft, code_theft});
+
+  const NodeId root = t.add_gate(
+      NodeType::OR, "location_privacy_leakage",
+      {location_info_captured, global_info_compromised,
+       location_info_eavesdropped, base_station_compromised,
+       location_info_purchased});
+  t.set_root(root);
+  t.finalize();
+
+  m.damage.assign(t.node_count(), 0.0);
+  m.damage[messages_deciphered] = 10.0;
+  m.damage[node_compromised] = 5.0;
+  m.damage[global_info_compromised] = 15.0;
+  m.damage[group_eavesdropping] = 5.0;
+  m.damage[base_station_compromised] = 45.0;
+  m.damage[location_info_purchased] = 15.0;
+  m.damage[root] = 5.0;
+  m.validate();
+  return m;
+}
+
+}  // namespace atcd::casestudies

@@ -1,0 +1,107 @@
+#include "core/bilp_method.hpp"
+
+namespace atcd {
+namespace {
+
+Attack attack_of_solution(const CdAt& m, const std::vector<double>& x) {
+  Attack a(m.tree.bas_count());
+  for (NodeId b : m.tree.bas_ids())
+    if (x[b] > 0.5) a.set(m.tree.bas_index(b));
+  return a;
+}
+
+OptAttack finish(const CdAt& m, const std::vector<double>& x) {
+  OptAttack r;
+  r.feasible = true;
+  r.witness = attack_of_solution(m, x);
+  r.cost = total_cost(m, r.witness);
+  r.damage = total_damage(m, r.witness);
+  return r;
+}
+
+void accumulate(BilpRunStats* out, const ilp::BilpStats& in) {
+  if (!out) return;
+  out->ilp_solves += in.ilp_solves;
+  out->bnb_nodes += in.bnb_nodes;
+}
+
+}  // namespace
+
+ilp::BiObjectiveProgram make_bilp(const CdAt& m) {
+  m.validate();
+  const auto& t = m.tree;
+  ilp::BiObjectiveProgram bp;
+  bp.obj1.resize(t.node_count());
+  bp.obj2.resize(t.node_count());
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    bp.base.add_var(0.0, 1.0, 0.0);
+    bp.integer_vars.push_back(static_cast<int>(v));
+    bp.obj1[v] = -m.damage[v];
+    bp.obj2[v] = t.is_bas(v) ? m.cost[t.bas_index(v)] : 0.0;
+  }
+  for (NodeId v = 0; v < t.node_count(); ++v) {
+    const auto& n = t.node(v);
+    if (n.type == NodeType::AND) {
+      for (NodeId w : n.children)
+        bp.base.add_row({{static_cast<int>(v), 1.0},
+                         {static_cast<int>(w), -1.0}},
+                        lp::Sense::LE, 0.0);
+    } else if (n.type == NodeType::OR) {
+      std::vector<std::pair<int, double>> terms{{static_cast<int>(v), 1.0}};
+      for (NodeId w : n.children) terms.emplace_back(static_cast<int>(w), -1.0);
+      bp.base.add_row(std::move(terms), lp::Sense::LE, 0.0);
+    }
+  }
+  return bp;
+}
+
+Front2d cdpf_bilp(const CdAt& m, BilpRunStats* stats) {
+  const auto bp = make_bilp(m);
+  ilp::BilpStats bs;
+  const auto nd = ilp::nondominated_set(bp, 0.0, &bs);
+  accumulate(stats, bs);
+  std::vector<FrontPoint> cands;
+  cands.reserve(nd.size());
+  for (const auto& p : nd) {
+    Attack w = attack_of_solution(m, p.x);
+    // Report semantic values of the witness (equal to the program's
+    // (f2, -f1) at optimality; recomputing keeps the front exactly
+    // consistent with the model semantics).
+    cands.push_back({CdPoint{total_cost(m, w), total_damage(m, w)},
+                     std::move(w)});
+  }
+  return Front2d::of_candidates(std::move(cands));
+}
+
+OptAttack dgc_bilp(const CdAt& m, double budget, BilpRunStats* stats) {
+  if (budget < 0.0) return {};
+  auto bp = make_bilp(m);
+  // Thm 7 budget constraint on the cost objective.
+  std::vector<std::pair<int, double>> cost_terms;
+  for (NodeId b : m.tree.bas_ids())
+    cost_terms.emplace_back(static_cast<int>(b),
+                            m.cost[m.tree.bas_index(b)]);
+  bp.base.add_row(std::move(cost_terms), lp::Sense::LE, budget);
+  ilp::BilpStats bs;
+  const auto p = ilp::lex_min(bp, /*f1_first=*/true, &bs);
+  accumulate(stats, bs);
+  if (!p) return {};  // cannot happen: the empty attack is feasible
+  return finish(m, p->x);
+}
+
+OptAttack cgd_bilp(const CdAt& m, double threshold, BilpRunStats* stats) {
+  auto bp = make_bilp(m);
+  // Thm 7 damage constraint: -Σ d(v) y_v <= -L.
+  std::vector<std::pair<int, double>> dmg_terms;
+  for (NodeId v = 0; v < m.tree.node_count(); ++v)
+    if (m.damage[v] != 0.0)
+      dmg_terms.emplace_back(static_cast<int>(v), -m.damage[v]);
+  bp.base.add_row(std::move(dmg_terms), lp::Sense::LE, -threshold);
+  ilp::BilpStats bs;
+  const auto p = ilp::lex_min(bp, /*f1_first=*/false, &bs);
+  accumulate(stats, bs);
+  if (!p) return {};  // threshold exceeds the maximal damage
+  return finish(m, p->x);
+}
+
+}  // namespace atcd

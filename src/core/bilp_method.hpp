@@ -1,0 +1,54 @@
+#pragma once
+/// \file bilp_method.hpp
+/// The BILP engine for DAG-like deterministic ATs (paper Sec. VII).
+///
+/// Bottom-up propagation is unsound on DAGs — shared subtrees get their
+/// cost/damage counted twice — so the paper translates cost-damage
+/// problems to biobjective integer linear programming.  The two key
+/// insights (Thm 6):
+///
+///  (1) although d̂ is nonlinear in the attack x, it is *linear* in the
+///      structure function: d̂(x) = Σ_v d(v) S(x,v); so introduce one
+///      binary y_v per node meant to represent S(x,v);
+///  (2) y_v <= S(x,v) is expressible linearly:
+///        AND v: y_v <= y_w for every child w,
+///        OR  v: y_v <= Σ_{w ∈ Ch(v)} y_w,
+///      and equality constraints are unnecessary because some optimal
+///      solution always saturates y (damages are nonnegative).
+///
+/// Objectives: minimize (−Σ_v d(v) y_v, Σ_{v∈B} c(v) y_v).
+///
+/// Works on *any* deterministic model (tree or DAG).  Probabilistic DAGs
+/// make the constraints nonlinear (y_v = y_{w1}·y_{w2}) and are out of
+/// scope here — see bdd/at_bdd.hpp for the exact exponential fallback.
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "ilp/bilp.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+/// Statistics of a BILP-engine run, surfaced for the benches.
+struct BilpRunStats {
+  std::size_t ilp_solves = 0;
+  std::size_t bnb_nodes = 0;
+};
+
+/// Builds the Thm 6 biobjective program for a model.  Variable i of the
+/// program is y for node with NodeId i; obj1 = -damage, obj2 = cost.
+ilp::BiObjectiveProgram make_bilp(const CdAt& m);
+
+/// CDPF via the ε-constraint sweep over the Thm 6 program.
+Front2d cdpf_bilp(const CdAt& m, BilpRunStats* stats = nullptr);
+
+/// DgC via Thm 7: single-objective ILP with the budget row
+/// Σ c(v) y_v <= U (cost-lexicographic tie-break for a clean witness).
+OptAttack dgc_bilp(const CdAt& m, double budget, BilpRunStats* stats = nullptr);
+
+/// CgD via Thm 7: single-objective ILP with the damage row
+/// −Σ d(v) y_v <= −L.  Infeasible when L exceeds the maximal damage.
+OptAttack cgd_bilp(const CdAt& m, double threshold,
+                   BilpRunStats* stats = nullptr);
+
+}  // namespace atcd

@@ -1,0 +1,37 @@
+#pragma once
+/// \file bottom_up.hpp
+/// Deterministic bottom-up engine for treelike ATs (paper Sec. VI).
+///
+/// The key insight (Thms 3-4): propagate Pareto fronts of attribute
+/// *triples* (cost, damage, root-reached) per node — the third coordinate
+/// keeps attacks alive that are locally non-optimal but can still unlock
+/// damage at ancestors (Example 4).  At the root, project to (cost,
+/// damage) and minimize again.
+///
+/// Complexity is O(2^|B|) in the worst case (Thm 5, unavoidable: the front
+/// itself can have 2^|B| points, Example 6), but pruning at every node
+/// makes it fast on realistic models — the paper measures < 0.1 s where
+/// enumeration takes 34 h.
+
+#include "core/bottom_up_core.hpp"
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+/// CDPF for treelike deterministic models (Thm 4).
+Front2d cdpf_bottom_up(const CdAt& m);
+
+/// DgC for treelike deterministic models (Thm 3): attacks whose cost
+/// exceeds the budget are discarded at every node (min_U), which shrinks
+/// the propagated fronts — the full front is still required, a single
+/// best-attack propagation is unsound (Sec. VI-B).
+OptAttack dgc_bottom_up(const CdAt& m, double budget);
+
+/// CgD for treelike deterministic models: needs the complete front —
+/// under-threshold attacks cannot be discarded early (Sec. VI-B/C) — so
+/// this computes CDPF and applies eq. (2).
+OptAttack cgd_bottom_up(const CdAt& m, double threshold);
+
+}  // namespace atcd

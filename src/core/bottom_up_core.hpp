@@ -1,0 +1,42 @@
+#pragma once
+/// \file bottom_up_core.hpp
+/// Shared implementation of the treelike bottom-up engines (Secs. VI & IX).
+///
+/// The deterministic domain DTrip embeds into the probabilistic domain
+/// PTrip by setting every success probability to 1 (the paper uses exactly
+/// this reduction to derive Thms 3-4 from Thms 8-10): with p == 1 the
+/// AND-combinator p1*p2 and OR-combinator p1 ⋆ p2 = p1+p2-p1*p2 take exact
+/// values in {0,1}, so one engine serves both settings with no loss of
+/// exactness.  The deterministic/probabilistic front-ends live in
+/// bottom_up.hpp / bottom_up_prob.hpp.
+
+#include <vector>
+
+#include "at/attack_tree.hpp"
+#include "pareto/triple.hpp"
+
+namespace atcd::detail {
+
+/// Options for the bottom-up sweep, mostly exercised by ablation benches.
+struct BottomUpOptions {
+  double budget = kNoBudget;  ///< min_U cost pruning (Thm 3 / Thm 8)
+  bool quadratic_prune = false;  ///< use the O(n^2) reference pruner
+  /// Ablation A1: drop the third triple coordinate when pruning
+  /// (deliberately UNSOUND, reproduces the failure mode of Example 4).
+  bool ignore_activation = false;
+};
+
+/// Computes C^P_U(v) for v = root: the incomplete Pareto front of
+/// attribute triples (cost, expected damage, activation probability) over
+/// all attacks on the tree, budget-pruned and ⊑-minimized at every node.
+/// Witnesses are attacks over the full BAS index space.
+///
+/// Preconditions: tree finalized and treelike; decoration sizes match.
+/// Throws UnsupportedError on DAG input.
+std::vector<AttrTriple> bottom_up_root_front(const AttackTree& tree,
+                                             const std::vector<double>& cost,
+                                             const std::vector<double>& damage,
+                                             const std::vector<double>& prob,
+                                             const BottomUpOptions& opt = {});
+
+}  // namespace atcd::detail

@@ -1,0 +1,12 @@
+// The probabilistic bottom-up engine shares its implementation with the
+// deterministic one (see bottom_up_core.hpp for the embedding argument);
+// the probabilistic entry points are defined in bottom_up.cpp alongside
+// the shared sweep.  This translation unit exists to keep the build graph
+// aligned with the module layout and hosts the probabilistic-only
+// utilities below.
+
+#include "core/bottom_up_prob.hpp"
+
+namespace atcd {
+// (intentionally empty; see bottom_up.cpp)
+}  // namespace atcd

@@ -1,0 +1,28 @@
+#pragma once
+/// \file bottom_up_prob.hpp
+/// Probabilistic bottom-up engine for treelike ATs (paper Sec. IX).
+///
+/// Identical sweep to the deterministic engine but over PTrip: the third
+/// coordinate is the activation probability PS(x,v), combined with
+/// p1 * p2 at AND gates and p1 ⋆ p2 = p1 + p2 - p1*p2 at OR gates
+/// (children are independent on treelike models).  Note the fronts are
+/// typically *larger* than in the deterministic case: attempting redundant
+/// children of an OR raises the activation probability, so extra spend can
+/// buy expected damage (Example 10).
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+/// CEDPF for treelike probabilistic models (Thm 9).
+Front2d cedpf_bottom_up(const CdpAt& m);
+
+/// EDgC for treelike probabilistic models (Thm 8), with min_U pruning.
+OptAttack edgc_bottom_up(const CdpAt& m, double budget);
+
+/// CgED for treelike probabilistic models, via the full front.
+OptAttack cged_bottom_up(const CdpAt& m, double threshold);
+
+}  // namespace atcd

@@ -1,0 +1,120 @@
+#include "core/enumerative.hpp"
+
+namespace atcd {
+namespace {
+
+void check_cap(const AttackTree& t, std::size_t max_bas, const char* who) {
+  if (t.bas_count() > max_bas)
+    throw CapacityError(std::string(who) + ": " +
+                        std::to_string(t.bas_count()) +
+                        " BASs exceeds the enumeration cap of " +
+                        std::to_string(max_bas));
+}
+
+/// Invokes fn(attack, cost) for every attack.
+template <typename Fn>
+void for_each_attack(const CdAt& m, Fn&& fn) {
+  const std::size_t nb = m.tree.bas_count();
+  const std::uint64_t total = std::uint64_t{1} << nb;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    Attack x = Attack::from_mask(nb, mask);
+    double c = 0.0;
+    for (std::size_t i = 0; i < nb; ++i)
+      if (mask >> i & 1) c += m.cost[i];
+    fn(std::move(x), c);
+  }
+}
+
+}  // namespace
+
+Front2d cdpf_enumerative(const CdAt& m, std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "cdpf_enumerative");
+  std::vector<FrontPoint> cands;
+  cands.reserve(std::size_t{1} << m.tree.bas_count());
+  for_each_attack(m, [&](Attack x, double c) {
+    const double d = total_damage(m, x);
+    cands.push_back({CdPoint{c, d}, std::move(x)});
+  });
+  return Front2d::of_candidates(std::move(cands));
+}
+
+Front2d cedpf_enumerative(const CdpAt& m, std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "cedpf_enumerative");
+  std::vector<FrontPoint> cands;
+  cands.reserve(std::size_t{1} << m.tree.bas_count());
+  const CdAt det = m.deterministic();
+  for_each_attack(det, [&](Attack x, double c) {
+    const double d = expected_damage(m, x);
+    cands.push_back({CdPoint{c, d}, std::move(x)});
+  });
+  return Front2d::of_candidates(std::move(cands));
+}
+
+OptAttack dgc_enumerative(const CdAt& m, double budget, std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "dgc_enumerative");
+  OptAttack best;
+  for_each_attack(m, [&](Attack x, double c) {
+    if (c > budget) return;
+    const double d = total_damage(m, x);
+    if (!best.feasible || d > best.damage ||
+        (d == best.damage && c < best.cost)) {
+      best = OptAttack{true, c, d, std::move(x)};
+    }
+  });
+  return best;
+}
+
+OptAttack cgd_enumerative(const CdAt& m, double threshold,
+                          std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "cgd_enumerative");
+  OptAttack best;
+  for_each_attack(m, [&](Attack x, double c) {
+    const double d = total_damage(m, x);
+    if (d < threshold) return;
+    if (!best.feasible || c < best.cost ||
+        (c == best.cost && d > best.damage)) {
+      best = OptAttack{true, c, d, std::move(x)};
+    }
+  });
+  return best;
+}
+
+OptAttack edgc_enumerative(const CdpAt& m, double budget,
+                           std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "edgc_enumerative");
+  OptAttack best;
+  const CdAt det = m.deterministic();
+  for_each_attack(det, [&](Attack x, double c) {
+    if (c > budget) return;
+    const double d = expected_damage(m, x);
+    if (!best.feasible || d > best.damage ||
+        (d == best.damage && c < best.cost)) {
+      best = OptAttack{true, c, d, std::move(x)};
+    }
+  });
+  return best;
+}
+
+OptAttack cged_enumerative(const CdpAt& m, double threshold,
+                           std::size_t max_bas) {
+  m.validate();
+  check_cap(m.tree, max_bas, "cged_enumerative");
+  OptAttack best;
+  const CdAt det = m.deterministic();
+  for_each_attack(det, [&](Attack x, double c) {
+    const double d = expected_damage(m, x);
+    if (d < threshold) return;
+    if (!best.feasible || c < best.cost ||
+        (c == best.cost && d > best.damage)) {
+      best = OptAttack{true, c, d, std::move(x)};
+    }
+  });
+  return best;
+}
+
+}  // namespace atcd

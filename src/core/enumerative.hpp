@@ -1,0 +1,42 @@
+#pragma once
+/// \file enumerative.hpp
+/// The enumerative baseline of Sec. X: walk all 2^|B| attacks, score each,
+/// and keep the Pareto-optimal ones.  Exact but exponential — this is the
+/// "status quo" the paper's methods are measured against, and our oracle
+/// for property tests.  All entry points enforce a BAS-count capacity cap
+/// (default 26, i.e. 67M attacks) and throw CapacityError beyond it.
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+inline constexpr std::size_t kEnumDefaultCap = 26;
+
+/// CDPF by enumeration.
+Front2d cdpf_enumerative(const CdAt& m, std::size_t max_bas = kEnumDefaultCap);
+
+/// CEDPF by enumeration; requires a treelike model (expected damage of a
+/// fixed attack is computed with the probabilistic structure function).
+/// For DAG models use cedpf_bdd() from bdd/at_bdd.hpp.
+Front2d cedpf_enumerative(const CdpAt& m,
+                          std::size_t max_bas = kEnumDefaultCap);
+
+/// DgC by enumeration: most damaging attack with ĉ(x) <= budget.
+OptAttack dgc_enumerative(const CdAt& m, double budget,
+                          std::size_t max_bas = kEnumDefaultCap);
+
+/// CgD by enumeration: cheapest attack with d̂(x) >= threshold.
+OptAttack cgd_enumerative(const CdAt& m, double threshold,
+                          std::size_t max_bas = kEnumDefaultCap);
+
+/// EDgC by enumeration (treelike models).
+OptAttack edgc_enumerative(const CdpAt& m, double budget,
+                           std::size_t max_bas = kEnumDefaultCap);
+
+/// CgED by enumeration (treelike models).
+OptAttack cged_enumerative(const CdpAt& m, double threshold,
+                           std::size_t max_bas = kEnumDefaultCap);
+
+}  // namespace atcd

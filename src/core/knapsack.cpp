@@ -1,0 +1,130 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "core/bottom_up.hpp"
+
+namespace atcd {
+
+CdAt knapsack_to_cdat(const KnapsackInstance& inst) {
+  if (inst.value.size() != inst.weight.size())
+    throw ModelError("knapsack_to_cdat: value/weight size mismatch");
+  if (inst.value.empty())
+    throw ModelError("knapsack_to_cdat: empty instance");
+  CdAt m;
+  std::vector<NodeId> items;
+  for (std::size_t i = 0; i < inst.value.size(); ++i) {
+    items.push_back(m.tree.add_bas("item" + std::to_string(i)));
+    m.cost.push_back(inst.weight[i]);
+  }
+  const NodeId root = m.tree.add_gate(NodeType::AND, "knapsack", items);
+  m.tree.set_root(root);
+  m.tree.finalize();
+  m.damage.assign(m.tree.node_count(), 0.0);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    m.damage[items[i]] = inst.value[i];
+  m.validate();
+  return m;
+}
+
+OptAttack solve_knapsack_via_at(const KnapsackInstance& inst) {
+  return dgc_bottom_up(knapsack_to_cdat(inst), inst.capacity);
+}
+
+OptAttack solve_knapsack_bruteforce(const KnapsackInstance& inst) {
+  const std::size_t n = inst.value.size();
+  if (n > 26) throw CapacityError("solve_knapsack_bruteforce: too many items");
+  OptAttack best;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double w = 0.0, v = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask >> i & 1) {
+        w += inst.weight[i];
+        v += inst.value[i];
+      }
+    if (w > inst.capacity) continue;
+    if (!best.feasible || v > best.damage ||
+        (v == best.damage && w < best.cost)) {
+      best = OptAttack{true, w, v, DynBitset::from_mask(n, mask)};
+    }
+  }
+  return best;
+}
+
+CdAt nondecreasing_to_cdat(std::size_t n,
+                           const std::function<double(std::uint64_t)>& f,
+                           const std::vector<double>& cost) {
+  if (n == 0 || n > 20)
+    throw ModelError("nondecreasing_to_cdat: need 1 <= n <= 20");
+  if (cost.size() != n)
+    throw ModelError("nondecreasing_to_cdat: cost size mismatch");
+  const std::uint64_t total = std::uint64_t{1} << n;
+
+  // Validate f and capture its table.
+  std::vector<double> table(total);
+  for (std::uint64_t mask = 0; mask < total; ++mask) table[mask] = f(mask);
+  if (table[0] != 0.0)
+    throw ModelError("nondecreasing_to_cdat: f(empty set) must be 0");
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    if (table[mask] < 0.0)
+      throw ModelError("nondecreasing_to_cdat: f must be nonnegative");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask >> i & 1)) continue;
+      if (table[mask ^ (std::uint64_t{1} << i)] > table[mask])
+        throw ModelError("nondecreasing_to_cdat: f is not nondecreasing");
+    }
+  }
+
+  // Order the subsets so that f is nondecreasing AND the order extends ⪯:
+  // sort by (f value, popcount, mask).  If x ⪯ y then f(x) <= f(y)
+  // (monotonicity) and popcount(x) <= popcount(y), so x precedes y.
+  std::vector<std::uint64_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    if (table[a] != table[b]) return table[a] < table[b];
+    const int pa = std::popcount(a), pb = std::popcount(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+  // order[0] is the empty set (f = 0, popcount 0).
+
+  CdAt m;
+  std::vector<NodeId> bas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bas[i] = m.tree.add_bas("x" + std::to_string(i));
+    m.cost.push_back(cost[i]);
+  }
+  // A_i = AND of the BASs in the i-th subset (skipped for the empty set:
+  // the paper's empty AND is identically true, see header).
+  std::vector<NodeId> a_nodes(total, kNoNode);
+  for (std::uint64_t k = 1; k < total; ++k) {
+    const std::uint64_t mask = order[k];
+    std::vector<NodeId> cs;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask >> i & 1) cs.push_back(bas[i]);
+    a_nodes[k] = m.tree.add_gate(NodeType::AND, "A" + std::to_string(k), cs);
+  }
+  // O_j = OR(A_i | i >= j), for j = 1..total-1 (O_0 would be identically
+  // true and carries damage f(order[0]) = 0, so it is dropped).
+  std::vector<NodeId> o_nodes;
+  std::vector<double> o_damage;
+  for (std::uint64_t j = 1; j < total; ++j) {
+    std::vector<NodeId> cs;
+    for (std::uint64_t i = j; i < total; ++i) cs.push_back(a_nodes[i]);
+    o_nodes.push_back(
+        m.tree.add_gate(NodeType::OR, "O" + std::to_string(j), cs));
+    o_damage.push_back(table[order[j]] - table[order[j - 1]]);
+  }
+  const NodeId root = m.tree.add_gate(NodeType::AND, "root", o_nodes);
+  m.tree.set_root(root);
+  m.tree.finalize();
+  m.damage.assign(m.tree.node_count(), 0.0);
+  for (std::size_t j = 0; j < o_nodes.size(); ++j)
+    m.damage[o_nodes[j]] = o_damage[j];
+  m.validate();
+  return m;
+}
+
+}  // namespace atcd

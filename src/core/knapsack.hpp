@@ -1,0 +1,56 @@
+#pragma once
+/// \file knapsack.hpp
+/// The two reductions of Sec. V relating cost-damage analysis to binary
+/// knapsack problems.
+///
+///  * Thm 1 (hardness): every binary knapsack decision problem embeds into
+///    a cd-AT of linear size — n BASs with c = weight, d = value, under a
+///    zero-damage AND root — so CDDP (and hence CDPF/DgC/CgD) is
+///    NP-complete even for treelike ATs.  knapsack_to_cdat() builds the
+///    embedding; solving DgC with budget = capacity solves the knapsack.
+///
+///  * Thm 2 (expressivity): *every* nondecreasing f : B^X -> R_{>=0} with
+///    f(∅) = 0 arises as the damage function d̂ of some cd-AT, so knapsack
+///    heuristics for quadratic/cubic/submodular objectives cannot cover
+///    cost-damage analysis.  nondecreasing_to_cdat() implements the
+///    constructive proof (the A_i / O_j two-layer construction).
+///    (f(∅) = 0 is forced by the semantics: d̂(∅) = 0 in every cd-AT; the
+///    empty-AND gate the paper's proof uses for x¹ = ∅ is equivalent.)
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+
+namespace atcd {
+
+/// A 0/1 knapsack instance: maximize Σ value_i x_i s.t. Σ weight_i x_i <= capacity.
+struct KnapsackInstance {
+  std::vector<double> value;   ///< >= 0
+  std::vector<double> weight;  ///< >= 0
+  double capacity = 0.0;
+};
+
+/// Thm 1 embedding: BASs v_i with c(v_i) = weight_i, d(v_i) = value_i,
+/// root = AND(v_1..v_n) with d(root) = 0.
+CdAt knapsack_to_cdat(const KnapsackInstance& inst);
+
+/// Solves the knapsack by running DgC (bottom-up engine) on the Thm 1
+/// embedding with budget = capacity.  The witness bits are the chosen items.
+OptAttack solve_knapsack_via_at(const KnapsackInstance& inst);
+
+/// Reference O(2^n) knapsack solver for cross-checks.
+OptAttack solve_knapsack_bruteforce(const KnapsackInstance& inst);
+
+/// Thm 2 construction for f given as a truth-table over n <= 20 items:
+/// f(mask) is the value of the subset encoded by mask.  Requirements
+/// checked: f nondecreasing w.r.t. ⊆, f >= 0, f(0) = 0.  The i-th BAS
+/// gets cost cost[i] (damage 0).  The resulting model has 2^{n+1} + n - 1
+/// nodes and satisfies total_damage == f on every attack.
+CdAt nondecreasing_to_cdat(std::size_t n,
+                           const std::function<double(std::uint64_t)>& f,
+                           const std::vector<double>& cost);
+
+}  // namespace atcd

@@ -1,0 +1,17 @@
+#pragma once
+/// \file opt_result.hpp
+/// Result type of the single-objective problems DgC / CgD / EDgC / CgED.
+
+#include "at/structure.hpp"
+
+namespace atcd {
+
+/// Outcome of a constrained optimization over attacks.
+struct OptAttack {
+  bool feasible = false;  ///< false iff no attack satisfies the constraint
+  double cost = 0.0;      ///< ĉ(witness)
+  double damage = 0.0;    ///< d̂(witness) or d̂_E(witness)
+  Attack witness;         ///< an optimal attack (empty when infeasible)
+};
+
+}  // namespace atcd

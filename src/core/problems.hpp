@@ -1,0 +1,51 @@
+#pragma once
+/// \file problems.hpp
+/// Unified front-end for the six cost-damage problems of the paper.
+///
+/// Engine::Auto picks the strongest applicable method (Table I of the
+/// paper, extended by our BDD fallback for its open problem):
+///
+///                 | treelike            | DAG-like
+///   deterministic | bottom-up (Thm 4)   | BILP (Thm 6)
+///   probabilistic | bottom-up (Thm 9)   | BDD + enumeration (exact,
+///                 |                     |   exponential, capacity-guarded)
+///
+/// Explicit engines are available for cross-validation and benchmarks.
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+enum class Engine {
+  Auto,         ///< strongest applicable method (see table above)
+  Enumerative,  ///< 2^|B| baseline (Sec. X), capacity-guarded
+  BottomUp,     ///< treelike only (Thms 3-4, 8-9)
+  Bilp,         ///< deterministic only (Thms 6-7)
+  Bdd,          ///< exact probabilistic DAG fallback, capacity-guarded
+};
+
+const char* to_string(Engine e);
+
+/// CDPF: the cost-damage Pareto front  min ⊑ (ĉ, d̂)(A).
+Front2d cdpf(const CdAt& m, Engine engine = Engine::Auto);
+
+/// DgC: max d̂(x) subject to ĉ(x) <= budget.
+OptAttack dgc(const CdAt& m, double budget, Engine engine = Engine::Auto);
+
+/// CgD: min ĉ(x) subject to d̂(x) >= threshold.  Infeasible result when
+/// threshold exceeds the maximal damage.
+OptAttack cgd(const CdAt& m, double threshold, Engine engine = Engine::Auto);
+
+/// CEDPF: the cost-expected-damage Pareto front  min ⊑ (ĉ, d̂_E)(A).
+Front2d cedpf(const CdpAt& m, Engine engine = Engine::Auto);
+
+/// EDgC: max d̂_E(x) subject to ĉ(x) <= budget.
+OptAttack edgc(const CdpAt& m, double budget, Engine engine = Engine::Auto);
+
+/// CgED: min ĉ(x) subject to d̂_E(x) >= threshold.
+OptAttack cged(const CdpAt& m, double threshold,
+               Engine engine = Engine::Auto);
+
+}  // namespace atcd

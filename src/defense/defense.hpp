@@ -1,0 +1,84 @@
+#pragma once
+/// \file defense.hpp
+/// Defender-side countermeasure selection on top of cost-damage analysis.
+///
+/// The paper's case study reads its Pareto fronts as defense advice
+/// ("security improvements should focus on ...; after defenses are put in
+/// place, a new cost-damage analysis is needed").  This module closes
+/// that loop: given a catalogue of countermeasures — each with a
+/// deployment cost, each hardening a set of BASs — it searches defense
+/// portfolios and scores every portfolio by the *residual risk*, i.e. the
+/// attacker's DgC value on the hardened model.
+///
+/// Hardening semantics: a hardened BAS becomes unattractive rather than
+/// structurally removed — its cost is multiplied by `cost_factor` (or
+/// made unaffordable with `cost_factor = infinity`) and, in probabilistic
+/// models, its success probability is multiplied by `prob_factor`.
+/// Structural removal would be wrong for AND-gates (removing a child
+/// conjunct *helps* the attacker).
+///
+/// Outputs the defense-cost / residual-damage Pareto front: the defender
+/// analogue of CDPF.  Exhaustive over portfolios (catalogues are small in
+/// practice; capacity-guarded) with an optional greedy mode for larger
+/// catalogues.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/cdat.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd::defense {
+
+/// One deployable countermeasure.
+struct Countermeasure {
+  std::string name;
+  double cost = 0.0;                      ///< deployment cost
+  std::vector<std::string> hardened_bas;  ///< BAS names it hardens
+};
+
+struct HardeningSemantics {
+  /// Multiplier on the cost of a hardened BAS; infinity = infeasible.
+  double cost_factor = std::numeric_limits<double>::infinity();
+  /// Multiplier on the success probability (probabilistic models).
+  double prob_factor = 0.0;
+};
+
+/// A point of the defender front.
+struct DefensePoint {
+  double defense_cost = 0.0;
+  double residual_damage = 0.0;  ///< attacker's DgC on the hardened model
+  std::vector<std::string> portfolio;  ///< countermeasure names
+};
+
+struct DefenseOptions {
+  /// The attacker budget used to evaluate residual damage (DgC's U).
+  double attacker_budget = std::numeric_limits<double>::infinity();
+  HardeningSemantics semantics;
+  /// Exhaustive search cap: 2^|catalogue| portfolios.
+  std::size_t max_exhaustive = 16;
+};
+
+/// Applies a set of countermeasures to a model.
+CdAt harden(const CdAt& m, const std::vector<Countermeasure>& catalogue,
+            const std::vector<bool>& selected, const HardeningSemantics& s);
+CdpAt harden(const CdpAt& m, const std::vector<Countermeasure>& catalogue,
+             const std::vector<bool>& selected, const HardeningSemantics& s);
+
+/// The defender's Pareto front (defense cost vs residual damage), by
+/// exhaustive portfolio enumeration.  Throws CapacityError beyond
+/// opt.max_exhaustive countermeasures.
+std::vector<DefensePoint> defense_front(
+    const CdAt& m, const std::vector<Countermeasure>& catalogue,
+    const DefenseOptions& opt = {});
+
+/// Greedy portfolio for a defense budget: repeatedly add the
+/// countermeasure with the best residual-damage reduction per cost until
+/// the budget is exhausted.  Not optimal (set-cover-like), but scales;
+/// returns the greedy sequence with intermediate residuals.
+std::vector<DefensePoint> greedy_defense(
+    const CdAt& m, const std::vector<Countermeasure>& catalogue,
+    double defense_budget, const DefenseOptions& opt = {});
+
+}  // namespace atcd::defense

@@ -1,0 +1,252 @@
+#include "ga/nsga2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace atcd::ga {
+namespace {
+
+struct Individual {
+  Attack genes;
+  CdPoint value;        // (cost, damage); damage maximized
+  std::size_t rank = 0;
+  double crowding = 0.0;
+};
+
+/// a Pareto-dominates b (min cost, max damage).
+bool dom(const Individual& a, const Individual& b) {
+  return dominates(a.value, b.value);
+}
+
+/// Fast nondominated sorting; fills ranks and returns the fronts.
+std::vector<std::vector<std::size_t>> sort_fronts(
+    std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dom(pop[i], pop[j]))
+        dominated_by[i].push_back(j);
+      else if (dom(pop[j], pop[i]))
+        ++count[i];
+    }
+    if (count[i] == 0) {
+      pop[i].rank = 0;
+      fronts[0].push_back(i);
+    }
+  }
+  std::size_t k = 0;
+  while (!fronts[k].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : fronts[k]) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--count[j] == 0) {
+          pop[j].rank = k + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    fronts.push_back(std::move(next));
+    ++k;
+  }
+  fronts.pop_back();  // last one is empty
+  return fronts;
+}
+
+void assign_crowding(std::vector<Individual>& pop,
+                     const std::vector<std::size_t>& front) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i : front) pop[i].crowding = 0.0;
+  if (front.size() <= 2) {
+    for (std::size_t i : front) pop[i].crowding = inf;
+    return;
+  }
+  // Objective 1: cost (min).  Objective 2: damage (max) — same sweep.
+  for (int obj = 0; obj < 2; ++obj) {
+    auto key = [obj](const Individual& ind) {
+      return obj == 0 ? ind.value.cost : ind.value.damage;
+    };
+    std::vector<std::size_t> order = front;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return key(pop[a]) < key(pop[b]);
+    });
+    const double span = key(pop[order.back()]) - key(pop[order.front()]);
+    pop[order.front()].crowding = inf;
+    pop[order.back()].crowding = inf;
+    if (span <= 0.0) continue;
+    for (std::size_t k = 1; k + 1 < order.size(); ++k)
+      pop[order[k]].crowding +=
+          (key(pop[order[k + 1]]) - key(pop[order[k - 1]])) / span;
+  }
+}
+
+/// Crowded-comparison operator of NSGA-II.
+bool crowded_less(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace
+
+Front2d nsga2_front(std::size_t num_bas,
+                    const std::function<CdPoint(const Attack&)>& evaluate,
+                    const Nsga2Options& opt) {
+  Rng rng(opt.seed);
+  const double pm =
+      opt.mutation_rate > 0.0
+          ? opt.mutation_rate
+          : 1.0 / static_cast<double>(std::max<std::size_t>(1, num_bas));
+  const std::size_t pop_size = std::max<std::size_t>(4, opt.population);
+
+  auto make_individual = [&](Attack a) {
+    Individual ind;
+    ind.value = evaluate(a);
+    ind.genes = std::move(a);
+    return ind;
+  };
+
+  // Initial population: random density per individual + the empty attack.
+  std::vector<Individual> pop;
+  pop.reserve(pop_size);
+  pop.push_back(make_individual(Attack(num_bas)));
+  while (pop.size() < pop_size) {
+    const double density = rng.uniform();
+    Attack a(num_bas);
+    for (std::size_t i = 0; i < num_bas; ++i)
+      if (rng.chance(density)) a.set(i);
+    pop.push_back(make_individual(std::move(a)));
+  }
+
+  std::vector<FrontPoint> archive;
+  auto archive_front = [&]() {
+    return Front2d::of_candidates(archive);
+  };
+  auto push_archive = [&](const Individual& ind) {
+    archive.push_back({ind.value, ind.genes});
+  };
+  for (const auto& ind : pop) push_archive(ind);
+  // Keep the archive compact as it grows.
+  auto compact_archive = [&]() {
+    if (archive.size() > 4 * pop_size) {
+      auto f = archive_front();
+      archive.assign(f.points().begin(), f.points().end());
+    }
+  };
+
+  auto fronts = sort_fronts(pop);
+  for (const auto& f : fronts) assign_crowding(pop, f);
+
+  for (std::size_t gen = 0; gen < opt.generations; ++gen) {
+    // Binary tournaments + uniform crossover + bit mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(pop_size);
+    auto tournament = [&]() -> const Individual& {
+      const auto& a = pop[rng.below(pop.size())];
+      const auto& b = pop[rng.below(pop.size())];
+      return crowded_less(a, b) ? a : b;
+    };
+    while (offspring.size() < pop_size) {
+      const Individual& p1 = tournament();
+      const Individual& p2 = tournament();
+      Attack child(num_bas);
+      if (rng.chance(opt.crossover_rate)) {
+        for (std::size_t i = 0; i < num_bas; ++i)
+          child.set(i, (rng.chance(0.5) ? p1 : p2).genes.test(i));
+      } else {
+        child = p1.genes;
+      }
+      for (std::size_t i = 0; i < num_bas; ++i)
+        if (rng.chance(pm)) child.set(i, !child.test(i));
+      offspring.push_back(make_individual(std::move(child)));
+      push_archive(offspring.back());
+    }
+    compact_archive();
+
+    // Environmental selection over parents + offspring.
+    for (auto& o : offspring) pop.push_back(std::move(o));
+    fronts = sort_fronts(pop);
+    for (const auto& f : fronts) assign_crowding(pop, f);
+    std::vector<Individual> next;
+    next.reserve(pop_size);
+    for (const auto& f : fronts) {
+      if (next.size() + f.size() <= pop_size) {
+        for (std::size_t i : f) next.push_back(std::move(pop[i]));
+      } else {
+        std::vector<std::size_t> rest = f;
+        std::sort(rest.begin(), rest.end(), [&](std::size_t a, std::size_t b) {
+          return crowded_less(pop[a], pop[b]);
+        });
+        for (std::size_t i : rest) {
+          if (next.size() >= pop_size) break;
+          next.push_back(std::move(pop[i]));
+        }
+      }
+      if (next.size() >= pop_size) break;
+    }
+    pop = std::move(next);
+    fronts = sort_fronts(pop);
+    for (const auto& f : fronts) assign_crowding(pop, f);
+  }
+
+  return archive_front();
+}
+
+Front2d nsga2_cdpf(const CdAt& m, const Nsga2Options& opt) {
+  m.validate();
+  return nsga2_front(
+      m.tree.bas_count(),
+      [&m](const Attack& x) {
+        return CdPoint{total_cost(m, x), total_damage(m, x)};
+      },
+      opt);
+}
+
+Front2d nsga2_cedpf(const CdpAt& m, const Nsga2Options& opt) {
+  m.validate();
+  return nsga2_front(
+      m.tree.bas_count(),
+      [&m](const Attack& x) {
+        return CdPoint{total_cost(m, x), expected_damage(m, x)};
+      },
+      opt);
+}
+
+double front_coverage(const Front2d& exact, const Front2d& approx,
+                      double tol) {
+  if (exact.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& e : exact) {
+    for (const auto& a : approx) {
+      if (std::abs(a.value.cost - e.value.cost) <= tol &&
+          std::abs(a.value.damage - e.value.damage) <= tol) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
+double hypervolume(const Front2d& front, double ref_cost, double ref_damage) {
+  // Points sorted by ascending cost & damage; each step [c_i, c_{i+1})
+  // contributes its damage above the reference.
+  double hv = 0.0;
+  const auto& pts = front.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double next_cost =
+        i + 1 < pts.size() ? pts[i + 1].value.cost : ref_cost;
+    const double width = std::max(0.0, std::min(next_cost, ref_cost) -
+                                           pts[i].value.cost);
+    const double height = std::max(0.0, pts[i].value.damage - ref_damage);
+    hv += width * height;
+  }
+  return hv;
+}
+
+}  // namespace atcd::ga

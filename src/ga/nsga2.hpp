@@ -1,0 +1,59 @@
+#pragma once
+/// \file nsga2.hpp
+/// NSGA-II [31] approximation of the cost-damage Pareto front.
+///
+/// The paper's conclusion proposes comparing its provably optimal methods
+/// against a genetic multi-objective optimizer; this module provides that
+/// comparator (exercised by bench/ablation_nsga2_vs_exact).  Individuals
+/// are attacks (bit vectors over the BASs); objectives are
+/// (ĉ(x), −d̂(x)) (or expected damage).  Standard NSGA-II machinery:
+/// fast nondominated sorting, crowding distance, binary tournament,
+/// uniform crossover, per-bit mutation, plus an external archive so the
+/// returned front never degrades across generations.
+///
+/// The result is an *approximation*: every returned point is attainable
+/// (witnesses are real attacks) but the front may be incomplete or
+/// dominated by the exact front.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/cdat.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd::ga {
+
+struct Nsga2Options {
+  std::size_t population = 80;
+  std::size_t generations = 60;
+  double crossover_rate = 0.9;
+  /// Per-bit mutation probability; <= 0 means 1/|B|.
+  double mutation_rate = -1.0;
+  std::uint64_t seed = 0xA7C0DD;
+};
+
+/// Approximates CDPF of a deterministic model.
+Front2d nsga2_cdpf(const CdAt& m, const Nsga2Options& opt = {});
+
+/// Approximates CEDPF of a treelike probabilistic model.
+Front2d nsga2_cedpf(const CdpAt& m, const Nsga2Options& opt = {});
+
+/// Generic entry point: any evaluation function attack -> (cost, damage).
+Front2d nsga2_front(std::size_t num_bas,
+                    const std::function<CdPoint(const Attack&)>& evaluate,
+                    const Nsga2Options& opt);
+
+/// Quality indicators for comparing an approximation against the exact
+/// front (used by the ablation bench).
+
+/// Fraction of exact-front points matched exactly (same cost & damage
+/// within tol) by the approximation.
+double front_coverage(const Front2d& exact, const Front2d& approx,
+                      double tol = 1e-9);
+
+/// 2-D hypervolume dominated by the front w.r.t. a reference point
+/// (ref_cost >= all costs, ref_damage <= all damages; damage is maximized
+/// so the volume is Σ over steps of (Δcost · (damage - ref_damage))).
+double hypervolume(const Front2d& front, double ref_cost, double ref_damage);
+
+}  // namespace atcd::ga

@@ -1,0 +1,180 @@
+#include "gen/literature.hpp"
+
+namespace atcd::gen {
+namespace {
+
+using NT = NodeType;
+
+/// Small helper DSL: bas(i) names leaves b0..bk, gates get g-names.
+struct B {
+  AttackTree t;
+  int next_bas = 0, next_gate = 0;
+  NodeId bas() { return t.add_bas("b" + std::to_string(next_bas++)); }
+  NodeId gate(NT type, std::vector<NodeId> cs) {
+    return t.add_gate(type, "g" + std::to_string(next_gate++), std::move(cs));
+  }
+  AttackTree done(NodeId root) {
+    t.set_root(root);
+    t.finalize();
+    return std::move(t);
+  }
+};
+
+// [11] Kumar et al., Fig. 1 — 12 nodes, DAG (b1 shared).
+AttackTree kumar_fig1() {
+  B b;
+  const auto a0 = b.bas(), a1 = b.bas(), a2 = b.bas(), a3 = b.bas(),
+             a4 = b.bas(), a5 = b.bas();
+  const auto g1 = b.gate(NT::AND, {a0, a1});
+  const auto g2 = b.gate(NT::OR, {a1, a2});  // a1 shared -> DAG
+  const auto g3 = b.gate(NT::AND, {a3, a4});
+  const auto g4 = b.gate(NT::OR, {g3, a5});
+  const auto g5 = b.gate(NT::AND, {g1, g2});
+  return b.done(b.gate(NT::OR, {g5, g4}));
+}
+
+// [11] Kumar et al., Fig. 8 — 20 nodes, DAG (b2 shared).
+AttackTree kumar_fig8() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 10; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1]});
+  const auto g2 = b.gate(NT::OR, {a[2], a[3]});
+  const auto g3 = b.gate(NT::AND, {g2, a[4]});
+  const auto g4 = b.gate(NT::OR, {a[5], a[6]});
+  const auto g5 = b.gate(NT::AND, {g4, a[7]});
+  const auto g6 = b.gate(NT::OR, {g1, g3});
+  const auto g7 = b.gate(NT::AND, {a[8], a[9]});
+  const auto g8 = b.gate(NT::OR, {g5, g7});
+  const auto g9 = b.gate(NT::AND, {g6, a[2]});  // a2 shared -> DAG
+  return b.done(b.gate(NT::OR, {g8, g9}));
+}
+
+// [11] Kumar et al., Fig. 9 — 12 nodes, DAG (b1, b3 shared).
+AttackTree kumar_fig9() {
+  B b;
+  const auto a0 = b.bas(), a1 = b.bas(), a2 = b.bas(), a3 = b.bas(),
+             a4 = b.bas(), a5 = b.bas();
+  const auto g1 = b.gate(NT::OR, {a0, a1});
+  const auto g2 = b.gate(NT::OR, {a1, a2});  // a1 shared
+  const auto g3 = b.gate(NT::AND, {a3, a4});
+  const auto g4 = b.gate(NT::AND, {g1, g2});
+  const auto g5 = b.gate(NT::OR, {g3, a3});  // a3 shared
+  return b.done(b.gate(NT::AND, {g4, g5, a5}));
+}
+
+// [8] Arnold et al. (SAFECOMP'15), Fig. 1 — 16 nodes, DAG.
+AttackTree arnold15_fig1() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 8; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1]});
+  const auto g2 = b.gate(NT::OR, {a[2], a[3]});
+  const auto g3 = b.gate(NT::AND, {a[4], g2});
+  const auto g4 = b.gate(NT::OR, {a[5], a[6]});
+  const auto g5 = b.gate(NT::AND, {g4, a[7]});
+  const auto g6 = b.gate(NT::OR, {g1, g3, g2});  // g2 shared -> DAG
+  const auto g7 = b.gate(NT::AND, {g5, g6});
+  return b.done(b.gate(NT::OR, {g7, g3}));  // g3 shared
+}
+
+// [17] Kordy & Wideł, Fig. 1 (attack part) — 15 nodes, treelike.
+AttackTree kordy_fig1() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 8; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1]});
+  const auto g2 = b.gate(NT::OR, {a[2], a[3]});
+  const auto g3 = b.gate(NT::AND, {a[4], a[5]});
+  const auto g4 = b.gate(NT::OR, {a[6], a[7]});
+  const auto g5 = b.gate(NT::OR, {g1, g2});
+  const auto g6 = b.gate(NT::AND, {g3, g4});
+  return b.done(b.gate(NT::OR, {g5, g6}));
+}
+
+// [40] Arnold et al. (POST'14), Fig. 3 — 8 nodes, treelike.
+AttackTree arnold14_fig3() {
+  B b;
+  const auto a0 = b.bas(), a1 = b.bas(), a2 = b.bas(), a3 = b.bas(),
+             a4 = b.bas();
+  const auto g1 = b.gate(NT::AND, {a0, a1});
+  const auto g2 = b.gate(NT::OR, {a2, a3, a4});
+  return b.done(b.gate(NT::OR, {g1, g2}));
+}
+
+// [40] Arnold et al. (POST'14), Fig. 5 — 21 nodes, treelike.
+AttackTree arnold14_fig5() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 11; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1]});
+  const auto g2 = b.gate(NT::OR, {a[2], a[3]});
+  const auto g3 = b.gate(NT::AND, {a[4], a[5]});
+  const auto g4 = b.gate(NT::OR, {a[6], a[7]});
+  const auto g5 = b.gate(NT::AND, {a[8], a[9], a[10]});
+  const auto g6 = b.gate(NT::OR, {g1, g2});
+  const auto g7 = b.gate(NT::AND, {g3, g4});
+  const auto g8 = b.gate(NT::OR, {g7, g5});
+  const auto g9 = b.gate(NT::AND, {g6, g8});
+  return b.done(b.gate(NT::OR, {g9}));
+}
+
+// [40] Arnold et al. (POST'14), Fig. 7 — 25 nodes, treelike.
+AttackTree arnold14_fig7() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 13; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1]});
+  const auto g2 = b.gate(NT::OR, {a[2], a[3]});
+  const auto g3 = b.gate(NT::AND, {a[4], a[5]});
+  const auto g4 = b.gate(NT::OR, {a[6], a[7]});
+  const auto g5 = b.gate(NT::AND, {a[8], a[9]});
+  const auto g6 = b.gate(NT::OR, {a[10], a[11]});
+  const auto g7 = b.gate(NT::OR, {g1, g2});
+  const auto g8 = b.gate(NT::AND, {g3, g4});
+  const auto g9 = b.gate(NT::OR, {g5, g6});
+  const auto g10 = b.gate(NT::AND, {g7, g8});
+  const auto g11 = b.gate(NT::OR, {g9, a[12]});
+  return b.done(b.gate(NT::AND, {g10, g11}));
+}
+
+// [41] Fraile et al. ATM case study, Fig. 2 (attack part) — 20 nodes, tree.
+AttackTree fraile_fig2() {
+  B b;
+  std::vector<NodeId> a;
+  for (int i = 0; i < 11; ++i) a.push_back(b.bas());
+  const auto g1 = b.gate(NT::AND, {a[0], a[1], a[2]});
+  const auto g2 = b.gate(NT::OR, {a[3], a[4]});
+  const auto g3 = b.gate(NT::AND, {a[5], a[6]});
+  const auto g4 = b.gate(NT::OR, {a[7], a[8], a[9]});
+  const auto g5 = b.gate(NT::OR, {g1, g2});
+  const auto g6 = b.gate(NT::AND, {g3, g4});
+  const auto g7 = b.gate(NT::AND, {g6, a[10]});
+  const auto g8 = b.gate(NT::OR, {g5, g7});
+  return b.done(b.gate(NT::OR, {g8}));
+}
+
+}  // namespace
+
+std::vector<Block> literature_blocks() {
+  std::vector<Block> blocks;
+  blocks.push_back({"kumar_fig1", false, kumar_fig1()});
+  blocks.push_back({"kumar_fig8", false, kumar_fig8()});
+  blocks.push_back({"kumar_fig9", false, kumar_fig9()});
+  blocks.push_back({"arnold15_fig1", false, arnold15_fig1()});
+  blocks.push_back({"kordy_fig1", true, kordy_fig1()});
+  blocks.push_back({"arnold14_fig3", true, arnold14_fig3()});
+  blocks.push_back({"arnold14_fig5", true, arnold14_fig5()});
+  blocks.push_back({"arnold14_fig7", true, arnold14_fig7()});
+  blocks.push_back({"fraile_fig2", true, fraile_fig2()});
+  return blocks;
+}
+
+std::vector<Block> literature_blocks_treelike() {
+  std::vector<Block> out;
+  for (auto& b : literature_blocks())
+    if (b.treelike) out.push_back(std::move(b));
+  return out;
+}
+
+}  // namespace atcd::gen

@@ -1,0 +1,39 @@
+#pragma once
+/// \file literature.hpp
+/// The nine literature attack trees of the paper's Table IV, used as
+/// building blocks for the random AT suites of Sec. X-D.
+///
+/// The cited figures ([11] Figs. 1/8/9, [8] Fig. 1, [17] Fig. 1,
+/// [40] Figs. 3/5/7, [41] Fig. 2) are not reproducible from the paper's
+/// text, so these are structurally representative stand-ins with the
+/// *exact* node counts and tree/DAG shapes of Table IV — the only
+/// properties the suite generator consumes (documented substitution,
+/// DESIGN.md §2).
+///
+///   name              |N| | shape
+///   kumar_fig1         12 | DAG          arnold14_fig3    8 | tree
+///   kumar_fig8         20 | DAG          arnold14_fig5   21 | tree
+///   kumar_fig9         12 | DAG          arnold14_fig7   25 | tree
+///   arnold15_fig1      16 | DAG          fraile_fig2     20 | tree
+///   kordy_fig1         15 | tree
+
+#include <vector>
+
+#include "at/attack_tree.hpp"
+
+namespace atcd::gen {
+
+/// A named building block.
+struct Block {
+  const char* name;
+  bool treelike;
+  AttackTree tree;
+};
+
+/// All nine blocks of Table IV (finalized trees).
+std::vector<Block> literature_blocks();
+
+/// Only the treelike blocks (used for the Ttree suite).
+std::vector<Block> literature_blocks_treelike();
+
+}  // namespace atcd::gen

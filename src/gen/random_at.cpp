@@ -1,0 +1,125 @@
+#include "gen/random_at.hpp"
+
+#include <unordered_map>
+
+namespace atcd::gen {
+namespace {
+
+/// Copies every node of \p src into \p dst, prefixing names with \p tag.
+/// \p override_map (src NodeId -> existing dst NodeId) redirects selected
+/// source nodes to nodes already present in dst (leaf substitution /
+/// identification).  Returns the full src -> dst id map.
+std::vector<NodeId> copy_into(
+    AttackTree& dst, const AttackTree& src, const std::string& tag,
+    const std::unordered_map<NodeId, NodeId>& override_map) {
+  std::vector<NodeId> map(src.node_count(), kNoNode);
+  for (NodeId v : src.topological_order()) {
+    if (const auto it = override_map.find(v); it != override_map.end()) {
+      map[v] = it->second;
+      continue;
+    }
+    const auto& n = src.node(v);
+    if (n.type == NodeType::BAS) {
+      map[v] = dst.add_bas(tag + n.name);
+    } else {
+      std::vector<NodeId> cs;
+      cs.reserve(n.children.size());
+      for (NodeId c : n.children) cs.push_back(map[c]);
+      map[v] = dst.add_gate(n.type, tag + n.name, cs);
+    }
+  }
+  return map;
+}
+
+NodeId random_bas(const AttackTree& t, Rng& rng) {
+  return t.bas_id(static_cast<std::uint32_t>(rng.below(t.bas_count())));
+}
+
+NodeType random_gate_type(Rng& rng) {
+  return rng.chance(0.5) ? NodeType::OR : NodeType::AND;
+}
+
+}  // namespace
+
+AttackTree combine(const AttackTree& a, const AttackTree& b,
+                   CombineMethod method, const std::string& tag, Rng& rng) {
+  if (!a.finalized() || !b.finalized())
+    throw ModelError("gen::combine: inputs must be finalized");
+  AttackTree out;
+
+  switch (method) {
+    case CombineMethod::LeafSubstitution: {
+      // Replace a random BAS of `a` by the root of `b`.
+      const NodeId victim = random_bas(a, rng);
+      const auto bmap = copy_into(out, b, tag + "r.", {});
+      const auto amap =
+          copy_into(out, a, tag + "l.", {{victim, bmap[b.root()]}});
+      out.set_root(amap[a.root()]);
+      break;
+    }
+    case CombineMethod::NewRoot: {
+      const auto amap = copy_into(out, a, tag + "l.", {});
+      const auto bmap = copy_into(out, b, tag + "r.", {});
+      out.set_root(out.add_gate(random_gate_type(rng), tag + "root",
+                                {amap[a.root()], bmap[b.root()]}));
+      break;
+    }
+    case CombineMethod::NewRootIdentify: {
+      const auto amap = copy_into(out, a, tag + "l.", {});
+      // Identify one random BAS of `b` with one of `a`.
+      const NodeId from_b = random_bas(b, rng);
+      const NodeId into_a = amap[random_bas(a, rng)];
+      const auto bmap = copy_into(out, b, tag + "r.", {{from_b, into_a}});
+      out.set_root(out.add_gate(random_gate_type(rng), tag + "root",
+                                {amap[a.root()], bmap[b.root()]}));
+      break;
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+std::vector<SuiteEntry> make_suite(const SuiteOptions& opt, Rng& rng) {
+  const auto blocks =
+      opt.treelike ? literature_blocks_treelike() : literature_blocks();
+  if (blocks.empty()) throw ModelError("make_suite: no building blocks");
+
+  auto random_block = [&]() -> const AttackTree& {
+    return blocks[rng.below(blocks.size())].tree;
+  };
+  auto random_method = [&]() {
+    if (opt.treelike)
+      return rng.chance(0.5) ? CombineMethod::LeafSubstitution
+                             : CombineMethod::NewRoot;
+    switch (rng.below(3)) {
+      case 0:
+        return CombineMethod::LeafSubstitution;
+      case 1:
+        return CombineMethod::NewRoot;
+      default:
+        return CombineMethod::NewRootIdentify;
+    }
+  };
+
+  std::vector<SuiteEntry> suite;
+  suite.reserve(opt.max_n * opt.per_size);
+  std::size_t unique_tag = 0;
+  for (std::size_t n = 1; n <= opt.max_n; ++n) {
+    for (std::size_t k = 0; k < opt.per_size; ++k) {
+      for (;;) {  // retry if the BAS cap is exceeded
+        AttackTree t = random_block();
+        while (t.node_count() < n) {
+          const std::string tag = "c" + std::to_string(unique_tag++) + ".";
+          t = combine(t, random_block(), random_method(), tag, rng);
+        }
+        if (t.bas_count() <= opt.max_bas) {
+          suite.push_back({std::move(t), n});
+          break;
+        }
+      }
+    }
+  }
+  return suite;
+}
+
+}  // namespace atcd::gen

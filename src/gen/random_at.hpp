@@ -1,0 +1,56 @@
+#pragma once
+/// \file random_at.hpp
+/// Random attack-tree generation (paper Sec. X-D, following [39]).
+///
+/// ATs are grown by repeatedly combining literature building blocks
+/// (gen/literature.hpp) with one of three operators:
+///
+///   1. *Leaf substitution*: a random BAS of the first AT is replaced by
+///      the root of the second (joins the ATs; preserves treelikeness).
+///   2. *New root*: the two roots get a common parent of random type
+///      (preserves treelikeness).
+///   3. *New root + identification*: like 2, but additionally one random
+///      BAS from each AT is identified — the shared node makes the result
+///      DAG-shaped.
+///
+/// Suites: for every 1 <= n <= max_n, combine blocks until |N| >= n, five
+/// times per n — giving the paper's 500-AT suites Ttree (methods 1-2 over
+/// treelike blocks) and TDAG (all methods over all blocks).  Deterministic
+/// given the Rng seed.
+
+#include <vector>
+
+#include "at/attack_tree.hpp"
+#include "gen/literature.hpp"
+#include "util/rng.hpp"
+
+namespace atcd::gen {
+
+enum class CombineMethod { LeafSubstitution, NewRoot, NewRootIdentify };
+
+/// Combines two ATs with the given method.  \p tag must be unique per
+/// call site (it prefixes node names to keep them unique).  Random
+/// choices (which BAS, which gate type) come from \p rng.
+AttackTree combine(const AttackTree& a, const AttackTree& b,
+                   CombineMethod method, const std::string& tag, Rng& rng);
+
+struct SuiteOptions {
+  std::size_t max_n = 100;   ///< sizes 1..max_n
+  std::size_t per_size = 5;  ///< ATs per size target
+  bool treelike = false;     ///< Ttree (true) or TDAG (false)
+  /// Hard cap on BAS count per generated AT; combination stops growing a
+  /// model past its size target, but a block substitution can overshoot —
+  /// the cap rejects extreme outliers so downstream engines stay in range.
+  std::size_t max_bas = 192;
+};
+
+/// A generated suite entry.
+struct SuiteEntry {
+  AttackTree tree;
+  std::size_t size_target;  ///< the n this entry was generated for
+};
+
+/// Generates the suite (paper: 500 ATs for max_n=100, per_size=5).
+std::vector<SuiteEntry> make_suite(const SuiteOptions& opt, Rng& rng);
+
+}  // namespace atcd::gen

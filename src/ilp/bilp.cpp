@@ -1,0 +1,127 @@
+#include "ilp/bilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atcd::ilp {
+namespace {
+
+double dot(const std::vector<double>& c, const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) s += c[i] * x[i];
+  return s;
+}
+
+std::vector<std::pair<int, double>> dense_row(const std::vector<double>& c) {
+  std::vector<std::pair<int, double>> terms;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    if (c[i] != 0.0) terms.emplace_back(static_cast<int>(i), c[i]);
+  return terms;
+}
+
+/// Tolerance separating distinct attainable objective values, used when
+/// pinning the first objective during the lexicographic refinement.
+double lex_tolerance(const std::vector<double>& coeffs, double at) {
+  if (const auto g = detect_grid(coeffs)) return *g / 2.0;
+  return 1e-7 * (1.0 + std::abs(at));
+}
+
+std::optional<BiPoint> lex_min_impl(const lp::LinearProgram& region,
+                                    const std::vector<int>& ints,
+                                    const std::vector<double>& first,
+                                    const std::vector<double>& second,
+                                    const std::vector<double>& obj1,
+                                    const std::vector<double>& obj2,
+                                    BilpStats* stats) {
+  lp::LinearProgram prog = region;
+  for (int v = 0; v < prog.num_vars(); ++v)
+    prog.set_obj(v, first[static_cast<std::size_t>(v)]);
+  IlpResult r1 = solve(IntegerProgram{prog, ints});
+  if (stats) {
+    ++stats->ilp_solves;
+    stats->bnb_nodes += r1.nodes_explored;
+  }
+  if (r1.status == IlpStatus::Infeasible) return std::nullopt;
+  if (r1.status != IlpStatus::Optimal)
+    throw SolverError("bilp: branch-and-bound node limit reached");
+
+  const double z1 = dot(first, r1.x);
+  prog.add_row(dense_row(first), lp::Sense::LE,
+               z1 + lex_tolerance(first, z1));
+  for (int v = 0; v < prog.num_vars(); ++v)
+    prog.set_obj(v, second[static_cast<std::size_t>(v)]);
+  IlpResult r2 = solve(IntegerProgram{prog, ints});
+  if (stats) {
+    ++stats->ilp_solves;
+    stats->bnb_nodes += r2.nodes_explored;
+  }
+  if (r2.status != IlpStatus::Optimal)
+    throw SolverError("bilp: lexicographic refinement failed");
+
+  BiPoint p;
+  p.x = std::move(r2.x);
+  p.f1 = dot(obj1, p.x);
+  p.f2 = dot(obj2, p.x);
+  return p;
+}
+
+}  // namespace
+
+std::optional<double> detect_grid(const std::vector<double>& values) {
+  double g = 1.0;
+  for (int k = 0; k <= 6; ++k, g /= 10.0) {
+    bool ok = true;
+    for (double v : values) {
+      const double scaled = v / g;
+      if (std::abs(scaled - std::round(scaled)) > 1e-9 * (1.0 + std::abs(scaled))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  return std::nullopt;
+}
+
+std::optional<BiPoint> lex_min(const BiObjectiveProgram& bp, bool f1_first,
+                               BilpStats* stats) {
+  const auto& a = f1_first ? bp.obj1 : bp.obj2;
+  const auto& b = f1_first ? bp.obj2 : bp.obj1;
+  return lex_min_impl(bp.base, bp.integer_vars, a, b, bp.obj1, bp.obj2,
+                      stats);
+}
+
+std::vector<BiPoint> nondominated_set(const BiObjectiveProgram& bp,
+                                      double epsilon, BilpStats* stats) {
+  const std::size_t nv = static_cast<std::size_t>(bp.base.num_vars());
+  if (bp.obj1.size() != nv || bp.obj2.size() != nv)
+    throw SolverError("bilp: objective vector size mismatch");
+
+  if (epsilon <= 0.0) {
+    const auto g = detect_grid(bp.obj2);
+    if (!g)
+      throw SolverError(
+          "bilp: cannot derive a sweep step; obj2 coefficients are not on a "
+          "decimal grid — pass an explicit epsilon");
+    epsilon = *g / 2.0;
+  }
+
+  std::vector<BiPoint> front;
+  lp::LinearProgram region = bp.base;
+  const auto obj2_terms = dense_row(bp.obj2);
+  for (;;) {
+    // Nondominated point with the best f1 among solutions satisfying the
+    // current f2 budget; minimal f2 among those (lexicographic).
+    const auto p = lex_min_impl(region, bp.integer_vars, bp.obj1, bp.obj2,
+                                bp.obj1, bp.obj2, stats);
+    if (!p) break;
+    front.push_back(*p);
+    // Require the next point to be strictly cheaper in f2.
+    region.add_row(obj2_terms, lp::Sense::LE, p->f2 - epsilon);
+  }
+  // Produced in descending f2 (ascending f1); return ascending f2.
+  std::reverse(front.begin(), front.end());
+  return front;
+}
+
+}  // namespace atcd::ilp

@@ -1,0 +1,67 @@
+#pragma once
+/// \file bilp.hpp
+/// Biobjective integer linear programming (BILP, paper Sec. VII, eq. (6)).
+///
+/// Computes the full nondominated set of  min (f1·x, f2·x)  over an
+/// integer-feasible region by the lexicographic ε-constraint sweep used in
+/// multi-objective integer programming [Özlen & Azizoğlu, 18]:
+///
+///   1. lexicographically minimize (f1, then f2)    -> point (z1, z2)
+///   2. add the constraint f1 <= z1 - ε and repeat until infeasible.
+///
+/// Each iteration yields the next nondominated point with strictly larger
+/// f1... (strictly smaller f1 on the sweep axis), so the loop terminates
+/// after exactly |front| + 1 ILP pairs.
+///
+/// ε must separate distinct attainable f1 values.  When every f1
+/// coefficient lies on a rational grid (detect_grid()), ε = grid/2 is
+/// exact.  All models in this library have decimal costs, so the sweep is
+/// exact in practice; callers may override ε.
+
+#include <optional>
+#include <vector>
+
+#include "ilp/ilp.hpp"
+
+namespace atcd::ilp {
+
+/// A biobjective program: the feasible region of `base` (whose own
+/// objective is ignored) with integer variables, and two linear
+/// objectives to minimize.
+struct BiObjectiveProgram {
+  lp::LinearProgram base;
+  std::vector<int> integer_vars;
+  std::vector<double> obj1;  ///< dense, size == base.num_vars()
+  std::vector<double> obj2;
+};
+
+/// One nondominated point with a witness solution.
+struct BiPoint {
+  double f1 = 0.0, f2 = 0.0;
+  std::vector<double> x;
+};
+
+struct BilpStats {
+  std::size_t ilp_solves = 0;
+  std::size_t bnb_nodes = 0;
+};
+
+/// Finds the grid g in {10^0, 10^-1, ..., 10^-6} such that every value is
+/// an integer multiple of g (within 1e-9 of one); nullopt if none fits.
+std::optional<double> detect_grid(const std::vector<double>& values);
+
+/// Computes the complete nondominated set, sorted by ascending f1
+/// (descending f2).  \p epsilon: sweep step on f1; if <= 0 it is derived
+/// from detect_grid(obj1 coefficients) and a SolverError is thrown when no
+/// grid fits.
+std::vector<BiPoint> nondominated_set(const BiObjectiveProgram& bp,
+                                      double epsilon = 0.0,
+                                      BilpStats* stats = nullptr);
+
+/// Lexicographic minimum: minimize obj `first`, then obj `second` among
+/// its optima (ties broken by a second ILP with an equality-like bound).
+/// Returns nullopt when infeasible.
+std::optional<BiPoint> lex_min(const BiObjectiveProgram& bp, bool f1_first,
+                               BilpStats* stats = nullptr);
+
+}  // namespace atcd::ilp

@@ -1,0 +1,50 @@
+#pragma once
+/// \file ilp.hpp
+/// Integer linear programming by LP-based branch & bound.
+///
+/// Together with lp/lp.hpp this supplies the single-objective ILP oracle
+/// the paper takes from Gurobi (Sec. VII, Thm 7).  Scope is deliberately
+/// matched to the models this library generates: all integer variables
+/// are bounded (the AT translation uses binaries), instances have at most
+/// a few hundred variables, and no cutting planes are needed at that size.
+///
+/// Search: best-first on the LP relaxation bound, most-fractional
+/// branching, depth-first dive tie-break.  Deterministic.
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/lp.hpp"
+
+namespace atcd::ilp {
+
+/// An ILP: an LP plus the set of variables required to be integral.
+struct IntegerProgram {
+  lp::LinearProgram base;
+  std::vector<int> integer_vars;
+};
+
+enum class IlpStatus { Optimal, Infeasible, NodeLimit };
+
+const char* to_string(IlpStatus s);
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;          ///< integral entries rounded exactly
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;  ///< total simplex pivots
+};
+
+struct IlpOptions {
+  std::size_t node_limit = 1u << 20;
+  double integrality_tol = 1e-6;
+  /// Prune nodes whose bound cannot improve the incumbent by more than
+  /// this absolute amount.
+  double absolute_gap = 1e-9;
+};
+
+/// Solves min c·x over the mixed-integer feasible set.
+IlpResult solve(const IntegerProgram& ip, const IlpOptions& opt = {});
+
+}  // namespace atcd::ilp

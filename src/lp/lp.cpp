@@ -1,0 +1,290 @@
+#include "lp/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace atcd::lp {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr std::size_t kMaxIters = 200000;
+
+/// Dense simplex tableau in canonical equality form.
+///
+/// Layout: rows 0..m-1 are constraints, columns 0..n-1 are variables,
+/// column n is the right-hand side.  `basis[i]` is the variable basic in
+/// row i; basic columns are kept as unit columns.  `obj` is the reduced
+/// cost row (length n+1); obj[n] is the *negated* current objective value.
+struct Tableau {
+  std::size_t m = 0, n = 0;
+  std::vector<std::vector<double>> a;  // m x (n+1)
+  std::vector<double> obj;             // n+1
+  std::vector<int> basis;              // m
+  std::size_t iterations = 0;
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double piv = a[row][col];
+    for (double& v : a[row]) v /= piv;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == row) continue;
+      const double f = a[i][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= n; ++j) a[i][j] -= f * a[row][j];
+    }
+    const double f = obj[col];
+    if (f != 0.0)
+      for (std::size_t j = 0; j <= n; ++j) obj[j] -= f * a[row][j];
+    basis[row] = static_cast<int>(col);
+    ++iterations;
+  }
+
+  /// Runs the simplex loop.  `allowed(j)` filters entering columns (used
+  /// to ban artificials in phase 2).  Returns Optimal / Unbounded /
+  /// IterationLimit.
+  template <typename Allowed>
+  LpStatus run(Allowed&& allowed) {
+    std::size_t degenerate_streak = 0;
+    while (true) {
+      if (iterations > kMaxIters) return LpStatus::IterationLimit;
+      const bool bland = degenerate_streak > 2 * (m + n);
+
+      // Entering column: most negative reduced cost (Dantzig), or the
+      // lowest-index negative one under Bland's anti-cycling rule.
+      std::size_t enter = n;
+      double best = -kTol;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!allowed(j)) continue;
+        if (obj[j] < best) {
+          best = obj[j];
+          enter = j;
+          if (bland) break;
+        }
+      }
+      if (enter == n) return LpStatus::Optimal;
+
+      // Leaving row: minimum ratio; Bland tie-break on basis index.
+      std::size_t leave = m;
+      double best_ratio = kInf;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (a[i][enter] <= kTol) continue;
+        const double ratio = a[i][n] / a[i][enter];
+        if (ratio < best_ratio - kTol ||
+            (ratio < best_ratio + kTol && leave != m &&
+             basis[i] < basis[leave])) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == m) return LpStatus::Unbounded;
+
+      const double before = obj[n];
+      pivot(leave, enter);
+      degenerate_streak = std::abs(obj[n] - before) < kTol
+                              ? degenerate_streak + 1
+                              : 0;
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::Optimal:
+      return "optimal";
+    case LpStatus::Infeasible:
+      return "infeasible";
+    case LpStatus::Unbounded:
+      return "unbounded";
+    case LpStatus::IterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+int LinearProgram::add_var(double lo, double hi, double obj) {
+  if (!std::isfinite(lo)) throw SolverError("lp: lower bound must be finite");
+  if (hi < lo) throw SolverError("lp: empty variable domain");
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  obj_.push_back(obj);
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+void LinearProgram::add_row(std::vector<std::pair<int, double>> terms,
+                            Sense sense, double rhs) {
+  for (const auto& [v, coeff] : terms) {
+    (void)coeff;
+    if (v < 0 || v >= num_vars())
+      throw SolverError("lp: row references unknown variable");
+  }
+  rows_.push_back(Row{std::move(terms), sense, rhs});
+}
+
+void LinearProgram::set_bounds(int var, double lo, double hi) {
+  if (var < 0 || var >= num_vars()) throw SolverError("lp: unknown variable");
+  if (!std::isfinite(lo)) throw SolverError("lp: lower bound must be finite");
+  if (hi < lo) throw SolverError("lp: empty variable domain");
+  lo_[static_cast<std::size_t>(var)] = lo;
+  hi_[static_cast<std::size_t>(var)] = hi;
+}
+
+void LinearProgram::set_obj(int var, double obj) {
+  if (var < 0 || var >= num_vars()) throw SolverError("lp: unknown variable");
+  obj_[static_cast<std::size_t>(var)] = obj;
+}
+
+LpResult solve(const LinearProgram& lp) {
+  const std::size_t nv = static_cast<std::size_t>(lp.num_vars());
+
+  // Shift variables to z_j = x_j - lo_j >= 0 and turn finite upper bounds
+  // into explicit LE rows.
+  struct NormRow {
+    std::vector<double> coeff;  // dense over structural vars
+    Sense sense;
+    double rhs;
+  };
+  std::vector<NormRow> norm;
+  norm.reserve(lp.num_rows() + nv);
+  for (const auto& r : lp.rows()) {
+    NormRow nr{std::vector<double>(nv, 0.0), r.sense, r.rhs};
+    for (const auto& [v, c] : r.terms) {
+      nr.coeff[static_cast<std::size_t>(v)] += c;
+      nr.rhs -= c * lp.lower_bound(v);
+    }
+    norm.push_back(std::move(nr));
+  }
+  for (std::size_t j = 0; j < nv; ++j) {
+    const double hi = lp.upper_bound(static_cast<int>(j));
+    if (std::isfinite(hi)) {
+      NormRow nr{std::vector<double>(nv, 0.0), Sense::LE,
+                 hi - lp.lower_bound(static_cast<int>(j))};
+      nr.coeff[j] = 1.0;
+      norm.push_back(std::move(nr));
+    }
+  }
+  // Normalize signs so every rhs is >= 0.
+  for (auto& r : norm) {
+    if (r.rhs < 0.0) {
+      for (double& c : r.coeff) c = -c;
+      r.rhs = -r.rhs;
+      if (r.sense == Sense::LE)
+        r.sense = Sense::GE;
+      else if (r.sense == Sense::GE)
+        r.sense = Sense::LE;
+    }
+  }
+
+  const std::size_t m = norm.size();
+  // Column layout: [structural | slacks/surpluses | artificials].
+  std::size_t n_slack = 0, n_art = 0;
+  for (const auto& r : norm) {
+    if (r.sense != Sense::EQ) ++n_slack;
+    if (r.sense != Sense::LE) ++n_art;
+  }
+  const std::size_t n = nv + n_slack + n_art;
+  const std::size_t art_begin = nv + n_slack;
+
+  Tableau t;
+  t.m = m;
+  t.n = n;
+  t.a.assign(m, std::vector<double>(n + 1, 0.0));
+  t.basis.assign(m, -1);
+
+  std::size_t slack_at = nv, art_at = art_begin;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& r = norm[i];
+    for (std::size_t j = 0; j < nv; ++j) t.a[i][j] = r.coeff[j];
+    t.a[i][n] = r.rhs;
+    switch (r.sense) {
+      case Sense::LE:
+        t.a[i][slack_at] = 1.0;
+        t.basis[i] = static_cast<int>(slack_at++);
+        break;
+      case Sense::GE:
+        t.a[i][slack_at++] = -1.0;
+        t.a[i][art_at] = 1.0;
+        t.basis[i] = static_cast<int>(art_at++);
+        break;
+      case Sense::EQ:
+        t.a[i][art_at] = 1.0;
+        t.basis[i] = static_cast<int>(art_at++);
+        break;
+    }
+  }
+
+  LpResult result;
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  if (n_art > 0) {
+    t.obj.assign(n + 1, 0.0);
+    // Reduced costs of c1 = (0,...,0,1,...,1) w.r.t. the artificial basis:
+    // subtract every artificial-basic row from the objective row.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (static_cast<std::size_t>(t.basis[i]) >= art_begin)
+        for (std::size_t j = 0; j <= n; ++j) t.obj[j] -= t.a[i][j];
+    }
+    for (std::size_t j = art_begin; j < n; ++j) t.obj[j] += 1.0;
+
+    const LpStatus s1 = t.run([](std::size_t) { return true; });
+    if (s1 == LpStatus::IterationLimit) {
+      result.status = s1;
+      result.iterations = t.iterations;
+      return result;
+    }
+    if (-t.obj[n] > 1e-7) {  // phase-1 optimum > 0
+      result.status = LpStatus::Infeasible;
+      result.iterations = t.iterations;
+      return result;
+    }
+    // Drive remaining artificials out of the basis where possible.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (static_cast<std::size_t>(t.basis[i]) < art_begin) continue;
+      std::size_t col = n;
+      for (std::size_t j = 0; j < art_begin; ++j)
+        if (std::abs(t.a[i][j]) > 1e-7) {
+          col = j;
+          break;
+        }
+      if (col < n) t.pivot(i, col);
+      // else: redundant row; the artificial stays basic at value 0 and is
+      // banned from re-entering in phase 2.
+    }
+  }
+
+  // ---- Phase 2: original objective over the shifted variables. ----
+  t.obj.assign(n + 1, 0.0);
+  for (std::size_t j = 0; j < nv; ++j)
+    t.obj[j] = lp.objective_coeff(static_cast<int>(j));
+  // Make reduced costs of basic variables zero.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto b = static_cast<std::size_t>(t.basis[i]);
+    const double cb = b < nv ? lp.objective_coeff(static_cast<int>(b)) : 0.0;
+    if (cb != 0.0)
+      for (std::size_t j = 0; j <= n; ++j) t.obj[j] -= cb * t.a[i][j];
+  }
+
+  const LpStatus s2 =
+      t.run([art_begin](std::size_t j) { return j < art_begin; });
+  result.iterations = t.iterations;
+  if (s2 != LpStatus::Optimal) {
+    result.status = s2;
+    return result;
+  }
+
+  // Extract the solution and un-shift.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    z[static_cast<std::size_t>(t.basis[i])] = t.a[i][n];
+  result.x.resize(nv);
+  result.objective = 0.0;
+  for (std::size_t j = 0; j < nv; ++j) {
+    result.x[j] = z[j] + lp.lower_bound(static_cast<int>(j));
+    result.objective += lp.objective_coeff(static_cast<int>(j)) * result.x[j];
+  }
+  result.status = LpStatus::Optimal;
+  return result;
+}
+
+}  // namespace atcd::lp

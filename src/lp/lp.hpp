@@ -1,0 +1,81 @@
+#pragma once
+/// \file lp.hpp
+/// A small dense linear-programming solver (two-phase primal simplex).
+///
+/// This is the substrate the paper outsources to Gurobi [19] via YALMIP
+/// [21]: the BILP translation of Sec. VII needs a continuous-relaxation
+/// oracle for the branch-and-bound integer solver in ilp/ilp.hpp.  The
+/// models arising from ATs are small (|N| variables, O(|E|) rows), so a
+/// dense tableau with Bland anti-cycling is simple, robust and fast
+/// enough; no sparsity or warm-starting is attempted.
+///
+/// Model form:  minimize c·x  subject to  row_lo ⋈ a·x ⋈ row_hi  (as LE /
+/// GE / EQ rows) and per-variable bounds lo <= x <= hi (lo finite, hi may
+/// be +inf).
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace atcd::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { LE, GE, EQ };
+
+/// One linear constraint: terms · x  (sense)  rhs.
+struct Row {
+  std::vector<std::pair<int, double>> terms;  ///< (variable index, coeff)
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+};
+
+/// A linear program in minimization form.
+class LinearProgram {
+ public:
+  /// Adds a variable with bounds [lo, hi] and objective coefficient obj.
+  /// lo must be finite; hi may be kInf.  Returns the variable index.
+  int add_var(double lo, double hi, double obj);
+
+  /// Adds a constraint row.  Variable indices must exist.
+  void add_row(std::vector<std::pair<int, double>> terms, Sense sense,
+               double rhs);
+
+  /// Overrides the bounds of an existing variable (used by branch & bound).
+  void set_bounds(int var, double lo, double hi);
+
+  /// Overrides the objective coefficient of an existing variable.
+  void set_obj(int var, double obj);
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  std::size_t num_rows() const { return rows_.size(); }
+  double lower_bound(int v) const { return lo_[static_cast<std::size_t>(v)]; }
+  double upper_bound(int v) const { return hi_[static_cast<std::size_t>(v)]; }
+  double objective_coeff(int v) const {
+    return obj_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<double> lo_, hi_, obj_;
+  std::vector<Row> rows_;
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(LpStatus s);
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;       ///< valid when Optimal
+  std::vector<double> x;        ///< primal solution (original variables)
+  std::size_t iterations = 0;   ///< simplex pivots performed
+};
+
+/// Solves the LP.  Deterministic; tolerance ~1e-9.
+LpResult solve(const LinearProgram& lp);
+
+}  // namespace atcd::lp

@@ -1,0 +1,77 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace atcd::metrics {
+namespace {
+
+void require_treelike(const AttackTree& t, const char* who) {
+  if (!t.finalized()) throw ModelError(std::string(who) + ": not finalized");
+  if (!t.is_treelike())
+    throw UnsupportedError(std::string(who) +
+                           ": bottom-up single-metric evaluation is unsound "
+                           "on DAGs (shared subtrees are double-counted)");
+}
+
+/// Generic semiring sweep: leaf(v) gives BAS values; combine_or /
+/// combine_and fold child values.
+template <typename Leaf, typename Or, typename And>
+double sweep(const AttackTree& t, Leaf leaf, Or combine_or, And combine_and) {
+  std::vector<double> val(t.node_count(), 0.0);
+  for (NodeId v : t.topological_order()) {
+    const auto& n = t.node(v);
+    if (n.type == NodeType::BAS) {
+      val[v] = leaf(n.bas_index);
+    } else {
+      double acc = val[n.children[0]];
+      for (std::size_t i = 1; i < n.children.size(); ++i)
+        acc = n.type == NodeType::OR ? combine_or(acc, val[n.children[i]])
+                                     : combine_and(acc, val[n.children[i]]);
+      val[v] = acc;
+    }
+  }
+  return val[t.root()];
+}
+
+}  // namespace
+
+double min_attack_cost(const CdAt& m) {
+  m.validate();
+  require_treelike(m.tree, "min_attack_cost");
+  return sweep(
+      m.tree, [&](std::uint32_t i) { return m.cost[i]; },
+      [](double a, double b) { return std::min(a, b); },
+      [](double a, double b) { return a + b; });
+}
+
+double min_attack_skill(const AttackTree& t,
+                        const std::vector<double>& skill) {
+  require_treelike(t, "min_attack_skill");
+  if (skill.size() != t.bas_count())
+    throw ModelError("min_attack_skill: skill vector size mismatch");
+  return sweep(
+      t, [&](std::uint32_t i) { return skill[i]; },
+      [](double a, double b) { return std::min(a, b); },
+      [](double a, double b) { return std::max(a, b); });
+}
+
+double max_success_probability(const CdpAt& m) {
+  m.validate();
+  require_treelike(m.tree, "max_success_probability");
+  return sweep(
+      m.tree, [&](std::uint32_t i) { return m.prob[i]; },
+      [](double a, double b) { return std::max(a, b); },
+      [](double a, double b) { return a * b; });
+}
+
+double all_in_success_probability(const CdpAt& m) {
+  m.validate();
+  require_treelike(m.tree, "all_in_success_probability");
+  return sweep(
+      m.tree, [&](std::uint32_t i) { return m.prob[i]; },
+      [](double a, double b) { return a + b - a * b; },
+      [](double a, double b) { return a * b; });
+}
+
+}  // namespace atcd::metrics

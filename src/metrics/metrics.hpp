@@ -1,0 +1,48 @@
+#pragma once
+/// \file metrics.hpp
+/// Classic single-valued attack-tree metrics, for context around the
+/// paper's cost-damage analysis (its Related Work surveys them: min cost
+/// [25], bottom-up single metrics [12], success probability [36]).
+///
+/// These are the metrics that DO admit a simple bottom-up evaluation on
+/// treelike ATs, because a *single* semiring value per node suffices —
+/// precisely what fails for cost-damage (the paper's Sec. VI shows a full
+/// triple front must be propagated).  Keeping them side by side makes
+/// the contrast concrete, and the library useful for routine AT work:
+///
+///   metric           | OR    | AND   | BAS value      | restriction
+///   min_attack_cost  | min   | +     | c(v)           | none (tree); BDD for DAG
+///   min_attack_skill | min   | max   | skill(v)       | treelike
+///   max_success_prob | max   | *     | p(v)           | treelike
+///   all_in_success_p | p⋆q   | *     | p(v)           | treelike (all BASs attempted)
+///
+/// All functions reject DAG input (UnsupportedError) unless stated —
+/// bottom-up double-counts shared subtrees, the same failure mode the
+/// paper handles with BILP.  min_cost_of_successful_attack() in
+/// bdd/at_bdd.hpp is the DAG-safe alternative for min cost.
+
+#include <vector>
+
+#include "core/cdat.hpp"
+
+namespace atcd::metrics {
+
+/// Minimal total BAS cost over successful attacks (root reached);
+/// +infinity if the root is unreachable (cannot happen on valid ATs).
+/// Treelike only.
+double min_attack_cost(const CdAt& m);
+
+/// Minimal "maximum skill along the attack" over successful attacks:
+/// OR = min, AND = max.  \p skill indexed by BAS index.  Treelike only.
+double min_attack_skill(const AttackTree& t, const std::vector<double>& skill);
+
+/// Maximal probability that a *single-path* attack succeeds: the best
+/// choice at every OR gate, product at AND gates.  Treelike only.
+double max_success_probability(const CdpAt& m);
+
+/// Probability the root is reached when every BAS is attempted.
+/// Treelike only (use root_reach_probability_all_in() from bdd/at_bdd.hpp
+/// for DAGs).
+double all_in_success_probability(const CdpAt& m);
+
+}  // namespace atcd::metrics

@@ -1,0 +1,65 @@
+#include "pareto/front2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace atcd {
+
+Front2d Front2d::of_candidates(std::vector<FrontPoint> candidates) {
+  // Sort by (cost asc, damage desc); a left-to-right sweep keeping points
+  // of strictly increasing damage then yields exactly the minimal,
+  // value-deduplicated elements.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const FrontPoint& a, const FrontPoint& b) {
+                     if (a.value.cost != b.value.cost)
+                       return a.value.cost < b.value.cost;
+                     return a.value.damage > b.value.damage;
+                   });
+  Front2d f;
+  double best_damage = -1.0;
+  for (auto& p : candidates) {
+    if (p.value.damage > best_damage) {
+      best_damage = p.value.damage;
+      f.points_.push_back(std::move(p));
+    }
+  }
+  return f;
+}
+
+const FrontPoint* Front2d::max_damage_within_cost(double budget) const {
+  const FrontPoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (p.value.cost > budget) break;  // sorted by cost
+    best = &p;                         // damage ascends along the front
+  }
+  return best;
+}
+
+const FrontPoint* Front2d::min_cost_with_damage(double threshold) const {
+  for (const auto& p : points_)
+    if (p.value.damage >= threshold) return &p;  // first = cheapest
+  return nullptr;
+}
+
+bool Front2d::same_values(const Front2d& other, double tol) const {
+  if (points_.size() != other.points_.size()) return false;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (std::abs(points_[i].value.cost - other.points_[i].value.cost) > tol)
+      return false;
+    if (std::abs(points_[i].value.damage - other.points_[i].value.damage) >
+        tol)
+      return false;
+  }
+  return true;
+}
+
+std::string Front2d::to_string() const {
+  std::ostringstream out;
+  for (const auto& p : points_)
+    out << p.value.cost << '\t' << p.value.damage << '\t'
+        << p.witness.to_string() << '\n';
+  return out.str();
+}
+
+}  // namespace atcd

@@ -1,0 +1,100 @@
+#include "pareto/io.hpp"
+
+#include <sstream>
+
+#include "at/structure.hpp"
+#include "util/error.hpp"
+
+namespace atcd {
+namespace {
+
+std::string attack_field(const DynBitset& w, const AttackTree* tree) {
+  std::string out;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (!w.test(i)) continue;
+    if (!out.empty()) out += '+';
+    out += tree ? tree->name(tree->bas_id(static_cast<std::uint32_t>(i)))
+                : std::to_string(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string front_to_csv(const Front2d& f, const AttackTree* tree) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "cost,damage,attack\n";
+  for (const auto& p : f)
+    out << p.value.cost << ',' << p.value.damage << ','
+        << attack_field(p.witness, tree) << '\n';
+  return out.str();
+}
+
+std::string front_to_json(const Front2d& f, const AttackTree* tree) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "[";
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const auto& p = f[i];
+    out << (i ? ",\n " : "\n ") << "{\"cost\": " << p.value.cost
+        << ", \"damage\": " << p.value.damage << ", \"attack\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < p.witness.size(); ++b) {
+      if (!p.witness.test(b)) continue;
+      if (!first) out << ", ";
+      out << '"'
+          << (tree ? tree->name(tree->bas_id(static_cast<std::uint32_t>(b)))
+                   : std::to_string(b))
+          << '"';
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+Front2d front_from_csv(const std::string& csv, const AttackTree* tree) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("cost,damage", 0) != 0)
+    throw ParseError("front_from_csv: missing header");
+  std::vector<FrontPoint> pts;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cost_s, damage_s, attack_s;
+    if (!std::getline(row, cost_s, ',') || !std::getline(row, damage_s, ','))
+      throw ParseError("front_from_csv: bad row at line " +
+                       std::to_string(lineno));
+    std::getline(row, attack_s);
+    FrontPoint p;
+    try {
+      p.value.cost = std::stod(cost_s);
+      p.value.damage = std::stod(damage_s);
+    } catch (const std::exception&) {
+      throw ParseError("front_from_csv: bad number at line " +
+                       std::to_string(lineno));
+    }
+    if (tree) {
+      p.witness = DynBitset(tree->bas_count());
+      std::istringstream names(attack_s);
+      std::string name;
+      while (std::getline(names, name, '+')) {
+        if (name.empty()) continue;
+        const auto id = tree->find(name);
+        if (!id || !tree->is_bas(*id))
+          throw ParseError("front_from_csv: unknown BAS '" + name +
+                           "' at line " + std::to_string(lineno));
+        p.witness.set(tree->bas_index(*id));
+      }
+    }
+    pts.push_back(std::move(p));
+  }
+  return Front2d::of_candidates(std::move(pts));
+}
+
+}  // namespace atcd

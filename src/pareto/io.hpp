@@ -1,0 +1,28 @@
+#pragma once
+/// \file io.hpp
+/// Export of Pareto fronts for downstream tooling: CSV (spreadsheets,
+/// pgfplots — how the paper's Fig. 3/6 plots are drawn) and a minimal
+/// JSON form (dashboards).  The inverse CSV reader supports regression
+/// baselines in user pipelines.
+
+#include <string>
+
+#include "at/attack_tree.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+/// CSV with header "cost,damage,attack"; the attack column lists BAS
+/// names joined by '+' (empty attack = empty field).  If \p tree is
+/// null the attack column holds the raw bit string instead.
+std::string front_to_csv(const Front2d& f, const AttackTree* tree = nullptr);
+
+/// JSON array of {"cost": c, "damage": d, "attack": [names...]}.
+std::string front_to_json(const Front2d& f, const AttackTree* tree = nullptr);
+
+/// Parses front_to_csv output back into (cost, damage) pairs; witness
+/// attacks are restored only when \p tree is given and the file used BAS
+/// names.  Throws ParseError on malformed input.
+Front2d front_from_csv(const std::string& csv, const AttackTree* tree = nullptr);
+
+}  // namespace atcd

@@ -1,0 +1,28 @@
+#pragma once
+/// \file point.hpp
+/// The cost-damage attribute pair domain (R^2_{>=0}, ⊑) of Sec. IV:
+/// (a,a') ⊑ (b,b')  iff  a <= b and a' >= b'  (cheaper and more damaging
+/// is better).  An attack x *dominates* y iff cd(x) ⊏ cd(y) strictly.
+
+namespace atcd {
+
+/// A point of the cost-damage plane.
+struct CdPoint {
+  double cost = 0.0;
+  double damage = 0.0;
+
+  bool operator==(const CdPoint&) const = default;
+};
+
+/// Non-strict order ⊑ of the attribute-pair poset.
+inline bool leq(const CdPoint& a, const CdPoint& b) {
+  return a.cost <= b.cost && a.damage >= b.damage;
+}
+
+/// Strict domination ⊏ : at least as good in both coordinates and strictly
+/// better in at least one.
+inline bool dominates(const CdPoint& a, const CdPoint& b) {
+  return leq(a, b) && a != b;
+}
+
+}  // namespace atcd

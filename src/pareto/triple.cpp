@@ -1,0 +1,72 @@
+#include "pareto/triple.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace atcd {
+
+std::vector<AttrTriple> prune_min(std::vector<AttrTriple> xs, double budget) {
+  if (budget != kNoBudget) {
+    std::erase_if(xs, [budget](const AttrTriple& a) { return a.t.cost > budget; });
+  }
+  // Sort by (cost asc, damage desc, act desc).  Every element earlier in
+  // this order has cost <= the current one, so the current element is
+  // dominated-or-duplicate iff some earlier element has damage >= d and
+  // act >= a.  That query is answered by a staircase of (damage, act)
+  // maxima: kept entries have strictly increasing damage and strictly
+  // decreasing act, so among entries with damage >= d the maximal act sits
+  // at the first such entry.
+  std::stable_sort(xs.begin(), xs.end(),
+                   [](const AttrTriple& a, const AttrTriple& b) {
+                     if (a.t.cost != b.t.cost) return a.t.cost < b.t.cost;
+                     if (a.t.damage != b.t.damage)
+                       return a.t.damage > b.t.damage;
+                     return a.t.act > b.t.act;
+                   });
+  std::vector<AttrTriple> kept;
+  kept.reserve(xs.size());
+  std::map<double, double> stair;  // damage -> act, maxima staircase
+  for (auto& x : xs) {
+    const auto it = stair.lower_bound(x.t.damage);
+    if (it != stair.end() && it->second >= x.t.act)
+      continue;  // dominated by, or value-equal to, an earlier element
+    kept.push_back(std::move(x));
+    const Triple& t = kept.back().t;
+    // Insert (damage, act); erase staircase entries it now covers
+    // (damage <= t.damage and act <= t.act).
+    auto pos = stair.lower_bound(t.damage);
+    while (pos != stair.begin()) {
+      auto prev = std::prev(pos);
+      if (prev->second <= t.act)
+        pos = stair.erase(prev);
+      else
+        break;
+    }
+    if (pos != stair.end() && pos->first == t.damage)
+      pos->second = t.act;  // same damage, strictly larger act
+    else
+      stair.emplace_hint(pos, t.damage, t.act);
+  }
+  return kept;
+}
+
+std::vector<AttrTriple> prune_min_quadratic(std::vector<AttrTriple> xs,
+                                            double budget) {
+  if (budget != kNoBudget) {
+    std::erase_if(xs, [budget](const AttrTriple& a) { return a.t.cost > budget; });
+  }
+  std::vector<AttrTriple> kept;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    bool drop = false;
+    for (std::size_t j = 0; j < xs.size() && !drop; ++j) {
+      if (j == i) continue;
+      if (dominates(xs[j].t, xs[i].t)) drop = true;
+      // Value-duplicates: keep only the first occurrence.
+      if (j < i && xs[j].t == xs[i].t) drop = true;
+    }
+    if (!drop) kept.push_back(xs[i]);
+  }
+  return kept;
+}
+
+}  // namespace atcd

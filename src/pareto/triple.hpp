@@ -1,0 +1,66 @@
+#pragma once
+/// \file triple.hpp
+/// The extended attribute-triple domains of the bottom-up engines.
+///
+/// Deterministic setting (Sec. VI):  DTrip = R_{>=0} x R_{>=0} x B with
+/// (c,d,b) ⊑ (c',d',b')  iff  c<=c', d>=d', b>=b'.  The third coordinate —
+/// whether the attack reaches the current node — is the attack's
+/// "potential" to do more damage higher up; dropping it makes bottom-up
+/// propagation unsound (paper Example 4, and our ablation bench A1).
+///
+/// Probabilistic setting (Sec. IX):  PTrip replaces the boolean by the
+/// activation probability PS(x,v) in [0,1].  We represent both domains
+/// with one type, Triple, whose `act` field is {0,1}-valued in the
+/// deterministic engine.
+///
+/// prune_min implements the map min_U : P(Trip) -> P(Trip): it drops
+/// elements whose cost exceeds the budget U and keeps exactly the
+/// ⊑-minimal elements of the rest, deduplicated by value.  The sweep is
+/// O(n log n) via a 2-D staircase of (damage, act) maxima.
+
+#include <limits>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace atcd {
+
+/// Attribute triple: (cost, damage, activation).
+struct Triple {
+  double cost = 0.0;
+  double damage = 0.0;
+  double act = 0.0;  ///< S(x,v) in {0,1} (det.) or PS(x,v) in [0,1] (prob.)
+
+  bool operator==(const Triple&) const = default;
+};
+
+/// Non-strict triple order ⊑.
+inline bool leq(const Triple& a, const Triple& b) {
+  return a.cost <= b.cost && a.damage >= b.damage && a.act >= b.act;
+}
+
+/// Strict domination ⊏.
+inline bool dominates(const Triple& a, const Triple& b) {
+  return leq(a, b) && a != b;
+}
+
+/// A triple together with a witness attack on the current subtree.
+struct AttrTriple {
+  Triple t;
+  DynBitset witness;
+};
+
+inline constexpr double kNoBudget = std::numeric_limits<double>::infinity();
+
+/// min_U: removes elements with cost > budget, then keeps exactly the
+/// ⊑-minimal elements of the remainder, value-deduplicated (first witness
+/// wins).  O(n log n).
+std::vector<AttrTriple> prune_min(std::vector<AttrTriple> xs,
+                                  double budget = kNoBudget);
+
+/// Reference implementation by pairwise comparison, O(n^2).  Used in tests
+/// and in the pruning-strategy ablation bench.
+std::vector<AttrTriple> prune_min_quadratic(std::vector<AttrTriple> xs,
+                                            double budget = kNoBudget);
+
+}  // namespace atcd

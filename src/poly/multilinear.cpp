@@ -1,0 +1,86 @@
+#include "poly/multilinear.hpp"
+
+#include <cmath>
+
+namespace atcd::poly {
+
+Multilinear Multilinear::constant(double c) {
+  Multilinear p;
+  if (c != 0.0) p.terms_.emplace(0, c);
+  return p;
+}
+
+Multilinear Multilinear::variable(std::uint32_t i) {
+  if (i >= kMaxVars) throw Error("multilinear: variable index out of range");
+  Multilinear p;
+  p.terms_.emplace(std::uint64_t{1} << i, 1.0);
+  return p;
+}
+
+void Multilinear::add_term(std::uint64_t mask, double coeff) {
+  if (coeff == 0.0) return;
+  auto [it, inserted] = terms_.try_emplace(mask, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second == 0.0) terms_.erase(it);
+  }
+}
+
+void Multilinear::check_capacity() const {
+  if (terms_.size() > kMaxTerms)
+    throw CapacityError(
+        "multilinear: term count exceeded the capacity bound; the model "
+        "has too many interacting shared nodes for the polynomial engine "
+        "(use the BDD engine instead)");
+}
+
+Multilinear& Multilinear::operator+=(const Multilinear& o) {
+  for (const auto& [mask, c] : o.terms_) add_term(mask, c);
+  check_capacity();
+  return *this;
+}
+
+Multilinear& Multilinear::operator-=(const Multilinear& o) {
+  for (const auto& [mask, c] : o.terms_) add_term(mask, -c);
+  check_capacity();
+  return *this;
+}
+
+Multilinear operator*(const Multilinear& a, const Multilinear& b) {
+  Multilinear out;
+  for (const auto& [ma, ca] : a.terms_)
+    for (const auto& [mb, cb] : b.terms_) out.add_term(ma | mb, ca * cb);
+  out.check_capacity();
+  return out;
+}
+
+Multilinear or_combine(const Multilinear& a, const Multilinear& b) {
+  Multilinear out = a;
+  out += b;
+  out -= a * b;
+  return out;
+}
+
+double Multilinear::evaluate(const std::vector<double>& q) const {
+  double sum = 0.0;
+  for (const auto& [mask, c] : terms_) {
+    double prod = c;
+    std::uint64_t m = mask;
+    while (m) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+      if (i >= q.size())
+        throw Error("multilinear: evaluation vector too short");
+      prod *= q[i];
+      m &= m - 1;
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+double Multilinear::coefficient(std::uint64_t mask) const {
+  const auto it = terms_.find(mask);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+}  // namespace atcd::poly

@@ -1,0 +1,79 @@
+#pragma once
+/// \file multilinear.hpp
+/// Multilinear polynomials over boolean indicator variables.
+///
+/// Substrate for the polynomial-ring engine (poly/poly_engine.hpp) that
+/// the paper's conclusion sketches for probabilistic DAG-like ATs: "use a
+/// bottom-up approach, but in a polynomial ring with formal variables for
+/// nodes that occur multiple times ... and tweak addition to prevent
+/// double counting".
+///
+/// A polynomial is a finite sum of monomials c · Π_{i∈S} t_i where every
+/// t_i is a {0,1}-valued indicator.  Because t_i² = t_i, monomials are
+/// identified by their variable *set* S (a bitmask), and products reduce
+/// by set union.  For independent t_i with E[t_i] = q_i, linearity gives
+/// E[poly] = Σ_S c_S Π_{i∈S} q_i — evaluation is exact, which is the
+/// whole point: PS(x,v) of a DAG node is such a polynomial in the shared
+/// BAS indicators, and expectation distributes over it.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace atcd::poly {
+
+/// Maximum number of formal variables (monomial masks are 64-bit).
+inline constexpr std::uint32_t kMaxVars = 40;
+
+class Multilinear {
+ public:
+  /// The zero polynomial.
+  Multilinear() = default;
+
+  /// A constant polynomial.
+  static Multilinear constant(double c);
+
+  /// The single-variable polynomial t_i.
+  static Multilinear variable(std::uint32_t i);
+
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t term_count() const { return terms_.size(); }
+
+  Multilinear& operator+=(const Multilinear& o);
+  Multilinear& operator-=(const Multilinear& o);
+  friend Multilinear operator+(Multilinear a, const Multilinear& b) {
+    return a += b;
+  }
+  friend Multilinear operator-(Multilinear a, const Multilinear& b) {
+    return a -= b;
+  }
+
+  /// Multilinear product: monomials combine by variable-set union
+  /// (t_i² = t_i).
+  friend Multilinear operator*(const Multilinear& a, const Multilinear& b);
+
+  /// p ⋆ q = p + q - p·q — the OR-combinator of eq. (8), lifted to
+  /// polynomials ("tweaked addition that prevents double counting").
+  friend Multilinear or_combine(const Multilinear& a, const Multilinear& b);
+
+  /// E[poly] for independent variables with E[t_i] = q[i].
+  double evaluate(const std::vector<double>& q) const;
+
+  /// Bound on the number of terms before CapacityError is thrown by the
+  /// arithmetic (guards the exponential worst case).
+  static constexpr std::size_t kMaxTerms = 1u << 20;
+
+  /// Access for tests: coefficient of the monomial with variable mask m.
+  double coefficient(std::uint64_t mask) const;
+
+ private:
+  void add_term(std::uint64_t mask, double coeff);
+  void check_capacity() const;
+
+  // monomial variable mask -> coefficient; zero coefficients are erased.
+  std::unordered_map<std::uint64_t, double> terms_;
+};
+
+}  // namespace atcd::poly

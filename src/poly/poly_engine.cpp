@@ -1,0 +1,96 @@
+#include "poly/poly_engine.hpp"
+
+namespace atcd {
+
+PolyEngine::PolyEngine(const AttackTree& t) : tree_(t) {
+  if (!t.finalized()) throw ModelError("PolyEngine: tree not finalized");
+  // Count root->node paths; a BAS on >= 2 paths can be double-counted by
+  // naive per-node products and therefore gets a formal variable.
+  std::vector<double> paths(t.node_count(), 0.0);
+  paths[t.root()] = 1.0;
+  const auto& topo = t.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    for (NodeId c : t.children(*it)) paths[c] += paths[*it];
+  }
+  std::uint32_t next_var = 0;
+  for (NodeId b : t.bas_ids()) {
+    if (paths[b] >= 2.0) {
+      if (next_var >= poly::kMaxVars)
+        throw CapacityError(
+            "PolyEngine: more shared BASs than the polynomial engine "
+            "supports (" + std::to_string(poly::kMaxVars) + ")");
+      var_of_bas_.emplace(t.bas_index(b), next_var++);
+    }
+  }
+}
+
+std::vector<double> PolyEngine::probabilistic_structure(
+    const CdpAt& m, const Attack& x) const {
+  if (x.size() != tree_.bas_count() || m.prob.size() != tree_.bas_count())
+    throw ModelError("PolyEngine: attack/model size mismatch");
+
+  // Expectation vector for the formal variables.
+  std::vector<double> q(var_of_bas_.size(), 0.0);
+  for (const auto& [bas, var] : var_of_bas_)
+    q[var] = x.test(bas) ? m.prob[bas] : 0.0;
+
+  std::vector<poly::Multilinear> ps(tree_.node_count());
+  std::vector<double> out(tree_.node_count(), 0.0);
+  for (NodeId v : tree_.topological_order()) {
+    const auto& n = tree_.node(v);
+    switch (n.type) {
+      case NodeType::BAS: {
+        const auto it = var_of_bas_.find(n.bas_index);
+        if (it != var_of_bas_.end())
+          ps[v] = poly::Multilinear::variable(it->second);
+        else
+          ps[v] = poly::Multilinear::constant(
+              x.test(n.bas_index) ? m.prob[n.bas_index] : 0.0);
+        break;
+      }
+      case NodeType::AND: {
+        poly::Multilinear acc = poly::Multilinear::constant(1.0);
+        for (NodeId c : n.children) acc = acc * ps[c];
+        ps[v] = std::move(acc);
+        break;
+      }
+      case NodeType::OR: {
+        poly::Multilinear acc;  // zero
+        for (NodeId c : n.children) acc = or_combine(acc, ps[c]);
+        ps[v] = std::move(acc);
+        break;
+      }
+    }
+    out[v] = ps[v].evaluate(q);
+  }
+  return out;
+}
+
+double PolyEngine::expected_damage(const CdpAt& m, const Attack& x) const {
+  const auto ps = probabilistic_structure(m, x);
+  double sum = 0.0;
+  for (NodeId v = 0; v < tree_.node_count(); ++v) sum += ps[v] * m.damage[v];
+  return sum;
+}
+
+Front2d cedpf_poly(const CdpAt& m, std::size_t max_bas) {
+  m.validate();
+  if (m.tree.bas_count() > max_bas)
+    throw CapacityError("cedpf_poly: " + std::to_string(m.tree.bas_count()) +
+                        " BASs exceeds the enumeration cap of " +
+                        std::to_string(max_bas));
+  const PolyEngine engine(m.tree);
+  const std::size_t nb = m.tree.bas_count();
+  std::vector<FrontPoint> cands;
+  cands.reserve(std::size_t{1} << nb);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << nb); ++mask) {
+    Attack x = Attack::from_mask(nb, mask);
+    double c = 0.0;
+    for (std::size_t i = 0; i < nb; ++i)
+      if (mask >> i & 1) c += m.cost[i];
+    cands.push_back({CdPoint{c, engine.expected_damage(m, x)}, std::move(x)});
+  }
+  return Front2d::of_candidates(std::move(cands));
+}
+
+}  // namespace atcd

@@ -1,0 +1,59 @@
+#pragma once
+/// \file poly_engine.hpp
+/// The polynomial-ring engine for probabilistic DAG-like ATs — an
+/// implementation of the approach the paper's conclusion proposes for its
+/// open problem:
+///
+///   "One approach would be to use a bottom-up approach, but in a
+///    polynomial ring with formal variables for nodes that occur multiple
+///    times, rather than in the real numbers.  In that way, one can keep
+///    track of which nodes occur twice, and tweak addition to prevent
+///    double counting."
+///
+/// Per attack x, PS(x,v) is computed bottom-up as a multilinear
+/// polynomial: BASs reachable from the root along more than one path get
+/// a formal indicator variable (their successes would otherwise be
+/// double-counted); single-path BASs contribute plain numbers.  AND
+/// combines by polynomial product, OR by p ⋆ q = p + q − pq.  Evaluating
+/// at E[t_b] = x_b·p(b) is exact because the polynomial is multilinear
+/// and BAS successes are independent.
+///
+/// Complexity: exponential only in the number of *shared* BASs (vs the
+/// BDD engine, whose cost depends on the whole structure) — the two
+/// engines are complementary and cross-validate each other in tests.
+
+#include "core/cdat.hpp"
+#include "core/opt_result.hpp"
+#include "pareto/front2d.hpp"
+#include "poly/multilinear.hpp"
+
+namespace atcd {
+
+/// Per-tree compilation of the polynomial engine.
+class PolyEngine {
+ public:
+  /// Analyzes sharing and assigns formal variables.  Throws CapacityError
+  /// if more than poly::kMaxVars BASs are shared.
+  explicit PolyEngine(const AttackTree& t);
+
+  /// BASs that received a formal variable (multiple root paths).
+  std::size_t shared_bas_count() const { return var_of_bas_.size(); }
+
+  /// PS(x, v) for every node — exact on DAGs.
+  std::vector<double> probabilistic_structure(const CdpAt& m,
+                                              const Attack& x) const;
+
+  /// d̂_E(x) — exact on DAGs.
+  double expected_damage(const CdpAt& m, const Attack& x) const;
+
+ private:
+  const AttackTree& tree_;
+  /// BAS index -> variable index, for shared BASs only.
+  std::unordered_map<std::uint32_t, std::uint32_t> var_of_bas_;
+};
+
+/// CEDPF for arbitrary probabilistic models by attack enumeration with
+/// polynomial-engine expected damages.  Capacity-guarded.
+Front2d cedpf_poly(const CdpAt& m, std::size_t max_bas = 22);
+
+}  // namespace atcd

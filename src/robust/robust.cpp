@@ -1,0 +1,120 @@
+#include "robust/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/problems.hpp"
+
+namespace atcd::robust {
+
+void IntervalCdAt::validate() const {
+  if (!tree.finalized()) throw ModelError("interval cd-AT: tree not finalized");
+  if (cost.size() != tree.bas_count())
+    throw ModelError("interval cd-AT: cost vector size mismatch");
+  if (damage.size() != tree.node_count())
+    throw ModelError("interval cd-AT: damage vector size mismatch");
+  for (const auto& i : cost)
+    if (!(0.0 <= i.lo && i.lo <= i.hi))
+      throw ModelError("interval cd-AT: bad cost interval");
+  for (const auto& i : damage)
+    if (!(0.0 <= i.lo && i.lo <= i.hi))
+      throw ModelError("interval cd-AT: bad damage interval");
+}
+
+CdAt IntervalCdAt::optimistic() const {
+  CdAt m;
+  m.tree = tree;
+  for (const auto& i : cost) m.cost.push_back(i.hi);
+  for (const auto& i : damage) m.damage.push_back(i.lo);
+  return m;
+}
+
+CdAt IntervalCdAt::pessimistic() const {
+  CdAt m;
+  m.tree = tree;
+  for (const auto& i : cost) m.cost.push_back(i.lo);
+  for (const auto& i : damage) m.damage.push_back(i.hi);
+  return m;
+}
+
+CdAt IntervalCdAt::sample(Rng& rng) const {
+  CdAt m;
+  m.tree = tree;
+  for (const auto& i : cost) m.cost.push_back(rng.uniform(i.lo, i.hi));
+  for (const auto& i : damage) m.damage.push_back(rng.uniform(i.lo, i.hi));
+  return m;
+}
+
+IntervalCdAt widen(const CdAt& m, double slack) {
+  if (slack < 0.0 || slack >= 1.0)
+    throw ModelError("widen: slack must lie in [0, 1)");
+  IntervalCdAt out;
+  out.tree = m.tree;
+  for (double c : m.cost)
+    out.cost.push_back({c * (1.0 - slack), c * (1.0 + slack)});
+  for (double d : m.damage)
+    out.damage.push_back({d * (1.0 - slack), d * (1.0 + slack)});
+  out.validate();
+  return out;
+}
+
+RobustFront robust_cdpf(const IntervalCdAt& m) {
+  m.validate();
+  return RobustFront{cdpf(m.optimistic()), cdpf(m.pessimistic())};
+}
+
+RobustDgc robust_dgc(const IntervalCdAt& m, double budget) {
+  m.validate();
+  RobustDgc r;
+  r.damage_lo = dgc(m.optimistic(), budget).damage;
+  r.damage_hi = dgc(m.pessimistic(), budget).damage;
+  return r;
+}
+
+std::vector<Sensitivity> dgc_sensitivity(const CdAt& m, double budget,
+                                         double delta) {
+  m.validate();
+  if (delta <= 0.0 || delta >= 1.0)
+    throw ModelError("dgc_sensitivity: delta must lie in (0, 1)");
+  std::vector<Sensitivity> out;
+  auto probe = [&](double& slot, const std::string& name, bool is_cost) {
+    const double original = slot;
+    if (original == 0.0) return;  // scaling zero is a no-op
+    Sensitivity s;
+    s.name = name;
+    s.is_cost = is_cost;
+    slot = original * (1.0 - delta);
+    s.dgc_minus = dgc(m, budget).damage;
+    slot = original * (1.0 + delta);
+    s.dgc_plus = dgc(m, budget).damage;
+    slot = original;
+    s.swing = std::abs(s.dgc_plus - s.dgc_minus);
+    out.push_back(std::move(s));
+  };
+  // The const_cast is contained: probe restores every slot before
+  // returning, and `m` is logically unchanged.
+  auto& mm = const_cast<CdAt&>(m);
+  for (NodeId b : m.tree.bas_ids())
+    probe(mm.cost[m.tree.bas_index(b)], m.tree.name(b), /*is_cost=*/true);
+  for (NodeId v = 0; v < m.tree.node_count(); ++v)
+    probe(mm.damage[v], m.tree.name(v), /*is_cost=*/false);
+  std::sort(out.begin(), out.end(), [](const Sensitivity& a,
+                                       const Sensitivity& b) {
+    return a.swing > b.swing;
+  });
+  return out;
+}
+
+CdpAt refund_model(const CdpAt& m, double gamma) {
+  m.validate();
+  if (gamma < 0.0 || gamma > 1.0)
+    throw ModelError("refund_model: gamma must lie in [0, 1]");
+  CdpAt out = m;
+  for (std::size_t i = 0; i < out.cost.size(); ++i) {
+    const double p = m.prob[i];
+    out.cost[i] = m.cost[i] * (p + (1.0 - p) * (1.0 - gamma));
+  }
+  return out;
+}
+
+}  // namespace atcd::robust

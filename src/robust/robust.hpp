@@ -1,0 +1,104 @@
+#pragma once
+/// \file robust.hpp
+/// Robust cost-damage analysis under decoration uncertainty, and the
+/// cost-refund extension of the probabilistic model — two of the
+/// extensions the paper explicitly proposes:
+///
+///  * Conclusion: "the cost and damage values may not be precisely known,
+///    but carry some uncertainty.  A more elaborate analysis can
+///    incorporate this uncertainty ... to obtain a robust version of the
+///    cost-damage Pareto front."  We implement interval decorations:
+///    every cost and damage is a closed interval, and the analysis
+///    returns two fronts bracketing every realization —
+///      - the OPTIMISTIC front (defender-friendly: attacks cost their
+///        maximum and damage their minimum), and
+///      - the PESSIMISTIC front (attacks cost their minimum and damage
+///        their maximum).
+///    Monotonicity of ĉ and d̂ in the decorations makes these exact
+///    bounds: for any fixed attack x, (ĉ, d̂)(x) under any realization
+///    lies in the box spanned by its evaluations on the two corner
+///    models.  Every realized front is dominated by the pessimistic front
+///    and dominates the optimistic one.
+///
+///  * Sec. VIII: "the attacker might recoup some of the costs of failed
+///    activations".  refund_model() rescales BAS costs to their expected
+///    value under a refund fraction γ ∈ [0,1]: a failed BAS costs
+///    (1-γ)·c(v), so E[cost] = c(v)·(p(v) + (1-p(v))(1-γ)).  The
+///    resulting model is a plain cdp-AT and all engines apply unchanged.
+
+#include <string>
+#include <vector>
+
+#include "core/cdat.hpp"
+#include "pareto/front2d.hpp"
+
+namespace atcd::robust {
+
+/// A closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// A cd-AT whose decorations are intervals.
+struct IntervalCdAt {
+  AttackTree tree;
+  std::vector<Interval> cost;    ///< per BAS index
+  std::vector<Interval> damage;  ///< per NodeId
+
+  /// Checks sizes, lo <= hi, lo >= 0.  Throws ModelError.
+  void validate() const;
+
+  /// Corner models.
+  CdAt optimistic() const;   ///< cost = hi, damage = lo
+  CdAt pessimistic() const;  ///< cost = lo, damage = hi
+
+  /// A realization with decorations drawn uniformly from the intervals.
+  CdAt sample(Rng& rng) const;
+};
+
+/// Builds an interval model from a point model with symmetric relative
+/// slack: value v becomes [v(1-slack), v(1+slack)].
+IntervalCdAt widen(const CdAt& m, double slack);
+
+/// The two bounding fronts.
+struct RobustFront {
+  Front2d optimistic;   ///< lower envelope of all realized fronts
+  Front2d pessimistic;  ///< upper envelope of all realized fronts
+};
+
+/// Computes both bounding fronts with the strongest applicable engine.
+RobustFront robust_cdpf(const IntervalCdAt& m);
+
+/// Robust DgC: bounds on the maximal damage for a cost budget.  The
+/// budget is compared against pessimistic (lo) costs for the upper bound
+/// and optimistic (hi) costs for the lower bound.
+struct RobustDgc {
+  double damage_lo = 0.0;  ///< guaranteed achievable by the attacker
+  double damage_hi = 0.0;  ///< worst case for the defender
+};
+RobustDgc robust_dgc(const IntervalCdAt& m, double budget);
+
+/// Sec. VIII refund extension: expected-cost model under refund fraction
+/// gamma (0 = paper's base model: full cost paid regardless of outcome;
+/// 1 = failed BASs are free).
+CdpAt refund_model(const CdpAt& m, double gamma);
+
+/// One-at-a-time sensitivity of DgC to the decorations: how much does the
+/// attacker's optimal damage move when a single cost or damage value is
+/// perturbed by ±delta (relative)?  The classic "tornado" view of which
+/// estimates are worth refining before trusting the analysis.
+struct Sensitivity {
+  std::string name;      ///< BAS name (cost entries) or node name (damage)
+  bool is_cost = false;  ///< true: BAS cost perturbed; false: node damage
+  double dgc_minus = 0;  ///< DgC with the value scaled by (1 - delta)
+  double dgc_plus = 0;   ///< DgC with the value scaled by (1 + delta)
+  double swing = 0;      ///< |dgc_plus - dgc_minus|
+};
+
+/// Computes the sensitivity of dgc(m, budget) to every nonzero cost and
+/// damage entry, sorted by descending swing.
+std::vector<Sensitivity> dgc_sensitivity(const CdAt& m, double budget,
+                                         double delta = 0.1);
+
+}  // namespace atcd::robust

@@ -1,0 +1,51 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// Every randomised component of the library (random AT suites, random
+/// cost/damage/probability decorations, NSGA-II) takes an explicit Rng so
+/// experiments are reproducible from a seed, independent of the platform's
+/// std::mt19937 / distribution implementations.
+
+#include <cstdint>
+
+namespace atcd {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xA7C0DDA7A5EEDull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound), bound > 0.  Uses rejection sampling so
+  /// the result is exactly uniform.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli draw with success probability \p p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace atcd

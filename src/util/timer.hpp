@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// Minimal wall-clock stopwatch used by the benchmark harness.
+
+#include <chrono>
+
+namespace atcd {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace atcd

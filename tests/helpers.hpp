@@ -1,0 +1,133 @@
+#pragma once
+/// Shared test utilities: small random model generators and front
+/// comparison helpers used by the unit and property tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cdat.hpp"
+#include "pareto/front2d.hpp"
+#include "util/rng.hpp"
+
+namespace atcd::testing {
+
+/// Builds a random *treelike* AT with exactly `n_bas` leaves: leaves are
+/// grouped bottom-up under random OR/AND gates of arity 2-3 until one
+/// root remains.
+inline AttackTree random_tree(Rng& rng, std::size_t n_bas) {
+  AttackTree t;
+  std::vector<NodeId> open;
+  for (std::size_t i = 0; i < n_bas; ++i)
+    open.push_back(t.add_bas("b" + std::to_string(i)));
+  int g = 0;
+  while (open.size() > 1) {
+    const std::size_t arity =
+        std::min<std::size_t>(open.size(), 2 + rng.below(2));
+    std::vector<NodeId> cs;
+    for (std::size_t i = 0; i < arity; ++i) {
+      const std::size_t pick = rng.below(open.size());
+      cs.push_back(open[pick]);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    open.push_back(t.add_gate(rng.chance(0.5) ? NodeType::OR : NodeType::AND,
+                              "g" + std::to_string(g++), cs));
+  }
+  t.set_root(open[0]);
+  t.finalize();
+  return t;
+}
+
+/// Builds a random *DAG-shaped* AT: a random tree plus extra edges from
+/// random gates to random non-descendant... simpler: gates may pick
+/// already-used nodes as extra children, which creates sharing.
+inline AttackTree random_dag(Rng& rng, std::size_t n_bas) {
+  AttackTree t;
+  std::vector<NodeId> all;  // candidate children created so far
+  std::vector<NodeId> open;
+  for (std::size_t i = 0; i < n_bas; ++i) {
+    const NodeId b = t.add_bas("b" + std::to_string(i));
+    all.push_back(b);
+    open.push_back(b);
+  }
+  int g = 0;
+  while (open.size() > 1) {
+    const std::size_t arity =
+        std::min<std::size_t>(open.size(), 2 + rng.below(2));
+    std::vector<NodeId> cs;
+    for (std::size_t i = 0; i < arity; ++i) {
+      const std::size_t pick = rng.below(open.size());
+      cs.push_back(open[pick]);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    // With probability 1/2 adopt one extra already-combined node: it then
+    // has two parents, making the AT DAG-shaped.
+    if (rng.chance(0.5)) {
+      const NodeId extra = all[rng.below(all.size())];
+      bool dup = false;
+      for (NodeId c : cs) dup |= (c == extra);
+      if (!dup) cs.push_back(extra);
+    }
+    const NodeId gate = t.add_gate(
+        rng.chance(0.5) ? NodeType::OR : NodeType::AND,
+        "g" + std::to_string(g++), cs);
+    all.push_back(gate);
+    open.push_back(gate);
+  }
+  t.set_root(open[0]);
+  t.finalize();
+  return t;
+}
+
+/// Random decorated models over the paper's Sec. X value ranges.
+inline CdpAt random_cdpat(Rng& rng, std::size_t n_bas, bool treelike) {
+  const AttackTree t =
+      treelike ? random_tree(rng, n_bas) : random_dag(rng, n_bas);
+  return randomize_decorations(t, rng);
+}
+
+inline CdAt random_cdat(Rng& rng, std::size_t n_bas, bool treelike) {
+  return random_cdpat(rng, n_bas, treelike).deterministic();
+}
+
+/// gtest assertion: two fronts carry the same (cost, damage) values.
+inline ::testing::AssertionResult fronts_equal(const Front2d& a,
+                                               const Front2d& b,
+                                               double tol = 1e-9) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "front sizes differ: " << a.size() << " vs " << b.size()
+           << "\nA:\n" << a.to_string() << "B:\n" << b.to_string();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& pa = a[i].value;
+    const auto& pb = b[i].value;
+    if (std::abs(pa.cost - pb.cost) > tol ||
+        std::abs(pa.damage - pb.damage) > tol)
+      return ::testing::AssertionFailure()
+             << "point " << i << " differs: (" << pa.cost << "," << pa.damage
+             << ") vs (" << pb.cost << "," << pb.damage << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// gtest assertion: the front contains exactly these (cost, damage) pairs.
+inline ::testing::AssertionResult front_is(
+    const Front2d& f, const std::vector<std::pair<double, double>>& expect,
+    double tol = 1e-9) {
+  if (f.size() != expect.size())
+    return ::testing::AssertionFailure()
+           << "front size " << f.size() << " != expected " << expect.size()
+           << "\n" << f.to_string();
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (std::abs(f[i].value.cost - expect[i].first) > tol ||
+        std::abs(f[i].value.damage - expect[i].second) > tol)
+      return ::testing::AssertionFailure()
+             << "point " << i << ": (" << f[i].value.cost << ","
+             << f[i].value.damage << ") != (" << expect[i].first << ","
+             << expect[i].second << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace atcd::testing

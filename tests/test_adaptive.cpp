@@ -1,0 +1,165 @@
+#include "adaptive/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "core/enumerative.hpp"
+#include "helpers.hpp"
+
+namespace atcd::adaptive {
+namespace {
+
+TEST(Adaptive, AtLeastAsGoodAsStaticEdgc) {
+  // The adaptive attacker can always replay the optimal static attack,
+  // so its value dominates EDgC at every budget.
+  const auto m = casestudies::make_factory_probabilistic();
+  for (double budget : {0.0, 1.0, 3.0, 5.0, 6.0, 100.0}) {
+    const auto adaptive = adaptive_edgc(m, budget);
+    const auto static_opt = edgc_bottom_up(m, budget);
+    EXPECT_GE(adaptive.expected_damage, static_opt.damage - 1e-9)
+        << "budget " << budget;
+  }
+}
+
+TEST(Adaptive, StrictGainOnAnOrOfUncertainOptions) {
+  // OR(v1, v2), c = 1 each, p = 0.5, d(root) = 1, budget 1... no gap at
+  // budget 1.  With budget 2 the static attacker commits both up front
+  // (E = 0.75); the adaptive one attempts v1 and only spends on v2 after
+  // a failure — same E here (costs don't matter once affordable), BUT
+  // with a third spending opportunity the saved budget pays off:
+  // OR(v1,v2) plus an independent BAS v3 with its own damage, budget 2.
+  CdpAt m;
+  const auto v1 = m.tree.add_bas("v1");
+  const auto v2 = m.tree.add_bas("v2");
+  const auto v3 = m.tree.add_bas("v3");
+  const auto w = m.tree.add_gate(NodeType::OR, "w", {v1, v2});
+  const auto root = m.tree.add_gate(NodeType::OR, "root", {w, v3});
+  m.tree.set_root(root);
+  m.tree.finalize();
+  m.cost = {1.0, 1.0, 1.0};
+  m.prob = {0.5, 0.5, 1.0};
+  m.damage.assign(m.tree.node_count(), 0.0);
+  m.damage[w] = 1.0;
+  m.damage[v3] = 0.6;
+  m.damage[root] = 0.0;
+
+  const double budget = 2.0;
+  const auto adaptive = adaptive_edgc(m, budget);
+  const auto static_opt = edgc_enumerative(m, budget);
+  // Static: best pair is {v1 or v2, v3}: 0.5 + 0.6 = 1.1
+  // (vs {v1,v2}: 0.75).  Adaptive: try v1; on success (0.5) take v3
+  // (1 + 0.6); on failure take v2 (0.5·1) or v3 (0.6 -> better).
+  // E = 0.5·1.6 + 0.5·0.6 = 1.1... same.  Try v3 first is forced-success:
+  // then v1: E = 0.6 + 0.5 = 1.1.  Hmm — with these numbers adaptivity
+  // ties; make v3's damage depend on w NOT succeeding being the fallback:
+  // instead test the documented general inequality plus exact value.
+  EXPECT_NEAR(static_opt.damage, 1.1, 1e-9);
+  EXPECT_GE(adaptive.expected_damage, static_opt.damage - 1e-9);
+}
+
+TEST(Adaptive, StrictGainExample) {
+  // AND(a, b) with d on the AND: a cheap unreliable, b expensive reliable.
+  // Budget only covers a + b.  Static must commit both: E = p_a·1.
+  // Adaptive tries a first and SKIPS b when a failed — same E...  the
+  // gain needs an alternative use of the saved budget:
+  //   root = OR( AND(a, b), c ) with d(AND)=10, d(c)=4,
+  //   costs a=1, b=3, c=3, budget 4, p_a = 0.5, p_b = p_c = 1.
+  // Static options: {a,b}: 0.5·10 = 5; {a,c}: 0.5·0 + 4 = 4; {c}: 4.
+  //   best static = 5.
+  // Adaptive: try a (cost 1).  Success -> b (total 4): damage 10.
+  //   Failure -> c (total 4): damage 4.  E = 0.5·10 + 0.5·4 = 7 > 5.
+  CdpAt m;
+  const auto a = m.tree.add_bas("a");
+  const auto b = m.tree.add_bas("b");
+  const auto c = m.tree.add_bas("c");
+  const auto g = m.tree.add_gate(NodeType::AND, "g", {a, b});
+  const auto root = m.tree.add_gate(NodeType::OR, "root", {g, c});
+  m.tree.set_root(root);
+  m.tree.finalize();
+  m.cost = {1.0, 3.0, 3.0};
+  m.prob = {0.5, 1.0, 1.0};
+  m.damage.assign(m.tree.node_count(), 0.0);
+  m.damage[g] = 10.0;
+  m.damage[c] = 4.0;
+
+  const auto static_opt = edgc_enumerative(m, 4.0);
+  EXPECT_NEAR(static_opt.damage, 5.0, 1e-9);
+  const auto adaptive = adaptive_edgc(m, 4.0);
+  EXPECT_NEAR(adaptive.expected_damage, 7.0, 1e-9);
+  // The optimal first move is the cheap probe `a`.
+  ASSERT_NE(adaptive.first_move, kNoNode);
+  EXPECT_EQ(m.tree.name(adaptive.first_move), "a");
+}
+
+TEST(Adaptive, DeterministicStepsCollapseToStatic) {
+  // With p = 1 everywhere there is nothing to react to: adaptive equals
+  // the deterministic DgC value.
+  const auto det = casestudies::make_factory();
+  CdpAt m{det.tree, det.cost, det.damage, {1.0, 1.0, 1.0}};
+  for (double budget : {0.0, 2.0, 5.0, 6.0}) {
+    EXPECT_NEAR(adaptive_edgc(m, budget).expected_damage,
+                dgc_enumerative(det, budget).damage, 1e-12)
+        << budget;
+  }
+}
+
+TEST(Adaptive, ZeroBudgetMeansNoMoves) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto r = adaptive_edgc(m, 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_damage, 0.0);
+  EXPECT_EQ(r.first_move, kNoNode);
+}
+
+TEST(Adaptive, MatchesBruteForceOnRandomModels) {
+  // Cross-check against an independent brute-force expectimax written
+  // directly over the recursion (no memo, fresh code path).
+  struct Brute {
+    const CdpAt& m;
+    const CdAt det;
+    double budget;
+    double go(std::uint64_t att, std::uint64_t suc, double spent) const {
+      double best = total_damage(
+          det, Attack::from_mask(m.tree.bas_count(), suc));
+      for (std::size_t b = 0; b < m.tree.bas_count(); ++b) {
+        if (att >> b & 1 || spent + m.cost[b] > budget) continue;
+        const std::uint64_t bit = std::uint64_t{1} << b;
+        const double v =
+            m.prob[b] * go(att | bit, suc | bit, spent + m.cost[b]) +
+            (1 - m.prob[b]) * go(att | bit, suc, spent + m.cost[b]);
+        best = std::max(best, v);
+      }
+      return best;
+    }
+  };
+  Rng rng(777);
+  for (int it = 0; it < 8; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 5, it % 2 == 0);
+    const double budget = static_cast<double>(rng.range(0, 25));
+    const Brute brute{m, {m.tree, m.cost, m.damage}, budget};
+    EXPECT_NEAR(adaptive_edgc(m, budget).expected_damage,
+                brute.go(0, 0, 0.0), 1e-9)
+        << "it " << it;
+  }
+}
+
+TEST(Adaptive, SimulationConvergesToTheValue) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const double budget = 5.0;
+  const auto r = adaptive_edgc(m, budget);
+  Rng rng(31337);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    sum += simulate_adaptive_policy(m, budget, rng);
+  EXPECT_NEAR(sum / n, r.expected_damage, 2.0);
+}
+
+TEST(Adaptive, CapacityGuard) {
+  Rng rng(5);
+  const auto m = atcd::testing::random_cdpat(rng, 16, true);
+  EXPECT_THROW(adaptive_edgc(m, 10.0, /*max_bas=*/15), CapacityError);
+}
+
+}  // namespace
+}  // namespace atcd::adaptive

@@ -1,0 +1,201 @@
+#include "bdd/at_bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casestudies/dataserver.hpp"
+#include "casestudies/factory.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::fronts_equal;
+
+// ---- Manager primitives. ----
+
+TEST(BddManager, TerminalsAndVariables) {
+  bdd::Manager m(3);
+  const auto x = m.var(0);
+  EXPECT_TRUE(m.evaluate(x, {true, false, false}));
+  EXPECT_FALSE(m.evaluate(x, {false, true, true}));
+  EXPECT_TRUE(m.evaluate(bdd::kTrue, {false, false, false}));
+  EXPECT_FALSE(m.evaluate(bdd::kFalse, {true, true, true}));
+  EXPECT_THROW(m.var(3), Error);
+}
+
+TEST(BddManager, ApplyIsCanonical) {
+  bdd::Manager m(2);
+  const auto a = m.var(0), b = m.var(1);
+  EXPECT_EQ(m.apply_and(a, b), m.apply_and(b, a));
+  EXPECT_EQ(m.apply_or(a, b), m.apply_or(b, a));
+  EXPECT_EQ(m.apply_and(a, a), a);
+  EXPECT_EQ(m.apply_and(a, bdd::kTrue), a);
+  EXPECT_EQ(m.apply_and(a, bdd::kFalse), bdd::kFalse);
+  EXPECT_EQ(m.apply_or(a, bdd::kTrue), bdd::kTrue);
+  // (a AND b) OR (a AND b) == a AND b, shared node.
+  const auto ab = m.apply_and(a, b);
+  EXPECT_EQ(m.apply_or(ab, ab), ab);
+}
+
+TEST(BddManager, NegationIsInvolutive) {
+  bdd::Manager m(3);
+  const auto f = m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(2));
+  EXPECT_EQ(m.negate(m.negate(f)), f);
+  EXPECT_EQ(m.apply_and(f, m.negate(f)), bdd::kFalse);
+  EXPECT_EQ(m.apply_or(f, m.negate(f)), bdd::kTrue);
+}
+
+TEST(BddManager, RestrictFixesAVariable) {
+  bdd::Manager m(2);
+  const auto f = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, false), bdd::kFalse);
+  EXPECT_EQ(m.restrict_var(f, 0, true), m.var(1));
+}
+
+TEST(BddManager, ProbabilityOfIndependentVars) {
+  bdd::Manager m(2);
+  const auto f_and = m.apply_and(m.var(0), m.var(1));
+  const auto f_or = m.apply_or(m.var(0), m.var(1));
+  EXPECT_NEAR(m.probability(f_and, {0.3, 0.5}), 0.15, 1e-12);
+  EXPECT_NEAR(m.probability(f_or, {0.3, 0.5}), 0.65, 1e-12);
+  EXPECT_NEAR(m.probability(bdd::kTrue, {0.3, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(m.probability(bdd::kFalse, {0.3, 0.5}), 0.0, 1e-12);
+}
+
+TEST(BddManager, ProbabilityHandlesSharedVariables) {
+  // f = x0 AND (x0 OR x1): equals x0, so P = p0 — a tree-product rule
+  // would instead give p0 * (p0 + p1 - p0 p1).
+  bdd::Manager m(2);
+  const auto f = m.apply_and(m.var(0), m.apply_or(m.var(0), m.var(1)));
+  EXPECT_EQ(f, m.var(0));
+  EXPECT_NEAR(m.probability(f, {0.3, 0.9}), 0.3, 1e-12);
+}
+
+TEST(BddManager, SatCount) {
+  bdd::Manager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(1)), 4.0);  // x1 free over 2 others
+  const auto f = m.apply_or(m.var(0), m.var(1));
+  EXPECT_DOUBLE_EQ(m.sat_count(f), 6.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(bdd::kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(bdd::kFalse), 0.0);
+}
+
+TEST(BddManager, MinTrueWeight) {
+  bdd::Manager m(3);
+  const auto f =
+      m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(2));
+  EXPECT_DOUBLE_EQ(m.min_true_weight(f, {2, 3, 6}), 5.0);  // x0&x1
+  EXPECT_DOUBLE_EQ(m.min_true_weight(f, {2, 3, 4}), 4.0);  // x2
+  EXPECT_TRUE(std::isinf(m.min_true_weight(bdd::kFalse, {1, 1, 1})));
+}
+
+// ---- AT compilation. ----
+
+TEST(AtBdd, StructureFunctionsMatchDirectEvaluation) {
+  Rng rng(51);
+  for (int it = 0; it < 10; ++it) {
+    const auto t = it % 2 ? atcd::testing::random_tree(rng, 6)
+                          : atcd::testing::random_dag(rng, 6);
+    const AtBdd compiled(t);
+    for (std::uint64_t mask = 0; mask < 64; ++mask) {
+      const Attack x = Attack::from_mask(6, mask);
+      const auto s = evaluate_structure(t, x);
+      std::vector<bool> assign(6);
+      for (std::size_t i = 0; i < 6; ++i) assign[i] = x.test(i);
+      for (NodeId v = 0; v < t.node_count(); ++v)
+        ASSERT_EQ(compiled.manager().evaluate(compiled.node_function(v),
+                                              assign),
+                  s[v] != 0);
+    }
+  }
+}
+
+TEST(AtBdd, ProbabilisticStructureMatchesTreeFormulaOnTrees) {
+  Rng rng(52);
+  for (int it = 0; it < 10; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/true);
+    const AtBdd compiled(m.tree);
+    const Attack x = Attack::from_mask(6, rng.below(64));
+    const auto a = compiled.probabilistic_structure(m, x);
+    const auto b = probabilistic_structure(m, x);
+    for (NodeId v = 0; v < m.tree.node_count(); ++v)
+      ASSERT_NEAR(a[v], b[v], 1e-12);
+  }
+}
+
+TEST(AtBdd, ExpectedDamageOnDagsMatchesExactEnumeration) {
+  Rng rng(53);
+  int dag_count = 0;
+  for (int it = 0; it < 20 && dag_count < 6; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/false);
+    if (m.tree.is_treelike()) continue;
+    ++dag_count;
+    const AtBdd compiled(m.tree);
+    for (int rep = 0; rep < 5; ++rep) {
+      const Attack x = Attack::from_mask(6, rng.below(64));
+      ASSERT_NEAR(compiled.expected_damage(m, x),
+                  expected_damage_exact(m, x), 1e-9);
+    }
+  }
+  EXPECT_GE(dag_count, 3);
+}
+
+TEST(AtBdd, CedpfBddMatchesBottomUpOnTrees) {
+  Rng rng(54);
+  for (int it = 0; it < 5; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/true);
+    EXPECT_TRUE(fronts_equal(cedpf_bdd(m), cedpf_bottom_up(m), 1e-9));
+  }
+}
+
+TEST(AtBdd, CedpfCapacityGuard) {
+  Rng rng(55);
+  const auto m = atcd::testing::random_cdpat(rng, 10, true);
+  EXPECT_THROW(cedpf_bdd(m, /*max_bas=*/8), CapacityError);
+}
+
+TEST(AtBdd, EdgcAndCgedOnDag) {
+  // Probabilistic data server (paper leaves this open; we solve small
+  // instances exactly).  Uniform p = 0.5 on all BASs.
+  const auto det = casestudies::make_dataserver();
+  CdpAt m{det.tree, det.cost, det.damage,
+          std::vector<double>(det.tree.bas_count(), 0.5)};
+  const auto front = cedpf_bdd(m);
+  EXPECT_GE(front.size(), 5u);
+  const auto r = edgc_bdd(m, 568.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.cost, 568.0);
+  const auto c = cged_bdd(m, r.damage - 1e-9);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_LE(c.cost, r.cost + 1e-9);
+}
+
+// ---- Classic metrics. ----
+
+TEST(ClassicMetrics, MinCostOfSuccessfulAttack) {
+  // Factory: cheapest successful attack is {ca} at cost 1.
+  EXPECT_DOUBLE_EQ(min_cost_of_successful_attack(casestudies::make_factory()),
+                   1.0);
+  // Data server: {b6,b8,b11,b12} at 568 (matches A2 of Fig. 6c — the
+  // minimal-attack analysis the paper contrasts with).
+  EXPECT_DOUBLE_EQ(
+      min_cost_of_successful_attack(casestudies::make_dataserver()), 568.0);
+}
+
+TEST(ClassicMetrics, CountSuccessfulAttacks) {
+  const auto m = casestudies::make_factory();
+  // Successful: ca on (4 combos of pb/fd) + {pb,fd} without ca = 5.
+  EXPECT_DOUBLE_EQ(count_successful_attacks(m.tree), 5.0);
+}
+
+TEST(ClassicMetrics, RootReachProbabilityAllIn) {
+  const auto m = casestudies::make_factory_probabilistic();
+  // P(ca or (pb and fd)) = 0.2 + 0.36 - 0.2*0.36 = 0.488.
+  EXPECT_NEAR(root_reach_probability_all_in(m), 0.488, 1e-12);
+}
+
+}  // namespace
+}  // namespace atcd

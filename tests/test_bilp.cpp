@@ -1,0 +1,178 @@
+#include "ilp/bilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace atcd::ilp {
+namespace {
+
+TEST(DetectGrid, FindsDecimalGrids) {
+  EXPECT_EQ(detect_grid({1, 2, 30}), 1.0);
+  EXPECT_EQ(detect_grid({0.5, 1.5}), 0.1);
+  EXPECT_EQ(detect_grid({10.8, 5.0, 7.0, 13.5}), 0.1);
+  EXPECT_EQ(detect_grid({0.25}), 0.01);
+  EXPECT_EQ(detect_grid({}), 1.0);
+  EXPECT_FALSE(detect_grid({1.0 / 3.0}).has_value());
+}
+
+/// Builds a random biobjective binary program and computes its
+/// nondominated set by brute force.
+struct BiCase {
+  BiObjectiveProgram bp;
+  std::vector<std::pair<double, double>> expect;  // sorted by f2
+};
+
+BiCase random_bicase(Rng& rng, int n_vars, int n_rows) {
+  BiCase bc;
+  std::vector<double> f1(n_vars), f2(n_vars);
+  for (int j = 0; j < n_vars; ++j) {
+    // f1: signed (damage-like when negative); f2: nonnegative cost-like.
+    f1[j] = static_cast<double>(rng.range(-9, 3));
+    f2[j] = static_cast<double>(rng.range(0, 9));
+    bc.bp.base.add_var(0, 1, 0.0);
+    bc.bp.integer_vars.push_back(j);
+  }
+  bc.bp.obj1 = f1;
+  bc.bp.obj2 = f2;
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (int i = 0; i < n_rows; ++i) {
+    std::vector<double> row(n_vars);
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n_vars; ++j) {
+      row[j] = static_cast<double>(rng.range(-2, 4));
+      terms.emplace_back(j, row[j]);
+    }
+    const double b = static_cast<double>(rng.range(1, 10));
+    bc.bp.base.add_row(terms, lp::Sense::LE, b);
+    rows.push_back(row);
+    rhs.push_back(b);
+  }
+  // Brute-force nondominated set.
+  std::vector<std::pair<double, double>> points;
+  for (int mask = 0; mask < (1 << n_vars); ++mask) {
+    bool ok = true;
+    for (std::size_t i = 0; i < rows.size() && ok; ++i) {
+      double lhs = 0;
+      for (int j = 0; j < n_vars; ++j)
+        if (mask >> j & 1) lhs += rows[i][j];
+      ok = lhs <= rhs[i] + 1e-12;
+    }
+    if (!ok) continue;
+    double v1 = 0, v2 = 0;
+    for (int j = 0; j < n_vars; ++j)
+      if (mask >> j & 1) {
+        v1 += f1[j];
+        v2 += f2[j];
+      }
+    points.emplace_back(v1, v2);
+  }
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (q.first <= p.first && q.second <= p.second && q != p) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) bc.expect.push_back(p);
+  }
+  std::sort(bc.expect.begin(), bc.expect.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  bc.expect.erase(std::unique(bc.expect.begin(), bc.expect.end()),
+                  bc.expect.end());
+  return bc;
+}
+
+class RandomBilp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBilp, NondominatedSetMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto bc = random_bicase(rng, 7, 3);
+    const auto nd = nondominated_set(bc.bp);
+    ASSERT_EQ(nd.size(), bc.expect.size()) << "rep " << rep;
+    for (std::size_t i = 0; i < nd.size(); ++i) {
+      EXPECT_NEAR(nd[i].f1, bc.expect[i].first, 1e-7) << "rep " << rep;
+      EXPECT_NEAR(nd[i].f2, bc.expect[i].second, 1e-7) << "rep " << rep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomBilp,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Bilp, LexMinOrdersObjectivesCorrectly) {
+  // Feasible points (f1, f2): (0,0), (-5,4), (-5,2), (-9,9).
+  // lex_min(f1 first) must return (-9,9); lex_min(f2 first) -> (0,0).
+  BiObjectiveProgram bp;
+  const int a = bp.base.add_var(0, 1, 0);  // f1 -5, f2 2
+  const int b = bp.base.add_var(0, 1, 0);  // f1 -4, f2 7
+  bp.integer_vars = {a, b};
+  bp.obj1 = {-5, -4};
+  bp.obj2 = {2, 7};
+  const auto p1 = lex_min(bp, true);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_NEAR(p1->f1, -9, 1e-9);
+  EXPECT_NEAR(p1->f2, 9, 1e-9);
+  const auto p2 = lex_min(bp, false);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NEAR(p2->f2, 0, 1e-9);
+  EXPECT_NEAR(p2->f1, 0, 1e-9);
+}
+
+TEST(Bilp, LexMinTieBreaksOnSecondObjective) {
+  // Two solutions with equal f1 = -5: f2 = 2 (a) and f2 = 7 (c).  The
+  // lexicographic refinement must pick f2 = 2.
+  BiObjectiveProgram bp;
+  const int a = bp.base.add_var(0, 1, 0);
+  const int c = bp.base.add_var(0, 1, 0);
+  bp.base.add_row({{a, 1}, {c, 1}}, lp::Sense::LE, 1);  // at most one
+  bp.integer_vars = {a, c};
+  bp.obj1 = {-5, -5};
+  bp.obj2 = {2, 7};
+  const auto p = lex_min(bp, true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->f1, -5, 1e-9);
+  EXPECT_NEAR(p->f2, 2, 1e-9);
+}
+
+TEST(Bilp, InfeasibleRegionYieldsNullopt) {
+  BiObjectiveProgram bp;
+  const int x = bp.base.add_var(0, 1, 0);
+  bp.base.add_row({{x, 2}}, lp::Sense::GE, 3);
+  bp.integer_vars = {x};
+  bp.obj1 = {1};
+  bp.obj2 = {1};
+  EXPECT_FALSE(lex_min(bp, true).has_value());
+  EXPECT_TRUE(nondominated_set(bp).empty());
+}
+
+TEST(Bilp, StatsAreAccumulated) {
+  BiObjectiveProgram bp;
+  bp.base.add_var(0, 1, 0);
+  bp.integer_vars = {0};
+  bp.obj1 = {-1};
+  bp.obj2 = {1};
+  BilpStats stats;
+  const auto nd = nondominated_set(bp, 0.0, &stats);
+  EXPECT_EQ(nd.size(), 2u);  // (0,0) and (-1,1)
+  EXPECT_GE(stats.ilp_solves, 4u);
+}
+
+TEST(Bilp, ExplicitEpsilonOverridesGridDetection) {
+  BiObjectiveProgram bp;
+  bp.base.add_var(0, 1, 0);
+  bp.integer_vars = {0};
+  bp.obj1 = {-1};
+  bp.obj2 = {1.0 / 3.0};  // not on a decimal grid
+  EXPECT_THROW(nondominated_set(bp), SolverError);
+  const auto nd = nondominated_set(bp, 0.1);
+  EXPECT_EQ(nd.size(), 2u);
+}
+
+}  // namespace
+}  // namespace atcd::ilp

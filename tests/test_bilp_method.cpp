@@ -1,0 +1,111 @@
+#include "core/bilp_method.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/dataserver.hpp"
+#include "casestudies/factory.hpp"
+#include "core/bottom_up.hpp"
+#include "core/enumerative.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::front_is;
+using atcd::testing::fronts_equal;
+
+TEST(BilpMethod, ProgramShapeMatchesTheorem6) {
+  const auto m = casestudies::make_factory();
+  const auto bp = make_bilp(m);
+  // One binary per node.
+  EXPECT_EQ(bp.base.num_vars(), 5);
+  EXPECT_EQ(bp.integer_vars.size(), 5u);
+  // AND dr contributes 2 rows (one per child); OR ps contributes 1.
+  EXPECT_EQ(bp.base.num_rows(), 3u);
+  // obj1 = -damage over all nodes; obj2 = cost over BASs only.
+  EXPECT_DOUBLE_EQ(bp.obj1[*m.tree.find("ps")], -200.0);
+  EXPECT_DOUBLE_EQ(bp.obj2[*m.tree.find("ca")], 1.0);
+  EXPECT_DOUBLE_EQ(bp.obj2[*m.tree.find("dr")], 0.0);
+}
+
+TEST(BilpMethod, FactoryFrontViaBilp) {
+  const auto f = cdpf_bilp(casestudies::make_factory());
+  EXPECT_TRUE(front_is(f, {{0, 0}, {1, 200}, {3, 210}, {5, 310}}));
+}
+
+TEST(BilpMethod, AgreesWithBottomUpOnTreelikeModels) {
+  Rng rng(41);
+  for (int it = 0; it < 8; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 7, /*treelike=*/true);
+    EXPECT_TRUE(fronts_equal(cdpf_bilp(m), cdpf_bottom_up(m)))
+        << "iteration " << it;
+  }
+}
+
+TEST(BilpMethod, AgreesWithEnumerationOnDags) {
+  Rng rng(42);
+  for (int it = 0; it < 8; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 7, /*treelike=*/false);
+    EXPECT_TRUE(fronts_equal(cdpf_bilp(m), cdpf_enumerative(m)))
+        << "iteration " << it;
+  }
+}
+
+TEST(BilpMethod, DgcOnTheDataServer) {
+  const auto m = casestudies::make_dataserver();
+  // Below the cheapest damaging attack.
+  EXPECT_DOUBLE_EQ(dgc_bilp(m, 249.0).damage, 0.0);
+  // Fig. 6c points as budget thresholds.
+  EXPECT_DOUBLE_EQ(dgc_bilp(m, 250.0).damage, 24.0);
+  EXPECT_DOUBLE_EQ(dgc_bilp(m, 567.0).damage, 24.0);
+  EXPECT_DOUBLE_EQ(dgc_bilp(m, 568.0).damage, 60.0);
+  EXPECT_DOUBLE_EQ(dgc_bilp(m, 5000.0).damage, 82.8);
+  // Negative budget: infeasible by convention.
+  EXPECT_FALSE(dgc_bilp(m, -1.0).feasible);
+}
+
+TEST(BilpMethod, CgdOnTheDataServer) {
+  const auto m = casestudies::make_dataserver();
+  EXPECT_DOUBLE_EQ(cgd_bilp(m, 1.0).cost, 250.0);
+  EXPECT_DOUBLE_EQ(cgd_bilp(m, 24.0).cost, 250.0);
+  EXPECT_DOUBLE_EQ(cgd_bilp(m, 24.1).cost, 568.0);
+  EXPECT_DOUBLE_EQ(cgd_bilp(m, 82.8).cost, 1281.0);
+  EXPECT_FALSE(cgd_bilp(m, 83.0).feasible);
+}
+
+TEST(BilpMethod, DgcCgdMatchEnumerationOnRandomDags) {
+  Rng rng(43);
+  for (int it = 0; it < 6; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 7, /*treelike=*/false);
+    const double budget = static_cast<double>(rng.range(0, 30));
+    const auto a = dgc_bilp(m, budget);
+    const auto b = dgc_enumerative(m, budget);
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_NEAR(a.damage, b.damage, 1e-7) << "budget " << budget;
+
+    const double thr = static_cast<double>(rng.range(0, 40));
+    const auto c = cgd_bilp(m, thr);
+    const auto d = cgd_enumerative(m, thr);
+    ASSERT_EQ(c.feasible, d.feasible) << "thr " << thr;
+    if (c.feasible) EXPECT_NEAR(c.cost, d.cost, 1e-7) << "thr " << thr;
+  }
+}
+
+TEST(BilpMethod, WitnessesSatisfyTheReportedValues) {
+  const auto m = casestudies::make_dataserver();
+  const auto f = cdpf_bilp(m);
+  for (const auto& p : f) {
+    EXPECT_DOUBLE_EQ(total_cost(m, p.witness), p.value.cost);
+    EXPECT_DOUBLE_EQ(total_damage(m, p.witness), p.value.damage);
+  }
+}
+
+TEST(BilpMethod, StatsAreReported) {
+  BilpRunStats stats;
+  (void)cdpf_bilp(casestudies::make_factory(), &stats);
+  EXPECT_GT(stats.ilp_solves, 0u);
+  EXPECT_GT(stats.bnb_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace atcd

@@ -1,0 +1,252 @@
+#include "core/bottom_up.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "at/transform.hpp"
+#include "casestudies/factory.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "core/enumerative.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::front_is;
+using atcd::testing::fronts_equal;
+
+TEST(BottomUpDet, FactoryFrontMatchesEq3) {
+  // PF(T) = {(0,0), (1,200), (3,210), (5,310)} (paper eq. (3), Fig. 3).
+  const auto f = cdpf_bottom_up(casestudies::make_factory());
+  EXPECT_TRUE(front_is(f, {{0, 0}, {1, 200}, {3, 210}, {5, 310}}));
+}
+
+TEST(BottomUpDet, FactoryWitnessesAreCorrectAttacks) {
+  const auto m = casestudies::make_factory();
+  const auto f = cdpf_bottom_up(m);
+  for (const auto& p : f) {
+    EXPECT_DOUBLE_EQ(total_cost(m, p.witness), p.value.cost);
+    EXPECT_DOUBLE_EQ(total_damage(m, p.witness), p.value.damage);
+  }
+  // The (1,200) point is the cyberattack.
+  EXPECT_EQ(attack_to_string(m.tree, f[1].witness), "{ca}");
+}
+
+TEST(BottomUpDet, DgcMatchesExample2) {
+  const auto m = casestudies::make_factory();
+  const auto r = dgc_bottom_up(m, 2.0);  // paper: d_opt = 200 for U = 2
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.damage, 200.0);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0);
+}
+
+TEST(BottomUpDet, DgcBudgetEdgeCases) {
+  const auto m = casestudies::make_factory();
+  // Zero budget: only the empty attack.
+  const auto r0 = dgc_bottom_up(m, 0.0);
+  ASSERT_TRUE(r0.feasible);
+  EXPECT_DOUBLE_EQ(r0.damage, 0.0);
+  // Budget exactly on an attack cost boundary is inclusive.
+  EXPECT_DOUBLE_EQ(dgc_bottom_up(m, 1.0).damage, 200.0);
+  EXPECT_DOUBLE_EQ(dgc_bottom_up(m, 4.999).damage, 210.0);
+  EXPECT_DOUBLE_EQ(dgc_bottom_up(m, 5.0).damage, 310.0);
+}
+
+TEST(BottomUpDet, CgdMatchesFront) {
+  const auto m = casestudies::make_factory();
+  const auto r = cgd_bottom_up(m, 201.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+  EXPECT_DOUBLE_EQ(r.damage, 210.0);
+  EXPECT_FALSE(cgd_bottom_up(m, 311.0).feasible);
+  // L = 0 is satisfied by the empty attack.
+  const auto zero = cgd_bottom_up(m, 0.0);
+  ASSERT_TRUE(zero.feasible);
+  EXPECT_DOUBLE_EQ(zero.cost, 0.0);
+}
+
+TEST(BottomUpDet, RefusesDagModels) {
+  Rng rng(31);
+  for (int it = 0; it < 10; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 6, /*treelike=*/false);
+    if (m.tree.is_treelike()) continue;
+    EXPECT_THROW(cdpf_bottom_up(m), UnsupportedError);
+    return;
+  }
+  FAIL() << "no DAG generated";
+}
+
+TEST(BottomUpDet, Example6ExponentialFront) {
+  // OR over BASs with c(v_i) = d(v_i) = 2^i: every one of the 2^n attacks
+  // is Pareto-optimal (paper Example 6 / Thm 5).
+  const int n = 8;
+  CdAt m;
+  std::vector<NodeId> cs;
+  for (int i = 0; i < n; ++i) {
+    cs.push_back(m.tree.add_bas("v" + std::to_string(i)));
+    m.cost.push_back(std::pow(2.0, i));
+  }
+  m.tree.set_root(m.tree.add_gate(NodeType::OR, "root", cs));
+  m.tree.finalize();
+  m.damage.assign(m.tree.node_count(), 0.0);
+  for (int i = 0; i < n; ++i) m.damage[cs[i]] = std::pow(2.0, i);
+  const auto f = cdpf_bottom_up(m);
+  EXPECT_EQ(f.size(), std::size_t{1} << n);
+  // The front is the diagonal (k, k).
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    EXPECT_DOUBLE_EQ(f[k].value.cost, static_cast<double>(k));
+    EXPECT_DOUBLE_EQ(f[k].value.damage, static_cast<double>(k));
+  }
+}
+
+TEST(BottomUpDet, SingleBasTree) {
+  CdAt m;
+  const auto b = m.tree.add_bas("b");
+  m.tree.set_root(b);
+  m.tree.finalize();
+  m.cost = {2.0};
+  m.damage = {5.0};
+  const auto f = cdpf_bottom_up(m);
+  EXPECT_TRUE(front_is(f, {{0, 0}, {2, 5}}));
+  (void)b;
+}
+
+TEST(BottomUpDet, ZeroCostBasIsAlwaysTaken) {
+  // A damage-carrying BAS with zero cost collapses the front's left edge.
+  CdAt m;
+  const auto a = m.tree.add_bas("free");
+  const auto b = m.tree.add_bas("paid");
+  m.tree.set_root(m.tree.add_gate(NodeType::OR, "root", {a, b}));
+  m.tree.finalize();
+  m.cost = {0.0, 1.0};
+  m.damage.assign(m.tree.node_count(), 0.0);
+  m.damage[a] = 3.0;
+  m.damage[b] = 4.0;
+  m.damage[m.tree.root()] = 1.0;
+  const auto f = cdpf_bottom_up(m);
+  // (0,4): free BAS + root; (1,8): both.
+  EXPECT_TRUE(front_is(f, {{0, 4}, {1, 8}}));
+}
+
+TEST(BottomUpDet, NaryGatesEqualBinarizedForm) {
+  // The n-ary fold must agree with the paper's binary formulation.
+  Rng rng(77);
+  for (int it = 0; it < 15; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 8, /*treelike=*/true);
+    const auto bin = binarize_model(m);
+    EXPECT_TRUE(fronts_equal(cdpf_bottom_up(m), cdpf_bottom_up(bin)));
+  }
+}
+
+TEST(BottomUpDet, AblationIgnoringActivationIsUnsound) {
+  // Dropping the third DTrip coordinate must lose the (5,310) point of
+  // the factory front: {pb} is pruned at dr (Example 4's failure mode).
+  const auto m = casestudies::make_factory();
+  detail::BottomUpOptions opt;
+  opt.ignore_activation = true;
+  const auto triples = detail::bottom_up_root_front(
+      m.tree, m.cost, m.damage, std::vector<double>(3, 1.0), opt);
+  double best = 0;
+  for (const auto& t : triples) best = std::max(best, t.t.damage);
+  EXPECT_LT(best, 310.0);
+}
+
+TEST(BottomUpDet, Examples3To5IntermediateFronts) {
+  // The paper's worked Examples 3-5 give the incomplete Pareto fronts
+  // C^D_inf(v) at every node of the factory AT.  We reproduce them by
+  // running the sweep on extracted subtrees (activation probabilities 1).
+  const auto m = casestudies::make_factory();
+  auto sub_front = [&](const char* node) {
+    const auto s = subtree(m.tree, *m.tree.find(node));
+    // Carry the decorations over to the subtree.
+    CdAt sm;
+    sm.tree = s.tree;
+    sm.cost.resize(s.tree.bas_count());
+    sm.damage.assign(s.tree.node_count(), 0.0);
+    for (NodeId v = 0; v < m.tree.node_count(); ++v) {
+      if (s.node_map[v] == kNoNode) continue;
+      sm.damage[s.node_map[v]] = m.damage[v];
+      if (m.tree.is_bas(v))
+        sm.cost[s.tree.bas_index(s.node_map[v])] =
+            m.cost[m.tree.bas_index(v)];
+    }
+    return detail::bottom_up_root_front(
+        sm.tree, sm.cost, sm.damage,
+        std::vector<double>(sm.tree.bas_count(), 1.0));
+  };
+  auto has = [](const std::vector<AttrTriple>& f, double c, double d,
+                double b) {
+    for (const auto& t : f)
+      if (t.t == Triple{c, d, b}) return true;
+    return false;
+  };
+  // Example 3/4: C at dr = {(0,0,0), (2,10,0), (5,110,1)};
+  // (3,0,0) was discarded as dominated.
+  const auto dr = sub_front("dr");
+  EXPECT_EQ(dr.size(), 3u);
+  EXPECT_TRUE(has(dr, 0, 0, 0));
+  EXPECT_TRUE(has(dr, 2, 10, 0));
+  EXPECT_TRUE(has(dr, 5, 110, 1));
+  EXPECT_FALSE(has(dr, 3, 0, 0));
+  // Example 5 at ps (root): of the six combined triples, (6,310,1) is
+  // dominated by (5,310,1) and (2,10,0) by (1,200,1) (its underlines are
+  // lost in the paper's text form but follow from ⊑), leaving four; their
+  // projection is exactly eq. (3).
+  const auto ps = sub_front("ps");
+  EXPECT_EQ(ps.size(), 4u);
+  EXPECT_TRUE(has(ps, 0, 0, 0));
+  EXPECT_TRUE(has(ps, 1, 200, 1));
+  EXPECT_TRUE(has(ps, 3, 210, 1));
+  EXPECT_TRUE(has(ps, 5, 310, 1));
+  EXPECT_FALSE(has(ps, 6, 310, 1));
+  EXPECT_FALSE(has(ps, 2, 10, 0));
+}
+
+TEST(BottomUpProb, Example10TwoChildrenOr) {
+  // OR(v1, v2), c = 1, p = 0.5 each, d(root) = 1: the probabilistic front
+  // has the extra point (2, 0.75) that the deterministic front lacks.
+  CdpAt m;
+  const auto v1 = m.tree.add_bas("v1");
+  const auto v2 = m.tree.add_bas("v2");
+  const auto w = m.tree.add_gate(NodeType::OR, "w", {v1, v2});
+  m.tree.set_root(w);
+  m.tree.finalize();
+  m.cost = {1.0, 1.0};
+  m.prob = {0.5, 0.5};
+  m.damage.assign(3, 0.0);
+  m.damage[w] = 1.0;
+  EXPECT_TRUE(
+      front_is(cedpf_bottom_up(m), {{0, 0}, {1, 0.5}, {2, 0.75}}));
+  // Deterministic: attacking both is wasted cost.
+  EXPECT_TRUE(
+      front_is(cdpf_bottom_up(m.deterministic()), {{0, 0}, {1, 1}}));
+}
+
+TEST(BottomUpProb, EdgcRespectsBudget) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto r = edgc_bottom_up(m, 3.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.cost, 3.0);
+  // Check optimality against enumeration.
+  const auto e = edgc_enumerative(m, 3.0);
+  EXPECT_NEAR(r.damage, e.damage, 1e-9);
+}
+
+TEST(BottomUpProb, CgedMatchesEnumeration) {
+  const auto m = casestudies::make_factory_probabilistic();
+  for (double L : {0.0, 10.0, 40.0, 117.0}) {
+    const auto r = cged_bottom_up(m, L);
+    const auto e = cged_enumerative(m, L);
+    ASSERT_EQ(r.feasible, e.feasible) << L;
+    if (r.feasible) EXPECT_NEAR(r.cost, e.cost, 1e-9) << L;
+  }
+}
+
+TEST(BottomUpProb, InfeasibleThreshold) {
+  const auto m = casestudies::make_factory_probabilistic();
+  EXPECT_FALSE(cged_bottom_up(m, 1e6).feasible);
+}
+
+}  // namespace
+}  // namespace atcd

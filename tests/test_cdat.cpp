@@ -1,0 +1,201 @@
+#include "core/cdat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+TEST(CdAt, ValidateRejectsBadDecorations) {
+  auto m = casestudies::make_factory();
+  auto bad_cost = m;
+  bad_cost.cost.pop_back();
+  EXPECT_THROW(bad_cost.validate(), ModelError);
+  auto bad_damage = m;
+  bad_damage.damage[0] = -1.0;
+  EXPECT_THROW(bad_damage.validate(), ModelError);
+  auto short_damage = m;
+  short_damage.damage.pop_back();
+  EXPECT_THROW(short_damage.validate(), ModelError);
+}
+
+TEST(CdpAt, ValidateRejectsBadProbabilities) {
+  auto m = casestudies::make_factory_probabilistic();
+  m.prob[0] = 1.5;
+  EXPECT_THROW(m.validate(), ModelError);
+  m.prob[0] = -0.1;
+  EXPECT_THROW(m.validate(), ModelError);
+}
+
+TEST(CdpAt, DeterministicForgetsProbabilities) {
+  const auto p = casestudies::make_factory_probabilistic();
+  const auto d = p.deterministic();
+  EXPECT_EQ(d.cost, p.cost);
+  EXPECT_EQ(d.damage, p.damage);
+}
+
+// ---- Probabilistic semantics (Sec. VIII). ----
+
+TEST(ExpectedDamage, Example9OfThePaper) {
+  // d̂_E(0,1,1) with p = (0.2, 0.4, 0.9): PS(fd) = 0.9, PS(dr) = 0.36,
+  // PS(ps) = 0.36, so 10*0.9 + 100*0.36 + 200*0.36 = 117.
+  // (The paper's Example 9 prints 112, but its own arithmetic swaps the
+  // damage of actualizations (0,0,1) and (0,1,0) relative to the Example 1
+  // table; 117 is the value consistent with Defs. 4-6.  See EXPERIMENTS.md.)
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto x = make_attack(m.tree, {"pb", "fd"});
+  EXPECT_NEAR(expected_damage(m, x), 117.0, 1e-12);
+  EXPECT_NEAR(expected_damage_exact(m, x), 117.0, 1e-12);
+}
+
+TEST(ExpectedDamage, ActualizationDistributionOfExample8) {
+  // P(Y_(0,1,1) = y) from Example 8, checked through the exact enumerator
+  // by probing single actualizations via degenerate probabilities.
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto x = make_attack(m.tree, {"pb", "fd"});
+  // E[d] = .06*0 + .54*10 + .04*0 + .36*310 = 117 decomposes the same way.
+  EXPECT_NEAR(0.06 * 0 + 0.54 * 10 + 0.04 * 0 + 0.36 * 310, 117.0, 1e-12);
+  EXPECT_NEAR(expected_damage_exact(m, x), 117.0, 1e-12);
+}
+
+TEST(ExpectedDamage, MatchesExactEnumerationOnRandomTrees) {
+  Rng rng(11);
+  for (int it = 0; it < 25; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 7, /*treelike=*/true);
+    const std::uint64_t mask = rng.below(128);
+    const Attack x = Attack::from_mask(7, mask);
+    ASSERT_NEAR(expected_damage(m, x), expected_damage_exact(m, x), 1e-9)
+        << "seed iteration " << it;
+  }
+}
+
+TEST(ExpectedDamage, DeterministicLimit) {
+  // p = 1 must reproduce the deterministic damage.
+  const auto det = casestudies::make_factory();
+  CdpAt m{det.tree, det.cost, det.damage, {1.0, 1.0, 1.0}};
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    const Attack x = Attack::from_mask(3, mask);
+    EXPECT_DOUBLE_EQ(expected_damage(m, x), total_damage(det, x));
+  }
+}
+
+TEST(ExpectedDamage, ZeroProbabilityMeansZeroDamage) {
+  const auto det = casestudies::make_factory();
+  CdpAt m{det.tree, det.cost, det.damage, {0.0, 0.0, 0.0}};
+  const auto x = make_attack(m.tree, {"ca", "pb", "fd"});
+  EXPECT_DOUBLE_EQ(expected_damage(m, x), 0.0);
+}
+
+TEST(ExpectedDamage, ExactEnumeratorCapacityGuard) {
+  Rng rng(3);
+  const auto m = atcd::testing::random_cdpat(rng, 8, true);
+  Attack x(8);
+  for (std::size_t i = 0; i < 8; ++i) x.set(i);
+  EXPECT_THROW(expected_damage_exact(m, x, /*max_attempted=*/4),
+               CapacityError);
+}
+
+TEST(ProbabilisticStructure, RefusesDagModels) {
+  Rng rng(5);
+  for (int it = 0; it < 10; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/false);
+    if (m.tree.is_treelike()) continue;  // sharing is probabilistic
+    EXPECT_THROW(probabilistic_structure(m, Attack(6)), UnsupportedError);
+    return;
+  }
+  FAIL() << "random_dag never produced a DAG";
+}
+
+TEST(SampleDamage, MonteCarloConvergesToExpectedDamage) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto x = make_attack(m.tree, {"pb", "fd"});
+  Rng rng(123);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += sample_damage(m, x, rng);
+  EXPECT_NEAR(sum / n, 117.0, 2.5);  // ~3 sigma for this variance
+}
+
+// ---- Fig. 2: internal costs are syntactic sugar, internal damage is not. ----
+
+TEST(WithInternalCosts, AndGateGainsDummyChild) {
+  // Left AT of Fig. 2: AND with internal cost 1 over two cost-1 BASs.
+  CdAt m;
+  const auto a = m.tree.add_bas("a");
+  const auto b = m.tree.add_bas("b");
+  const auto g = m.tree.add_gate(NodeType::AND, "g", {a, b});
+  m.tree.set_root(g);
+  m.tree.finalize();
+  m.cost = {1.0, 1.0};
+  m.damage.assign(3, 0.0);
+  m.damage[g] = 1.0;
+
+  std::vector<double> internal(3, 0.0);
+  internal[g] = 1.0;
+  const auto rewritten = with_internal_costs(m, internal);
+  EXPECT_TRUE(rewritten.tree.find("g#cost").has_value());
+  EXPECT_EQ(rewritten.tree.bas_count(), 3u);
+  // Damage 1 now requires paying all three costs: total cost 3.
+  Attack all(3);
+  for (std::size_t i = 0; i < 3; ++i) all.set(i);
+  EXPECT_DOUBLE_EQ(total_cost(rewritten, all), 3.0);
+  EXPECT_DOUBLE_EQ(total_damage(rewritten, all), 1.0);
+  // Without the dummy, the gate (and its damage) is not reached.
+  const auto x = make_attack(rewritten.tree, {"a", "b"});
+  EXPECT_DOUBLE_EQ(total_damage(rewritten, x), 0.0);
+}
+
+TEST(WithInternalCosts, OrGateWrappedInAnd) {
+  CdAt m;
+  const auto a = m.tree.add_bas("a");
+  const auto b = m.tree.add_bas("b");
+  const auto g = m.tree.add_gate(NodeType::OR, "g", {a, b});
+  m.tree.set_root(g);
+  m.tree.finalize();
+  m.cost = {1.0, 1.0};
+  m.damage.assign(3, 0.0);
+  m.damage[g] = 7.0;
+
+  std::vector<double> internal(3, 0.0);
+  internal[g] = 2.0;
+  const auto r = with_internal_costs(m, internal);
+  // One child reached + dummy paid => damage 7 at cost 3.
+  const auto x = make_attack(r.tree, {"a", "g#cost"});
+  EXPECT_DOUBLE_EQ(total_cost(r, x), 3.0);
+  EXPECT_DOUBLE_EQ(total_damage(r, x), 7.0);
+  // Child alone: no damage (cost not paid).
+  EXPECT_DOUBLE_EQ(total_damage(r, make_attack(r.tree, {"a"})), 0.0);
+  // Dummy alone: no damage either — this is exactly why damage must stay
+  // on the internal node (Fig. 2 right would be wrong).
+  EXPECT_DOUBLE_EQ(total_damage(r, make_attack(r.tree, {"g#cost"})), 0.0);
+}
+
+TEST(WithInternalCosts, RejectsCostsOnBasEntries) {
+  const auto m = casestudies::make_factory();
+  std::vector<double> internal(m.tree.node_count(), 0.0);
+  internal[*m.tree.find("ca")] = 1.0;
+  EXPECT_THROW(with_internal_costs(m, internal), ModelError);
+}
+
+TEST(RandomizeDecorations, RespectsPaperRanges) {
+  Rng rng(17);
+  const auto t = atcd::testing::random_tree(rng, 10);
+  const auto m = randomize_decorations(t, rng);
+  for (double c : m.cost) {
+    EXPECT_GE(c, 1.0);
+    EXPECT_LE(c, 10.0);
+  }
+  for (double d : m.damage) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 10.0);
+  }
+  for (double p : m.prob) {
+    EXPECT_GE(p, 0.1);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace atcd

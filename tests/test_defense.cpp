@@ -1,0 +1,141 @@
+#include "defense/defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "casestudies/panda.hpp"
+#include "core/problems.hpp"
+
+namespace atcd::defense {
+namespace {
+
+std::vector<Countermeasure> factory_catalogue() {
+  return {
+      {"patch_it", 5.0, {"ca"}},          // stops the cyberattack
+      {"steel_door", 2.0, {"fd"}},        // stops forcing the door
+      {"bomb_detector", 4.0, {"pb"}},     // stops the bomb
+  };
+}
+
+TEST(Defense, HardenMakesBassUnaffordable) {
+  const auto m = casestudies::make_factory();
+  const auto cat = factory_catalogue();
+  const auto hardened =
+      harden(m, cat, {true, false, false}, HardeningSemantics{});
+  // The cyberattack path is gone: DgC with any sane budget can only use
+  // the robot path.
+  const auto r = dgc(hardened, 10.0);
+  EXPECT_DOUBLE_EQ(r.damage, 310.0);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+  const auto tight = dgc(hardened, 2.0);
+  EXPECT_DOUBLE_EQ(tight.damage, 10.0);  // only {fd}
+}
+
+TEST(Defense, FiniteCostFactorScalesInsteadOfRemoving) {
+  const auto m = casestudies::make_factory();
+  HardeningSemantics s;
+  s.cost_factor = 10.0;
+  const auto hardened =
+      harden(m, factory_catalogue(), {true, false, false}, s);
+  // ca now costs 10: still possible, just expensive.
+  const auto r = dgc(hardened, 10.0);
+  EXPECT_DOUBLE_EQ(r.damage, 310.0);  // robot path is cheaper anyway
+  EXPECT_DOUBLE_EQ(dgc(hardened, 100.0).damage, 310.0);  // all damage nodes
+}
+
+TEST(Defense, ProbabilisticHardeningScalesProbability) {
+  const auto m = casestudies::make_factory_probabilistic();
+  HardeningSemantics s;
+  s.cost_factor = 1.0;
+  s.prob_factor = 0.5;
+  const auto hardened =
+      harden(m, factory_catalogue(), {true, false, false}, s);
+  EXPECT_DOUBLE_EQ(hardened.prob[m.tree.bas_index(*m.tree.find("ca"))], 0.1);
+  EXPECT_DOUBLE_EQ(hardened.prob[m.tree.bas_index(*m.tree.find("pb"))], 0.4);
+}
+
+TEST(Defense, RejectsBadInput) {
+  const auto m = casestudies::make_factory();
+  EXPECT_THROW(harden(m, factory_catalogue(), {true}, {}), ModelError);
+  std::vector<Countermeasure> bad{{"x", 1.0, {"nonexistent"}}};
+  EXPECT_THROW(harden(m, bad, {true}, {}), ModelError);
+  std::vector<Countermeasure> gate{{"x", 1.0, {"dr"}}};
+  EXPECT_THROW(harden(m, gate, {true}, {}), ModelError);
+}
+
+TEST(Defense, FrontIsAParetoStaircase) {
+  const auto m = casestudies::make_factory();
+  const auto front = defense_front(m, factory_catalogue());
+  ASSERT_GE(front.size(), 2u);
+  // First point: empty portfolio, full residual damage 310.
+  EXPECT_DOUBLE_EQ(front[0].defense_cost, 0.0);
+  EXPECT_DOUBLE_EQ(front[0].residual_damage, 310.0);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].defense_cost, front[i - 1].defense_cost);
+    EXPECT_LT(front[i].residual_damage, front[i - 1].residual_damage);
+  }
+  // Full catalogue kills all damage; the cheapest all-stopping portfolio
+  // costs at most 11.
+  EXPECT_DOUBLE_EQ(front.back().residual_damage, 0.0);
+  EXPECT_LE(front.back().defense_cost, 11.0);
+}
+
+TEST(Defense, FrontAgainstBudgetedAttacker) {
+  const auto m = casestudies::make_factory();
+  DefenseOptions opt;
+  opt.attacker_budget = 2.0;  // attacker can only afford ca or fd
+  const auto front = defense_front(m, factory_catalogue(), opt);
+  EXPECT_DOUBLE_EQ(front[0].residual_damage, 200.0);  // {ca}
+  // Patching ca leaves only {fd}: residual 10 for defense cost 5.
+  bool found = false;
+  for (const auto& p : front)
+    if (p.portfolio == std::vector<std::string>{"patch_it"}) {
+      EXPECT_DOUBLE_EQ(p.residual_damage, 10.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Defense, ExhaustiveCapacityGuard) {
+  const auto m = casestudies::make_factory();
+  std::vector<Countermeasure> big;
+  for (int i = 0; i < 20; ++i) big.push_back({"cm" + std::to_string(i), 1.0, {"ca"}});
+  DefenseOptions opt;
+  opt.max_exhaustive = 10;
+  EXPECT_THROW(defense_front(m, big, opt), CapacityError);
+}
+
+TEST(Defense, GreedyTraceIsMonotone) {
+  const auto m = casestudies::make_panda().deterministic();
+  std::vector<Countermeasure> cat{
+      {"vet_insiders", 6.0, {"b18_internal_leakage"}},
+      {"guard_station", 5.0,
+       {"b19_look_for_base_station", "b15_find_base_station"}},
+      {"code_signing", 4.0,
+       {"b21_send_malicious_codes", "b22_malicious_codes_ran"}},
+      {"encrypt_traffic", 7.0,
+       {"b8_physical_layer", "b9_mac_layer", "b10_appliance_layer"}},
+  };
+  const auto trace = greedy_defense(m, cat, 15.0);
+  ASSERT_GE(trace.size(), 2u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i].residual_damage, trace[i - 1].residual_damage);
+    EXPECT_LE(trace[i].defense_cost, 15.0);
+  }
+  // The first pick should target the base station or internal leakage —
+  // the paper's own advice.
+  ASSERT_FALSE(trace.back().portfolio.empty());
+}
+
+TEST(Defense, GreedyStopsWhenNothingHelps) {
+  const auto m = casestudies::make_factory();
+  std::vector<Countermeasure> cat{{"useless", 1.0, {"ca"}}};
+  // Hardening ca when the attacker has no budget anyway changes nothing.
+  DefenseOptions opt;
+  opt.attacker_budget = 0.0;
+  const auto trace = greedy_defense(m, cat, 100.0, opt);
+  EXPECT_EQ(trace.size(), 1u);  // only the empty starting point
+}
+
+}  // namespace
+}  // namespace atcd::defense

@@ -1,0 +1,142 @@
+#include "gen/random_at.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/literature.hpp"
+#include "util/rng.hpp"
+
+namespace atcd::gen {
+namespace {
+
+TEST(Literature, TableIvNodeCountsAndShapes) {
+  // |N| and treelike flags exactly as in the paper's Table IV.
+  struct Expect {
+    const char* name;
+    std::size_t n;
+    bool treelike;
+  };
+  const Expect expect[] = {
+      {"kumar_fig1", 12, false},    {"kumar_fig8", 20, false},
+      {"kumar_fig9", 12, false},    {"arnold15_fig1", 16, false},
+      {"kordy_fig1", 15, true},     {"arnold14_fig3", 8, true},
+      {"arnold14_fig5", 21, true},  {"arnold14_fig7", 25, true},
+      {"fraile_fig2", 20, true},
+  };
+  const auto blocks = literature_blocks();
+  ASSERT_EQ(blocks.size(), 9u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_STREQ(blocks[i].name, expect[i].name);
+    EXPECT_EQ(blocks[i].tree.node_count(), expect[i].n) << expect[i].name;
+    EXPECT_EQ(blocks[i].tree.is_treelike(), expect[i].treelike)
+        << expect[i].name;
+    EXPECT_TRUE(blocks[i].tree.finalized());
+  }
+}
+
+TEST(Literature, TreelikeSubsetHasFiveBlocks) {
+  const auto blocks = literature_blocks_treelike();
+  ASSERT_EQ(blocks.size(), 5u);
+  for (const auto& b : blocks) EXPECT_TRUE(b.tree.is_treelike());
+}
+
+TEST(Combine, LeafSubstitutionJoinsTheTrees) {
+  Rng rng(1);
+  const auto blocks = literature_blocks_treelike();
+  const auto& a = blocks[1].tree;  // arnold14_fig3, 8 nodes
+  const auto& b = blocks[0].tree;  // kordy_fig1, 15 nodes
+  const auto c = combine(a, b, CombineMethod::LeafSubstitution, "t0.", rng);
+  // One BAS of `a` is replaced by all of `b`: |c| = |a| - 1 + |b|.
+  EXPECT_EQ(c.node_count(), a.node_count() - 1 + b.node_count());
+  EXPECT_EQ(c.bas_count(), a.bas_count() - 1 + b.bas_count());
+  EXPECT_TRUE(c.is_treelike());
+}
+
+TEST(Combine, NewRootAddsOneNode) {
+  Rng rng(2);
+  const auto blocks = literature_blocks_treelike();
+  const auto& a = blocks[0].tree;
+  const auto& b = blocks[1].tree;
+  const auto c = combine(a, b, CombineMethod::NewRoot, "t1.", rng);
+  EXPECT_EQ(c.node_count(), a.node_count() + b.node_count() + 1);
+  EXPECT_TRUE(c.is_treelike());
+  EXPECT_EQ(c.children(c.root()).size(), 2u);
+}
+
+TEST(Combine, NewRootIdentifyCreatesADag) {
+  Rng rng(3);
+  const auto blocks = literature_blocks_treelike();
+  const auto& a = blocks[0].tree;
+  const auto& b = blocks[1].tree;
+  const auto c = combine(a, b, CombineMethod::NewRootIdentify, "t2.", rng);
+  // New root added, one BAS of b identified away.
+  EXPECT_EQ(c.node_count(), a.node_count() + b.node_count());
+  EXPECT_FALSE(c.is_treelike());
+}
+
+TEST(Combine, DeterministicGivenSeed) {
+  const auto blocks = literature_blocks();
+  for (int m = 0; m < 3; ++m) {
+    Rng r1(77), r2(77);
+    const auto c1 = combine(blocks[0].tree, blocks[4].tree,
+                            static_cast<CombineMethod>(m), "x.", r1);
+    const auto c2 = combine(blocks[0].tree, blocks[4].tree,
+                            static_cast<CombineMethod>(m), "x.", r2);
+    ASSERT_EQ(c1.node_count(), c2.node_count());
+    for (NodeId v = 0; v < c1.node_count(); ++v)
+      ASSERT_EQ(c1.name(v), c2.name(v));
+  }
+}
+
+TEST(MakeSuite, ProducesRequestedSizesAndCount) {
+  Rng rng(9);
+  SuiteOptions opt;
+  opt.max_n = 30;
+  opt.per_size = 2;
+  opt.treelike = true;
+  const auto suite = make_suite(opt, rng);
+  ASSERT_EQ(suite.size(), 60u);
+  for (const auto& e : suite) {
+    EXPECT_GE(e.tree.node_count(), e.size_target);
+    EXPECT_TRUE(e.tree.is_treelike());
+    EXPECT_TRUE(e.tree.finalized());
+  }
+}
+
+TEST(MakeSuite, DagSuiteContainsDags) {
+  Rng rng(10);
+  SuiteOptions opt;
+  opt.max_n = 40;
+  opt.per_size = 2;
+  opt.treelike = false;
+  const auto suite = make_suite(opt, rng);
+  std::size_t dags = 0;
+  for (const auto& e : suite)
+    if (!e.tree.is_treelike()) ++dags;
+  EXPECT_GT(dags, suite.size() / 4);  // plenty of sharing
+}
+
+TEST(MakeSuite, RespectsBasCap) {
+  Rng rng(11);
+  SuiteOptions opt;
+  opt.max_n = 50;
+  opt.per_size = 2;
+  opt.treelike = true;
+  opt.max_bas = 40;
+  const auto suite = make_suite(opt, rng);
+  for (const auto& e : suite) EXPECT_LE(e.tree.bas_count(), 40u);
+}
+
+TEST(MakeSuite, DeterministicGivenSeed) {
+  SuiteOptions opt;
+  opt.max_n = 15;
+  opt.per_size = 1;
+  Rng r1(5), r2(5);
+  const auto s1 = make_suite(opt, r1);
+  const auto s2 = make_suite(opt, r2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_EQ(s1[i].tree.node_count(), s2[i].tree.node_count());
+}
+
+}  // namespace
+}  // namespace atcd::gen

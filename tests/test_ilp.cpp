@@ -1,0 +1,161 @@
+#include "ilp/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace atcd::ilp {
+namespace {
+
+TEST(Ilp, SolvesAKnapsackExactly) {
+  // max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 6  -> b + c = 20 at weight 6.
+  IntegerProgram ip;
+  const int a = ip.base.add_var(0, 1, -10);
+  const int b = ip.base.add_var(0, 1, -13);
+  const int c = ip.base.add_var(0, 1, -7);
+  ip.base.add_row({{a, 3}, {b, 4}, {c, 2}}, lp::Sense::LE, 6);
+  ip.integer_vars = {a, b, c};
+  const auto r = solve(ip);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.x[a], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[b], 1.0);
+  EXPECT_DOUBLE_EQ(r.x[c], 1.0);
+}
+
+TEST(Ilp, IntegralityChangesTheOptimum) {
+  // LP relaxation optimum is fractional; ILP must round properly.
+  // max x + y s.t. 2x + 2y <= 3, binaries: LP gives 1.5, ILP gives 1.
+  IntegerProgram ip;
+  const int x = ip.base.add_var(0, 1, -1);
+  const int y = ip.base.add_var(0, 1, -1);
+  ip.base.add_row({{x, 2}, {y, 2}}, lp::Sense::LE, 3);
+  ip.integer_vars = {x, y};
+  const auto rel = lp::solve(ip.base);
+  ASSERT_EQ(rel.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(rel.objective, -1.5, 1e-9);
+  const auto r = solve(ip);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(Ilp, DetectsInfeasibility) {
+  IntegerProgram ip;
+  const int x = ip.base.add_var(0, 1, 1);
+  ip.base.add_row({{x, 2}}, lp::Sense::GE, 3);  // needs x = 1.5
+  ip.integer_vars = {x};
+  EXPECT_EQ(solve(ip).status, IlpStatus::Infeasible);
+}
+
+TEST(Ilp, GeneralIntegerVariables) {
+  // min -x s.t. 3x <= 10, x integer in [0, 10] -> x = 3.
+  IntegerProgram ip;
+  const int x = ip.base.add_var(0, 10, -1);
+  ip.base.add_row({{x, 3}}, lp::Sense::LE, 10);
+  ip.integer_vars = {x};
+  const auto r = solve(ip);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(r.x[x], 3.0);
+}
+
+TEST(Ilp, MixedIntegerContinuous) {
+  // min -y - x, y binary, x continuous in [0, 0.5], x + y <= 1.2.
+  IntegerProgram ip;
+  const int y = ip.base.add_var(0, 1, -1);
+  const int x = ip.base.add_var(0, 0.5, -1);
+  ip.base.add_row({{x, 1}, {y, 1}}, lp::Sense::LE, 1.2);
+  ip.integer_vars = {y};
+  const auto r = solve(ip);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(r.x[y], 1.0);
+  EXPECT_NEAR(r.x[x], 0.2, 1e-9);
+}
+
+TEST(Ilp, RejectsUnboundedIntegers) {
+  IntegerProgram ip;
+  ip.base.add_var(0, lp::kInf, -1);
+  ip.integer_vars = {0};
+  EXPECT_THROW(solve(ip), SolverError);
+}
+
+struct RandomIlpCase {
+  std::uint64_t seed;
+  int n_vars;
+  int n_rows;
+};
+
+class RandomBinaryIlp : public ::testing::TestWithParam<RandomIlpCase> {};
+
+TEST_P(RandomBinaryIlp, MatchesBruteForce) {
+  const auto& pc = GetParam();
+  Rng rng(pc.seed);
+  for (int rep = 0; rep < 10; ++rep) {
+    IntegerProgram ip;
+    std::vector<double> c(pc.n_vars);
+    for (int j = 0; j < pc.n_vars; ++j) {
+      c[j] = static_cast<double>(rng.range(-9, 9));
+      ip.base.add_var(0, 1, c[j]);
+      ip.integer_vars.push_back(j);
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int i = 0; i < pc.n_rows; ++i) {
+      std::vector<double> row(pc.n_vars);
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < pc.n_vars; ++j) {
+        row[j] = static_cast<double>(rng.range(-3, 5));
+        terms.emplace_back(j, row[j]);
+      }
+      const double b = static_cast<double>(rng.range(0, 8));
+      ip.base.add_row(terms, lp::Sense::LE, b);
+      rows.push_back(row);
+      rhs.push_back(b);
+    }
+    // Brute force over all binary vectors.
+    double best = 1e18;
+    bool feasible = false;
+    for (int mask = 0; mask < (1 << pc.n_vars); ++mask) {
+      bool ok = true;
+      for (std::size_t i = 0; i < rows.size() && ok; ++i) {
+        double lhs = 0;
+        for (int j = 0; j < pc.n_vars; ++j)
+          if (mask >> j & 1) lhs += rows[i][j];
+        ok = lhs <= rhs[i] + 1e-12;
+      }
+      if (!ok) continue;
+      feasible = true;
+      double obj = 0;
+      for (int j = 0; j < pc.n_vars; ++j)
+        if (mask >> j & 1) obj += c[j];
+      best = std::min(best, obj);
+    }
+    const auto r = solve(ip);
+    if (!feasible) {
+      EXPECT_EQ(r.status, IlpStatus::Infeasible);
+      continue;
+    }
+    ASSERT_EQ(r.status, IlpStatus::Optimal) << "rep " << rep;
+    EXPECT_NEAR(r.objective, best, 1e-7) << "rep " << rep;
+    // Returned solution must itself be feasible and integral.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      double lhs = 0;
+      for (int j = 0; j < pc.n_vars; ++j) lhs += rows[i][j] * r.x[j];
+      EXPECT_LE(lhs, rhs[i] + 1e-7);
+    }
+    for (int j = 0; j < pc.n_vars; ++j)
+      EXPECT_DOUBLE_EQ(r.x[j], std::round(r.x[j]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomBinaryIlp,
+                         ::testing::Values(RandomIlpCase{101, 4, 2},
+                                           RandomIlpCase{102, 6, 3},
+                                           RandomIlpCase{103, 8, 2},
+                                           RandomIlpCase{104, 8, 5},
+                                           RandomIlpCase{105, 10, 4},
+                                           RandomIlpCase{106, 12, 3}));
+
+}  // namespace
+}  // namespace atcd::ilp

@@ -1,0 +1,68 @@
+#include "pareto/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "core/problems.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+TEST(FrontIo, CsvRoundTripWithTree) {
+  const auto m = casestudies::make_factory();
+  const auto f = cdpf(m);
+  const auto csv = front_to_csv(f, &m.tree);
+  EXPECT_NE(csv.find("cost,damage,attack"), std::string::npos);
+  EXPECT_NE(csv.find("pb+fd"), std::string::npos);
+  const auto back = front_from_csv(csv, &m.tree);
+  EXPECT_TRUE(atcd::testing::fronts_equal(f, back));
+  // Witnesses survive the round trip.
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_EQ(f[i].witness, back[i].witness);
+}
+
+TEST(FrontIo, CsvWithoutTreeUsesIndices) {
+  const auto m = casestudies::make_factory();
+  const auto csv = front_to_csv(cdpf(m), nullptr);
+  EXPECT_NE(csv.find("1+2"), std::string::npos);  // pb, fd indices
+  const auto back = front_from_csv(csv, nullptr);
+  EXPECT_TRUE(atcd::testing::fronts_equal(cdpf(m), back));
+}
+
+TEST(FrontIo, JsonShape) {
+  const auto m = casestudies::make_factory();
+  const auto json = front_to_json(cdpf(m), &m.tree);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"cost\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"damage\": 310"), std::string::npos);
+  EXPECT_NE(json.find("\"pb\", \"fd\""), std::string::npos);
+  EXPECT_NE(json.find("\"attack\": []"), std::string::npos);  // empty attack
+}
+
+TEST(FrontIo, CsvParserRejectsGarbage) {
+  EXPECT_THROW(front_from_csv("nope"), ParseError);
+  EXPECT_THROW(front_from_csv("cost,damage,attack\nx,y,z\n"), ParseError);
+  EXPECT_THROW(front_from_csv("cost,damage,attack\n1\n"), ParseError);
+  const auto m = casestudies::make_factory();
+  EXPECT_THROW(front_from_csv("cost,damage,attack\n1,2,unknown_bas\n",
+                              &m.tree),
+               ParseError);
+}
+
+TEST(FrontIo, EmptyFront) {
+  const auto csv = front_to_csv(Front2d{});
+  EXPECT_EQ(front_from_csv(csv).size(), 0u);
+  EXPECT_EQ(front_to_json(Front2d{}), "[\n]\n");
+}
+
+TEST(FrontIo, ReminimizesOnLoad) {
+  // The loader runs of_candidates, so a CSV with dominated rows yields a
+  // proper front.
+  const auto f = front_from_csv(
+      "cost,damage,attack\n0,0,\n1,5,\n2,3,\n");  // (2,3) dominated
+  EXPECT_EQ(f.size(), 2u);
+}
+
+}  // namespace
+}  // namespace atcd

@@ -1,0 +1,157 @@
+#include "core/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <bit>
+
+#include "core/bilp_method.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+// ---- Thm 1: knapsack -> cd-AT. ----
+
+TEST(KnapsackReduction, EmbeddingShape) {
+  const KnapsackInstance inst{{10, 13, 7}, {3, 4, 2}, 6};
+  const auto m = knapsack_to_cdat(inst);
+  EXPECT_EQ(m.tree.bas_count(), 3u);
+  EXPECT_EQ(m.tree.node_count(), 4u);
+  EXPECT_EQ(m.tree.type(m.tree.root()), NodeType::AND);
+  EXPECT_DOUBLE_EQ(m.damage[m.tree.root()], 0.0);
+}
+
+TEST(KnapsackReduction, SolvesTheTextbookInstance) {
+  const KnapsackInstance inst{{10, 13, 7}, {3, 4, 2}, 6};
+  const auto r = solve_knapsack_via_at(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.damage, 20.0);  // items 1 and 2
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+  EXPECT_FALSE(r.witness.test(0));
+  EXPECT_TRUE(r.witness.test(1));
+  EXPECT_TRUE(r.witness.test(2));
+}
+
+class RandomKnapsack : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomKnapsack, AtSolutionMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int rep = 0; rep < 10; ++rep) {
+    KnapsackInstance inst;
+    const int n = 2 + static_cast<int>(rng.below(9));
+    for (int i = 0; i < n; ++i) {
+      inst.value.push_back(static_cast<double>(rng.range(0, 20)));
+      inst.weight.push_back(static_cast<double>(rng.range(1, 15)));
+    }
+    inst.capacity = static_cast<double>(rng.range(0, 4 * n));
+    const auto via_at = solve_knapsack_via_at(inst);
+    const auto brute = solve_knapsack_bruteforce(inst);
+    ASSERT_TRUE(via_at.feasible);
+    EXPECT_DOUBLE_EQ(via_at.damage, brute.damage) << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomKnapsack,
+                         ::testing::Values(201, 202, 203, 204));
+
+TEST(KnapsackReduction, AlsoSolvableViaBilp) {
+  // The reduction is engine-independent: Thm 7's single-objective ILP
+  // solves the same embedded knapsack.
+  const KnapsackInstance inst{{5, 4, 3, 2}, {4, 3, 2, 1}, 6};
+  const auto m = knapsack_to_cdat(inst);
+  const auto r = dgc_bilp(m, inst.capacity);
+  const auto brute = solve_knapsack_bruteforce(inst);
+  EXPECT_DOUBLE_EQ(r.damage, brute.damage);
+}
+
+TEST(KnapsackReduction, RejectsMalformedInstances) {
+  EXPECT_THROW(knapsack_to_cdat({{1}, {1, 2}, 1}), ModelError);
+  EXPECT_THROW(knapsack_to_cdat({{}, {}, 1}), ModelError);
+}
+
+// ---- Thm 2: nondecreasing functions are exactly the damage functions. ----
+
+double submodular_example(std::uint64_t mask) {
+  // f(S) = sqrt(|S|) scaled — nondecreasing but not modular.
+  return 10.0 * std::sqrt(static_cast<double>(std::popcount(mask)));
+}
+
+TEST(Theorem2, ReconstructsASubmodularFunction) {
+  const std::size_t n = 3;
+  const auto m = nondecreasing_to_cdat(n, submodular_example,
+                                       std::vector<double>(n, 1.0));
+  for (std::uint64_t mask = 0; mask < (1u << n); ++mask) {
+    const Attack x = Attack::from_mask(n, mask);
+    EXPECT_NEAR(total_damage(m, x), submodular_example(mask), 1e-9)
+        << "mask " << mask;
+  }
+}
+
+TEST(Theorem2, ReconstructsRandomMonotoneFunctions) {
+  Rng rng(71);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 4;
+    // Random monotone table: f(S) = max over chosen base points + noise,
+    // built by propagating max over subsets.
+    std::vector<double> table(1u << n, 0.0);
+    for (std::uint64_t mask = 1; mask < table.size(); ++mask) {
+      double lower = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (mask >> i & 1)
+          lower = std::max(lower, table[mask ^ (1ull << i)]);
+      table[mask] = lower + static_cast<double>(rng.range(0, 3));
+    }
+    const auto m = nondecreasing_to_cdat(
+        n, [&table](std::uint64_t mask) { return table[mask]; },
+        std::vector<double>(n, 1.0));
+    EXPECT_FALSE(m.tree.is_treelike());  // the construction is DAG-shaped
+    for (std::uint64_t mask = 0; mask < table.size(); ++mask) {
+      const Attack x = Attack::from_mask(n, mask);
+      ASSERT_NEAR(total_damage(m, x), table[mask], 1e-9)
+          << "rep " << rep << " mask " << mask;
+    }
+  }
+}
+
+TEST(Theorem2, CostVectorCarriesOver) {
+  const auto m = nondecreasing_to_cdat(
+      2, [](std::uint64_t mask) { return static_cast<double>(mask != 0); },
+      {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(total_cost(m, Attack::from_mask(2, 0b11)), 7.0);
+}
+
+TEST(Theorem2, RejectsNonMonotoneOrBadF) {
+  const std::vector<double> cost{1, 1};
+  // f(0) != 0.
+  EXPECT_THROW(
+      nondecreasing_to_cdat(2, [](std::uint64_t) { return 1.0; }, cost),
+      ModelError);
+  // Decreasing somewhere.
+  EXPECT_THROW(nondecreasing_to_cdat(
+                   2,
+                   [](std::uint64_t mask) {
+                     return mask == 1 ? 2.0 : (mask == 3 ? 1.0 : 0.0);
+                   },
+                   cost),
+               ModelError);
+  // Negative.
+  EXPECT_THROW(nondecreasing_to_cdat(
+                   2,
+                   [](std::uint64_t mask) {
+                     return mask == 0 ? 0.0 : -1.0;
+                   },
+                   cost),
+               ModelError);
+  // Size constraints.
+  EXPECT_THROW(
+      nondecreasing_to_cdat(0, [](std::uint64_t) { return 0.0; }, {}),
+      ModelError);
+  EXPECT_THROW(
+      nondecreasing_to_cdat(2, [](std::uint64_t) { return 0.0; }, {1.0}),
+      ModelError);
+}
+
+}  // namespace
+}  // namespace atcd

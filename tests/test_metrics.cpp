@@ -1,0 +1,82 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/at_bdd.hpp"
+#include "casestudies/dataserver.hpp"
+#include "casestudies/factory.hpp"
+#include "casestudies/panda.hpp"
+#include "helpers.hpp"
+
+namespace atcd::metrics {
+namespace {
+
+TEST(Metrics, MinAttackCostOnTheFactory) {
+  // Cheapest successful attack: {ca} at cost 1.
+  EXPECT_DOUBLE_EQ(min_attack_cost(casestudies::make_factory()), 1.0);
+}
+
+TEST(Metrics, MinAttackCostMatchesBddOnRandomTrees) {
+  Rng rng(95);
+  for (int it = 0; it < 15; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 8, /*treelike=*/true);
+    ASSERT_NEAR(min_attack_cost(m), min_cost_of_successful_attack(m), 1e-9);
+  }
+}
+
+TEST(Metrics, MinAttackCostOnThePanda) {
+  // Cheapest way to the root: {b18} (OR of purchased info) at cost 3.
+  EXPECT_DOUBLE_EQ(
+      min_attack_cost(casestudies::make_panda().deterministic()), 3.0);
+}
+
+TEST(Metrics, RefusesDags) {
+  const auto ds = casestudies::make_dataserver();
+  EXPECT_THROW(min_attack_cost(ds), UnsupportedError);
+  CdpAt p{ds.tree, ds.cost, ds.damage,
+          std::vector<double>(ds.tree.bas_count(), 0.5)};
+  EXPECT_THROW(max_success_probability(p), UnsupportedError);
+  EXPECT_THROW(all_in_success_probability(p), UnsupportedError);
+}
+
+TEST(Metrics, MinAttackSkill) {
+  // skill: OR = min over options, AND = max over needed steps.
+  const auto m = casestudies::make_factory();
+  // skills: ca = 5, pb = 2, fd = 3 -> robot path needs max(2,3) = 3,
+  // root min(5, 3) = 3.
+  EXPECT_DOUBLE_EQ(min_attack_skill(m.tree, {5, 2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(min_attack_skill(m.tree, {1, 2, 3}), 1.0);
+  EXPECT_THROW(min_attack_skill(m.tree, {1, 2}), ModelError);
+}
+
+TEST(Metrics, MaxSuccessProbability) {
+  const auto m = casestudies::make_factory_probabilistic();
+  // Best single path: max(0.2, 0.4*0.9) = 0.36.
+  EXPECT_DOUBLE_EQ(max_success_probability(m), 0.36);
+}
+
+TEST(Metrics, AllInSuccessProbabilityMatchesBdd) {
+  const auto m = casestudies::make_factory_probabilistic();
+  EXPECT_NEAR(all_in_success_probability(m), 0.488, 1e-12);
+  EXPECT_NEAR(all_in_success_probability(m),
+              root_reach_probability_all_in(m), 1e-12);
+  // And on random trees.
+  Rng rng(96);
+  for (int it = 0; it < 10; ++it) {
+    const auto rm = atcd::testing::random_cdpat(rng, 7, /*treelike=*/true);
+    ASSERT_NEAR(all_in_success_probability(rm),
+                root_reach_probability_all_in(rm), 1e-9);
+  }
+}
+
+TEST(Metrics, AllInIsAtLeastBestSinglePath) {
+  Rng rng(97);
+  for (int it = 0; it < 10; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 8, /*treelike=*/true);
+    EXPECT_GE(all_in_success_probability(m),
+              max_success_probability(m) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace atcd::metrics

@@ -1,0 +1,105 @@
+#include "ga/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "core/bottom_up.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "helpers.hpp"
+
+namespace atcd::ga {
+namespace {
+
+TEST(Nsga2, RecoversTheExactFactoryFront) {
+  // 3 BASs, 8 attacks: NSGA-II must find the complete exact front.
+  const auto m = casestudies::make_factory();
+  const auto exact = cdpf_bottom_up(m);
+  const auto approx = nsga2_cdpf(m);
+  EXPECT_DOUBLE_EQ(front_coverage(exact, approx), 1.0);
+}
+
+TEST(Nsga2, WitnessesAreConsistentWithTheModel) {
+  const auto m = casestudies::make_factory();
+  for (const auto& p : nsga2_cdpf(m)) {
+    EXPECT_DOUBLE_EQ(total_cost(m, p.witness), p.value.cost);
+    EXPECT_DOUBLE_EQ(total_damage(m, p.witness), p.value.damage);
+  }
+}
+
+TEST(Nsga2, NeverClaimsPointsBeyondTheExactFront) {
+  // Soundness: an approximation point can be dominated by an exact point
+  // but must never dominate one.
+  Rng rng(61);
+  for (int it = 0; it < 5; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 8, /*treelike=*/true);
+    const auto exact = cdpf_bottom_up(m);
+    Nsga2Options opt;
+    opt.generations = 20;
+    opt.seed = 1000 + static_cast<std::uint64_t>(it);
+    for (const auto& a : nsga2_cdpf(m, opt))
+      for (const auto& e : exact)
+        EXPECT_FALSE(dominates(a.value, e.value))
+            << "approximation dominates the exact front";
+  }
+}
+
+TEST(Nsga2, ProbabilisticVariantTracksTheExactFront) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto exact = cedpf_bottom_up(m);
+  const auto approx = nsga2_cedpf(m);
+  EXPECT_GE(front_coverage(exact, approx, 1e-9), 0.9);
+}
+
+TEST(Nsga2, DeterministicGivenSeed) {
+  const auto m = casestudies::make_factory();
+  Nsga2Options opt;
+  opt.seed = 5;
+  const auto a = nsga2_cdpf(m, opt);
+  const auto b = nsga2_cdpf(m, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(Nsga2, HypervolumeNeverExceedsExact) {
+  Rng rng(62);
+  for (int it = 0; it < 4; ++it) {
+    const auto m = atcd::testing::random_cdat(rng, 8, true);
+    const auto exact = cdpf_bottom_up(m);
+    Nsga2Options opt;
+    opt.generations = 15;
+    const auto approx = nsga2_cdpf(m, opt);
+    double ref_cost = 0.0;
+    for (double c : m.cost) ref_cost += c;
+    const double hv_exact = hypervolume(exact, ref_cost, 0.0);
+    const double hv_approx = hypervolume(approx, ref_cost, 0.0);
+    EXPECT_LE(hv_approx, hv_exact + 1e-9);
+    EXPECT_GE(hv_approx, 0.0);
+  }
+}
+
+TEST(FrontCoverage, CountsMatches) {
+  std::vector<FrontPoint> xs;
+  xs.push_back({CdPoint{0, 0}, DynBitset(1)});
+  xs.push_back({CdPoint{1, 5}, DynBitset(1)});
+  const auto exact = Front2d::of_candidates(xs);
+  xs.pop_back();
+  const auto partial = Front2d::of_candidates(xs);
+  EXPECT_DOUBLE_EQ(front_coverage(exact, partial), 0.5);
+  EXPECT_DOUBLE_EQ(front_coverage(exact, exact), 1.0);
+  EXPECT_DOUBLE_EQ(front_coverage(Front2d{}, partial), 1.0);
+}
+
+TEST(Hypervolume, SimpleStaircase) {
+  std::vector<FrontPoint> xs;
+  xs.push_back({CdPoint{0, 0}, DynBitset(1)});
+  xs.push_back({CdPoint{1, 2}, DynBitset(1)});
+  xs.push_back({CdPoint{3, 5}, DynBitset(1)});
+  const auto f = Front2d::of_candidates(xs);
+  // ref (4, 0): [1,3)x2 + [3,4)x5 = 4 + 5 = 9.
+  EXPECT_DOUBLE_EQ(hypervolume(f, 4.0, 0.0), 9.0);
+}
+
+}  // namespace
+}  // namespace atcd::ga

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pareto/front2d.hpp"
+#include "pareto/point.hpp"
+#include "pareto/triple.hpp"
+#include "util/rng.hpp"
+
+namespace atcd {
+namespace {
+
+// ---- CdPoint domination (Sec. IV-A). ----
+
+TEST(CdPoint, DominationIsCheaperAndMoreDamaging) {
+  // From Example 2: (1,200) ⊏ (2,10), (3,0), (4,200).
+  const CdPoint good{1, 200};
+  EXPECT_TRUE(dominates(good, CdPoint{2, 10}));
+  EXPECT_TRUE(dominates(good, CdPoint{3, 0}));
+  EXPECT_TRUE(dominates(good, CdPoint{4, 200}));
+  EXPECT_FALSE(dominates(good, CdPoint{0, 0}));   // incomparable
+  EXPECT_FALSE(dominates(good, CdPoint{1, 200})); // equal, not strict
+  EXPECT_TRUE(dominates(CdPoint{5, 310}, CdPoint{6, 310}));
+}
+
+TEST(Triple, ThirdCoordinateBreaksDomination) {
+  // Example 4: (0,0,0) does NOT dominate (3,0,1) — the activation bit
+  // keeps the more expensive attack alive.
+  EXPECT_FALSE(dominates(Triple{0, 0, 0}, Triple{3, 0, 1}));
+  EXPECT_TRUE(dominates(Triple{0, 0, 0}, Triple{3, 0, 0}));
+  EXPECT_TRUE(dominates(Triple{1, 5, 1}, Triple{2, 4, 0.5}));
+  EXPECT_FALSE(dominates(Triple{1, 5, 0.4}, Triple{2, 4, 0.5}));
+}
+
+// ---- Front2d. ----
+
+TEST(Front2d, KeepsExactlyTheMinimalElements) {
+  std::vector<FrontPoint> cands;
+  auto add = [&](double c, double d) {
+    cands.push_back({CdPoint{c, d}, DynBitset(1)});
+  };
+  // Example 2 values.
+  add(0, 0); add(2, 10); add(3, 0); add(5, 310);
+  add(1, 200); add(3, 210); add(4, 200); add(6, 310);
+  const auto f = Front2d::of_candidates(std::move(cands));
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0].value, (CdPoint{0, 0}));
+  EXPECT_EQ(f[1].value, (CdPoint{1, 200}));
+  EXPECT_EQ(f[2].value, (CdPoint{3, 210}));
+  EXPECT_EQ(f[3].value, (CdPoint{5, 310}));
+}
+
+TEST(Front2d, DeduplicatesEqualValues) {
+  std::vector<FrontPoint> cands;
+  DynBitset w1(2), w2(2);
+  w1.set(0);
+  w2.set(1);
+  cands.push_back({CdPoint{1, 1}, w1});
+  cands.push_back({CdPoint{1, 1}, w2});
+  const auto f = Front2d::of_candidates(std::move(cands));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].witness, w1);  // first witness wins
+}
+
+TEST(Front2d, DgcAndCgdQueries) {
+  std::vector<FrontPoint> cands;
+  for (auto [c, d] : {std::pair{0.0, 0.0}, {1.0, 200.0}, {3.0, 210.0},
+                      {5.0, 310.0}})
+    cands.push_back({CdPoint{c, d}, DynBitset(1)});
+  const auto f = Front2d::of_candidates(std::move(cands));
+  // Eq. (1): DgC for U = 2 is 200 (paper Example 2).
+  ASSERT_NE(f.max_damage_within_cost(2.0), nullptr);
+  EXPECT_DOUBLE_EQ(f.max_damage_within_cost(2.0)->value.damage, 200.0);
+  EXPECT_DOUBLE_EQ(f.max_damage_within_cost(0.0)->value.damage, 0.0);
+  EXPECT_DOUBLE_EQ(f.max_damage_within_cost(100.0)->value.damage, 310.0);
+  // Eq. (2): CgD.
+  EXPECT_DOUBLE_EQ(f.min_cost_with_damage(201.0)->value.cost, 3.0);
+  EXPECT_DOUBLE_EQ(f.min_cost_with_damage(310.0)->value.cost, 5.0);
+  EXPECT_EQ(f.min_cost_with_damage(311.0), nullptr);
+  EXPECT_EQ(f.max_damage_within_cost(-1.0), nullptr);
+}
+
+TEST(Front2d, SameValuesComparison) {
+  std::vector<FrontPoint> a, b;
+  a.push_back({CdPoint{1, 2}, DynBitset(1)});
+  b.push_back({CdPoint{1, 2 + 1e-12}, DynBitset(1)});
+  const auto fa = Front2d::of_candidates(a);
+  const auto fb = Front2d::of_candidates(b);
+  EXPECT_TRUE(fa.same_values(fb, 1e-9));
+  EXPECT_FALSE(fa.same_values(fb, 1e-15));
+}
+
+// ---- prune_min (the min_U map). ----
+
+std::vector<AttrTriple> make_triples(Rng& rng, std::size_t n,
+                                     bool discrete_act) {
+  std::vector<AttrTriple> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    AttrTriple a;
+    a.t.cost = static_cast<double>(rng.range(0, 8));
+    a.t.damage = static_cast<double>(rng.range(0, 8));
+    a.t.act = discrete_act ? static_cast<double>(rng.range(0, 1))
+                           : 0.25 * static_cast<double>(rng.range(0, 4));
+    a.witness = DynBitset(4);
+    xs.push_back(std::move(a));
+  }
+  return xs;
+}
+
+struct PruneCase {
+  std::uint64_t seed;
+  std::size_t n;
+  bool discrete;
+  double budget;
+};
+
+class PruneMin : public ::testing::TestWithParam<PruneCase> {};
+
+TEST_P(PruneMin, MatchesQuadraticReference) {
+  const auto& pc = GetParam();
+  Rng rng(pc.seed);
+  const auto xs = make_triples(rng, pc.n, pc.discrete);
+  auto fast = prune_min(xs, pc.budget);
+  auto slow = prune_min_quadratic(xs, pc.budget);
+  auto key = [](const AttrTriple& a) {
+    return std::tuple(a.t.cost, a.t.damage, a.t.act);
+  };
+  auto cmp = [&](const AttrTriple& a, const AttrTriple& b) {
+    return key(a) < key(b);
+  };
+  std::sort(fast.begin(), fast.end(), cmp);
+  std::sort(slow.begin(), slow.end(), cmp);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_EQ(key(fast[i]), key(slow[i]));
+}
+
+TEST_P(PruneMin, OutputIsAnAntichainWithinBudget) {
+  const auto& pc = GetParam();
+  Rng rng(pc.seed ^ 0x5555);
+  const auto kept = prune_min(make_triples(rng, pc.n, pc.discrete), pc.budget);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_LE(kept[i].t.cost, pc.budget);
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(kept[j].t, kept[i].t));
+      EXPECT_FALSE(kept[i].t == kept[j].t) << "duplicate survived";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PruneMin,
+    ::testing::Values(PruneCase{1, 0, true, kNoBudget},
+                      PruneCase{2, 1, true, kNoBudget},
+                      PruneCase{3, 50, true, kNoBudget},
+                      PruneCase{4, 50, false, kNoBudget},
+                      PruneCase{5, 200, true, 5.0},
+                      PruneCase{6, 200, false, 5.0},
+                      PruneCase{7, 500, false, kNoBudget},
+                      PruneCase{8, 500, true, 3.0},
+                      PruneCase{9, 1000, false, 6.0}));
+
+TEST(PruneMin, KeepsIncomparableTriples) {
+  // Example 4's front at node dr.
+  std::vector<AttrTriple> xs;
+  for (auto [c, d, b] :
+       {std::tuple{0.0, 0.0, 0.0}, {3.0, 0.0, 0.0}, {2.0, 10.0, 0.0},
+        {5.0, 110.0, 1.0}})
+    xs.push_back({Triple{c, d, b}, DynBitset(2)});
+  const auto kept = prune_min(xs);
+  ASSERT_EQ(kept.size(), 3u);  // (3,0,0) is dominated by (0,0,0)
+  for (const auto& k : kept) EXPECT_FALSE((k.t == Triple{3.0, 0.0, 0.0}));
+}
+
+TEST(PruneMin, BudgetFiltersBeforeMinimising) {
+  std::vector<AttrTriple> xs;
+  xs.push_back({Triple{10.0, 100.0, 1.0}, DynBitset(1)});
+  xs.push_back({Triple{1.0, 1.0, 0.0}, DynBitset(1)});
+  const auto kept = prune_min(xs, 5.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].t.cost, 1.0);
+}
+
+}  // namespace
+}  // namespace atcd

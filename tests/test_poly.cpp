@@ -1,0 +1,153 @@
+#include "poly/poly_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/at_bdd.hpp"
+#include "casestudies/dataserver.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "helpers.hpp"
+#include "poly/multilinear.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::fronts_equal;
+using poly::Multilinear;
+
+// ---- Multilinear arithmetic. ----
+
+TEST(Multilinear, ConstantsAndVariables) {
+  const auto c = Multilinear::constant(3.5);
+  EXPECT_DOUBLE_EQ(c.coefficient(0), 3.5);
+  EXPECT_DOUBLE_EQ(c.evaluate({}), 3.5);
+  const auto t0 = Multilinear::variable(0);
+  EXPECT_DOUBLE_EQ(t0.evaluate({0.25}), 0.25);
+  EXPECT_TRUE(Multilinear().is_zero());
+  EXPECT_TRUE(Multilinear::constant(0.0).is_zero());
+}
+
+TEST(Multilinear, IdempotentProduct) {
+  // t0 * t0 == t0 (indicator variables).
+  const auto t0 = Multilinear::variable(0);
+  const auto sq = t0 * t0;
+  EXPECT_DOUBLE_EQ(sq.coefficient(1), 1.0);
+  EXPECT_EQ(sq.term_count(), 1u);
+  EXPECT_DOUBLE_EQ(sq.evaluate({0.3}), 0.3);
+}
+
+TEST(Multilinear, ProductExpandsCorrectly) {
+  // (1 + t0)(2 + t1) = 2 + t1 + 2 t0 + t0 t1.
+  const auto p = (Multilinear::constant(1) + Multilinear::variable(0)) *
+                 (Multilinear::constant(2) + Multilinear::variable(1));
+  EXPECT_DOUBLE_EQ(p.coefficient(0b00), 2.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0b01), 2.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0b10), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0b11), 1.0);
+}
+
+TEST(Multilinear, OrCombineMatchesProbabilityRule) {
+  const auto t0 = Multilinear::variable(0);
+  const auto t1 = Multilinear::variable(1);
+  const auto p = or_combine(t0, t1);
+  // E = q0 + q1 - q0 q1.
+  EXPECT_DOUBLE_EQ(p.evaluate({0.3, 0.5}), 0.3 + 0.5 - 0.15);
+  // Idempotence through OR: t0 ⋆ t0 = t0.
+  const auto same = or_combine(t0, t0);
+  EXPECT_DOUBLE_EQ(same.evaluate({0.3}), 0.3);
+}
+
+TEST(Multilinear, CancellationErasesTerms) {
+  const auto t0 = Multilinear::variable(0);
+  auto z = t0;
+  z -= t0;
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Multilinear, VariableIndexRange) {
+  EXPECT_THROW(Multilinear::variable(poly::kMaxVars), Error);
+}
+
+// ---- The engine. ----
+
+TEST(PolyEngine, NoSharedVariablesOnTrees) {
+  Rng rng(81);
+  const auto t = atcd::testing::random_tree(rng, 8);
+  const PolyEngine e(t);
+  EXPECT_EQ(e.shared_bas_count(), 0u);
+}
+
+TEST(PolyEngine, DetectsSharedBassOnTheDataServer) {
+  const auto m = casestudies::make_dataserver();
+  const PolyEngine e(m.tree);
+  // b6 feeds three exploits; b1/b2/b3 feed the terminal chain and the
+  // connect OR through user_access_smtp.
+  EXPECT_GE(e.shared_bas_count(), 4u);
+}
+
+TEST(PolyEngine, MatchesTreeFormulaOnTrees) {
+  Rng rng(82);
+  for (int it = 0; it < 10; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 7, /*treelike=*/true);
+    const PolyEngine e(m.tree);
+    const Attack x = Attack::from_mask(7, rng.below(128));
+    const auto a = e.probabilistic_structure(m, x);
+    const auto b = probabilistic_structure(m, x);
+    for (NodeId v = 0; v < m.tree.node_count(); ++v)
+      ASSERT_NEAR(a[v], b[v], 1e-12);
+  }
+}
+
+TEST(PolyEngine, MatchesBddAndExactEnumerationOnDags) {
+  Rng rng(83);
+  int dags = 0;
+  for (int it = 0; it < 25 && dags < 8; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 7, /*treelike=*/false);
+    if (m.tree.is_treelike()) continue;
+    ++dags;
+    const PolyEngine pe(m.tree);
+    const AtBdd be(m.tree);
+    for (int rep = 0; rep < 4; ++rep) {
+      const Attack x = Attack::from_mask(7, rng.below(128));
+      const double dp = pe.expected_damage(m, x);
+      ASSERT_NEAR(dp, be.expected_damage(m, x), 1e-9);
+      ASSERT_NEAR(dp, expected_damage_exact(m, x), 1e-9);
+    }
+  }
+  EXPECT_GE(dags, 4);
+}
+
+TEST(PolyEngine, PerNodeProbabilitiesMatchBddOnDags) {
+  Rng rng(84);
+  for (int it = 0; it < 15; ++it) {
+    const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/false);
+    const PolyEngine pe(m.tree);
+    const AtBdd be(m.tree);
+    const Attack x = Attack::from_mask(6, rng.below(64));
+    const auto a = pe.probabilistic_structure(m, x);
+    const auto b = be.probabilistic_structure(m, x);
+    for (NodeId v = 0; v < m.tree.node_count(); ++v)
+      ASSERT_NEAR(a[v], b[v], 1e-9);
+  }
+}
+
+TEST(PolyEngine, CedpfPolyMatchesCedpfBdd) {
+  const auto det = casestudies::make_dataserver();
+  CdpAt m{det.tree, det.cost, det.damage,
+          std::vector<double>(det.tree.bas_count(), 0.6)};
+  EXPECT_TRUE(fronts_equal(cedpf_poly(m), cedpf_bdd(m), 1e-7));
+}
+
+TEST(PolyEngine, CedpfPolyMatchesBottomUpOnTrees) {
+  Rng rng(85);
+  const auto m = atcd::testing::random_cdpat(rng, 6, /*treelike=*/true);
+  EXPECT_TRUE(fronts_equal(cedpf_poly(m), cedpf_bottom_up(m), 1e-9));
+}
+
+TEST(PolyEngine, CapacityGuards) {
+  Rng rng(86);
+  const auto m = atcd::testing::random_cdpat(rng, 10, true);
+  EXPECT_THROW(cedpf_poly(m, /*max_bas=*/8), CapacityError);
+}
+
+}  // namespace
+}  // namespace atcd

@@ -1,0 +1,71 @@
+#include "core/problems.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/dataserver.hpp"
+#include "casestudies/factory.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::front_is;
+
+TEST(Problems, AutoSelectsBottomUpForTrees) {
+  const auto m = casestudies::make_factory();
+  EXPECT_TRUE(front_is(cdpf(m), {{0, 0}, {1, 200}, {3, 210}, {5, 310}}));
+  EXPECT_TRUE(front_is(cdpf(m, Engine::BottomUp),
+                       {{0, 0}, {1, 200}, {3, 210}, {5, 310}}));
+}
+
+TEST(Problems, AutoSelectsBilpForDags) {
+  const auto m = casestudies::make_dataserver();
+  const auto f = cdpf(m);  // must not throw UnsupportedError
+  EXPECT_EQ(f.size(), 6u);
+}
+
+TEST(Problems, AutoSelectsBddForProbabilisticDags) {
+  const auto det = casestudies::make_dataserver();
+  CdpAt m{det.tree, det.cost, det.damage,
+          std::vector<double>(det.tree.bas_count(), 0.5)};
+  const auto f = cedpf(m);  // BDD fallback, 2^12 attacks
+  EXPECT_GT(f.size(), 1u);
+}
+
+TEST(Problems, ExplicitEngineMismatchThrows) {
+  const auto ds = casestudies::make_dataserver();
+  EXPECT_THROW(cdpf(ds, Engine::BottomUp), UnsupportedError);
+  EXPECT_THROW(cdpf(ds, Engine::Bdd), UnsupportedError);
+  const auto fac = casestudies::make_factory_probabilistic();
+  EXPECT_THROW(cedpf(fac, Engine::Bilp), UnsupportedError);
+}
+
+TEST(Problems, AllSixProblemsRunOnTheFactory) {
+  const auto m = casestudies::make_factory();
+  const auto mp = casestudies::make_factory_probabilistic();
+  EXPECT_EQ(cdpf(m).size(), 4u);
+  EXPECT_DOUBLE_EQ(dgc(m, 2.0).damage, 200.0);
+  EXPECT_DOUBLE_EQ(cgd(m, 201.0).cost, 3.0);
+  EXPECT_GT(cedpf(mp).size(), 1u);
+  EXPECT_GT(edgc(mp, 3.0).damage, 0.0);
+  EXPECT_TRUE(cged(mp, 1.0).feasible);
+}
+
+TEST(Problems, EngineNames) {
+  EXPECT_STREQ(to_string(Engine::Auto), "auto");
+  EXPECT_STREQ(to_string(Engine::Enumerative), "enumerative");
+  EXPECT_STREQ(to_string(Engine::BottomUp), "bottom-up");
+  EXPECT_STREQ(to_string(Engine::Bilp), "bilp");
+  EXPECT_STREQ(to_string(Engine::Bdd), "bdd");
+}
+
+TEST(Problems, EnumerativeEngineIsSelectable) {
+  const auto m = casestudies::make_factory();
+  EXPECT_TRUE(front_is(cdpf(m, Engine::Enumerative),
+                       {{0, 0}, {1, 200}, {3, 210}, {5, 310}}));
+  EXPECT_DOUBLE_EQ(dgc(m, 2.0, Engine::Enumerative).damage, 200.0);
+  EXPECT_DOUBLE_EQ(cgd(m, 201.0, Engine::Enumerative).cost, 3.0);
+}
+
+}  // namespace
+}  // namespace atcd

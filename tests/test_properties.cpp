@@ -1,0 +1,210 @@
+/// Cross-engine property tests: on random models, all applicable engines
+/// must produce identical fronts and identical single-objective optima.
+/// This is the repository's main correctness net — the enumerative
+/// baseline is trusted as the oracle (it is a direct transcription of the
+/// paper's Definitions 2-6).
+
+#include <gtest/gtest.h>
+
+#include "bdd/at_bdd.hpp"
+#include "core/bilp_method.hpp"
+#include "core/bottom_up.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "core/enumerative.hpp"
+#include "core/problems.hpp"
+#include "helpers.hpp"
+
+namespace atcd {
+namespace {
+
+using atcd::testing::fronts_equal;
+
+struct PropCase {
+  std::uint64_t seed;
+  std::size_t n_bas;
+};
+
+void PrintTo(const PropCase& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " n_bas=" << c.n_bas;
+}
+
+class TreeDet : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(TreeDet, BottomUpEqualsEnumerationAndBilp) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto m = atcd::testing::random_cdat(rng, GetParam().n_bas, true);
+    const auto oracle = cdpf_enumerative(m);
+    ASSERT_TRUE(fronts_equal(cdpf_bottom_up(m), oracle)) << "rep " << rep;
+    ASSERT_TRUE(fronts_equal(cdpf_bilp(m), oracle)) << "rep " << rep;
+  }
+}
+
+TEST_P(TreeDet, DgcAgreesAcrossEnginesAndBudgets) {
+  Rng rng(GetParam().seed ^ 0xD6C);
+  const auto m = atcd::testing::random_cdat(rng, GetParam().n_bas, true);
+  for (double budget : {0.0, 3.0, 7.5, 15.0, 1000.0}) {
+    const auto oracle = dgc_enumerative(m, budget);
+    const auto bu = dgc_bottom_up(m, budget);
+    const auto bilp = dgc_bilp(m, budget);
+    ASSERT_TRUE(oracle.feasible);
+    EXPECT_NEAR(bu.damage, oracle.damage, 1e-9) << "budget " << budget;
+    EXPECT_NEAR(bilp.damage, oracle.damage, 1e-7) << "budget " << budget;
+    // Witness consistency.
+    EXPECT_LE(bu.cost, budget);
+    EXPECT_NEAR(total_damage(m, bu.witness), bu.damage, 1e-9);
+  }
+}
+
+TEST_P(TreeDet, CgdAgreesAcrossEnginesAndThresholds) {
+  Rng rng(GetParam().seed ^ 0xC6D);
+  const auto m = atcd::testing::random_cdat(rng, GetParam().n_bas, true);
+  const double dmax = dgc_enumerative(m, 1e18).damage;
+  for (double frac : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    const double thr = frac * dmax;
+    const auto oracle = cgd_enumerative(m, thr);
+    const auto bu = cgd_bottom_up(m, thr);
+    const auto bilp = cgd_bilp(m, thr);
+    ASSERT_EQ(bu.feasible, oracle.feasible) << "thr " << thr;
+    ASSERT_EQ(bilp.feasible, oracle.feasible) << "thr " << thr;
+    if (oracle.feasible) {
+      EXPECT_NEAR(bu.cost, oracle.cost, 1e-9) << "thr " << thr;
+      EXPECT_NEAR(bilp.cost, oracle.cost, 1e-7) << "thr " << thr;
+      EXPECT_GE(bu.damage, thr - 1e-9);
+    }
+  }
+  // Above the maximum: everyone infeasible.
+  EXPECT_FALSE(cgd_bottom_up(m, dmax + 1).feasible);
+  EXPECT_FALSE(cgd_bilp(m, dmax + 1).feasible);
+  EXPECT_FALSE(cgd_enumerative(m, dmax + 1).feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeDet,
+                         ::testing::Values(PropCase{301, 4}, PropCase{302, 6},
+                                           PropCase{303, 8}, PropCase{304, 9},
+                                           PropCase{305, 11}));
+
+class DagDet : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(DagDet, BilpEqualsEnumeration) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto m = atcd::testing::random_cdat(rng, GetParam().n_bas, false);
+    ASSERT_TRUE(fronts_equal(cdpf_bilp(m), cdpf_enumerative(m)))
+        << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DagDet,
+                         ::testing::Values(PropCase{401, 5}, PropCase{402, 7},
+                                           PropCase{403, 8},
+                                           PropCase{404, 10}));
+
+class TreeProb : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(TreeProb, BottomUpEqualsEnumerationAndBdd) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto m = atcd::testing::random_cdpat(rng, GetParam().n_bas, true);
+    const auto oracle = cedpf_enumerative(m);
+    ASSERT_TRUE(fronts_equal(cedpf_bottom_up(m), oracle, 1e-7))
+        << "rep " << rep;
+    ASSERT_TRUE(fronts_equal(cedpf_bdd(m), oracle, 1e-7)) << "rep " << rep;
+  }
+}
+
+TEST_P(TreeProb, EdgcAndCgedAgreeWithEnumeration) {
+  Rng rng(GetParam().seed ^ 0xED6C);
+  const auto m = atcd::testing::random_cdpat(rng, GetParam().n_bas, true);
+  for (double budget : {0.0, 5.0, 12.0, 100.0}) {
+    EXPECT_NEAR(edgc_bottom_up(m, budget).damage,
+                edgc_enumerative(m, budget).damage, 1e-9)
+        << "budget " << budget;
+  }
+  const double dmax = edgc_enumerative(m, 1e18).damage;
+  for (double frac : {0.3, 0.7, 1.0}) {
+    const auto a = cged_bottom_up(m, frac * dmax);
+    const auto b = cged_enumerative(m, frac * dmax);
+    ASSERT_EQ(a.feasible, b.feasible);
+    if (a.feasible) EXPECT_NEAR(a.cost, b.cost, 1e-9) << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeProb,
+                         ::testing::Values(PropCase{501, 4}, PropCase{502, 6},
+                                           PropCase{503, 8}));
+
+class DagProb : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(DagProb, BddEnumerationIsInternallyConsistent) {
+  // The open-problem engine: cross-check the BDD expected damage against
+  // the actualization enumerator on the front's own witnesses.
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto m = atcd::testing::random_cdpat(rng, GetParam().n_bas, false);
+    const AtBdd compiled(m.tree);
+    const auto f = cedpf_bdd(m);
+    for (const auto& p : f) {
+      ASSERT_NEAR(p.value.damage, expected_damage_exact(m, p.witness), 1e-9);
+      ASSERT_NEAR(p.value.cost, total_cost(m, p.witness), 1e-12);
+    }
+    // Fronts are antichains.
+    for (std::size_t i = 0; i < f.size(); ++i)
+      for (std::size_t j = 0; j < f.size(); ++j)
+        if (i != j) ASSERT_FALSE(dominates(f[j].value, f[i].value));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DagProb,
+                         ::testing::Values(PropCase{601, 5},
+                                           PropCase{602, 7}));
+
+// ---- Structural invariants that hold on every model. ----
+
+class Invariants : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(Invariants, FrontsAreAntichainsContainingTheEmptyAttack) {
+  Rng rng(GetParam().seed);
+  const auto m =
+      atcd::testing::random_cdat(rng, GetParam().n_bas, GetParam().seed % 2);
+  const auto f = cdpf(m);
+  ASSERT_FALSE(f.empty());
+  // First point is always the empty attack at (0, 0).
+  EXPECT_DOUBLE_EQ(f[0].value.cost, 0.0);
+  // Strictly increasing in both coordinates.
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_GT(f[i].value.cost, f[i - 1].value.cost);
+    EXPECT_GT(f[i].value.damage, f[i - 1].value.damage);
+  }
+}
+
+TEST_P(Invariants, DgcIsMonotoneInTheBudget) {
+  Rng rng(GetParam().seed ^ 0x1234);
+  const auto m =
+      atcd::testing::random_cdat(rng, GetParam().n_bas, GetParam().seed % 2);
+  double prev = -1;
+  for (double budget : {0.0, 2.0, 5.0, 10.0, 20.0, 100.0}) {
+    const auto r = dgc(m, budget);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GE(r.damage, prev);
+    prev = r.damage;
+  }
+}
+
+TEST_P(Invariants, MoreProbableBassNeverReduceExpectedDamage) {
+  Rng rng(GetParam().seed ^ 0x9999);
+  auto m = atcd::testing::random_cdpat(rng, GetParam().n_bas, true);
+  const Attack x = Attack::from_mask(
+      GetParam().n_bas, rng.below(std::uint64_t{1} << GetParam().n_bas));
+  const double before = expected_damage(m, x);
+  for (auto& p : m.prob) p = std::min(1.0, p + 0.1);
+  EXPECT_GE(expected_damage(m, x), before - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Invariants,
+                         ::testing::Values(PropCase{701, 5}, PropCase{702, 6},
+                                           PropCase{703, 7}, PropCase{704, 8},
+                                           PropCase{705, 9}));
+
+}  // namespace
+}  // namespace atcd

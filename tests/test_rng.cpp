@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atcd {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next(), vb = b.next(), vc = c.next();
+    all_equal &= (va == vb);
+    any_diff_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(7), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.5, 7.5);
+    ASSERT_GE(v, 2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng r(7);
+  const auto first = r.next();
+  r.next();
+  r.reseed(7);
+  EXPECT_EQ(r.next(), first);
+}
+
+}  // namespace
+}  // namespace atcd

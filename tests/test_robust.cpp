@@ -1,0 +1,181 @@
+#include "robust/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "core/bottom_up_prob.hpp"
+#include "core/problems.hpp"
+#include "helpers.hpp"
+
+namespace atcd::robust {
+namespace {
+
+TEST(Robust, WidenBuildsSymmetricIntervals) {
+  const auto m = casestudies::make_factory();
+  const auto im = widen(m, 0.2);
+  const auto ca = m.tree.bas_index(*m.tree.find("ca"));
+  EXPECT_DOUBLE_EQ(im.cost[ca].lo, 0.8);
+  EXPECT_DOUBLE_EQ(im.cost[ca].hi, 1.2);
+  EXPECT_DOUBLE_EQ(im.damage[*m.tree.find("ps")].lo, 160.0);
+  EXPECT_DOUBLE_EQ(im.damage[*m.tree.find("ps")].hi, 240.0);
+  EXPECT_THROW(widen(m, 1.5), ModelError);
+  EXPECT_THROW(widen(m, -0.1), ModelError);
+}
+
+TEST(Robust, ZeroSlackReproducesThePointModel) {
+  const auto m = casestudies::make_factory();
+  const auto rf = robust_cdpf(widen(m, 0.0));
+  EXPECT_TRUE(atcd::testing::fronts_equal(rf.optimistic, cdpf(m)));
+  EXPECT_TRUE(atcd::testing::fronts_equal(rf.pessimistic, cdpf(m)));
+}
+
+TEST(Robust, ValidationRejectsBadIntervals) {
+  auto im = widen(casestudies::make_factory(), 0.1);
+  im.cost[0] = {2.0, 1.0};  // lo > hi
+  EXPECT_THROW(im.validate(), ModelError);
+  im.cost[0] = {-1.0, 1.0};
+  EXPECT_THROW(im.validate(), ModelError);
+}
+
+TEST(Robust, CornerModelsBracketEverySampledRealization) {
+  Rng rng(91);
+  const auto base = atcd::testing::random_cdat(rng, 8, /*treelike=*/true);
+  const auto im = widen(base, 0.3);
+  const auto rd = robust_dgc(im, 12.0);
+  EXPECT_LE(rd.damage_lo, rd.damage_hi);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto realized = im.sample(rng);
+    const double d = dgc(realized, 12.0).damage;
+    EXPECT_GE(d, rd.damage_lo - 1e-9) << rep;
+    EXPECT_LE(d, rd.damage_hi + 1e-9) << rep;
+  }
+}
+
+TEST(Robust, SampledFrontsLieBetweenTheEnvelopes) {
+  Rng rng(92);
+  const auto base = atcd::testing::random_cdat(rng, 7, /*treelike=*/true);
+  const auto im = widen(base, 0.25);
+  const auto rf = robust_cdpf(im);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto realized = im.sample(rng);
+    const auto f = cdpf(realized);
+    // Every realized point is covered (dominated-or-equalled) by some
+    // pessimistic-front point...
+    for (const auto& p : f) {
+      bool below_pess = false;
+      for (const auto& q : rf.pessimistic)
+        below_pess |= q.value.cost <= p.value.cost + 1e-9 &&
+                      q.value.damage >= p.value.damage - 1e-9;
+      EXPECT_TRUE(below_pess);
+    }
+    // ...and every optimistic-front point is covered by some realized
+    // point (the optimistic front is a lower envelope: its witness
+    // attack only gets cheaper and more damaging in any realization).
+    for (const auto& q : rf.optimistic) {
+      bool covered = false;
+      for (const auto& p : f)
+        covered |= p.value.cost <= q.value.cost + 1e-9 &&
+                   p.value.damage >= q.value.damage - 1e-9;
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST(Robust, WorksOnDagsThroughTheBilpEngine) {
+  Rng rng(93);
+  const auto base = atcd::testing::random_cdat(rng, 6, /*treelike=*/false);
+  const auto rf = robust_cdpf(widen(base, 0.2));
+  EXPECT_FALSE(rf.optimistic.empty());
+  EXPECT_FALSE(rf.pessimistic.empty());
+  // Max damages are ordered.
+  EXPECT_LE(rf.optimistic.points().back().value.damage,
+            rf.pessimistic.points().back().value.damage + 1e-9);
+}
+
+// ---- Refund extension (Sec. VIII). ----
+
+TEST(Refund, GammaZeroIsTheBaseModel) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto r = refund_model(m, 0.0);
+  EXPECT_EQ(r.cost, m.cost);
+}
+
+TEST(Refund, FullRefundChargesOnlySuccesses) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto r = refund_model(m, 1.0);
+  const auto ca = m.tree.bas_index(*m.tree.find("ca"));
+  // E[cost of ca] = c * p = 1 * 0.2.
+  EXPECT_DOUBLE_EQ(r.cost[ca], 0.2);
+}
+
+TEST(Refund, ExpectedCostInterpolatesLinearly) {
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto pb = m.tree.bas_index(*m.tree.find("pb"));
+  // c=3, p=0.4: gamma=0.5 -> 3*(0.4 + 0.6*0.5) = 2.1.
+  EXPECT_DOUBLE_EQ(refund_model(m, 0.5).cost[pb], 2.1);
+  EXPECT_THROW(refund_model(m, 1.5), ModelError);
+}
+
+// ---- Sensitivity (tornado) analysis. ----
+
+TEST(Sensitivity, IdentifiesTheLoadBearingDecorations) {
+  const auto m = casestudies::make_factory();
+  // Budget 2: the optimal attack is {ca} doing 200 (the ps damage).
+  const auto sens = dgc_sensitivity(m, 2.0, 0.1);
+  ASSERT_FALSE(sens.empty());
+  // The top swing must involve ps's damage (200 scales to 180/220) —
+  // nothing else moves the optimum this much.
+  EXPECT_EQ(sens[0].name, "ps");
+  EXPECT_FALSE(sens[0].is_cost);
+  EXPECT_DOUBLE_EQ(sens[0].dgc_minus, 180.0);
+  EXPECT_DOUBLE_EQ(sens[0].dgc_plus, 220.0);
+  EXPECT_DOUBLE_EQ(sens[0].swing, 40.0);
+  // Sorted by descending swing.
+  for (std::size_t i = 1; i < sens.size(); ++i)
+    EXPECT_LE(sens[i].swing, sens[i - 1].swing);
+}
+
+TEST(Sensitivity, CostPerturbationCanFlipTheOptimalAttack) {
+  const auto m = casestudies::make_factory();
+  // Budget 5 admits {pb, fd} (310).  Raising pb's cost 3 -> 3.3 makes
+  // that attack cost 5.3 > 5, collapsing DgC to 210: a big swing on a
+  // *cost* entry.
+  const auto sens = dgc_sensitivity(m, 5.0, 0.1);
+  const auto pb = std::find_if(sens.begin(), sens.end(), [](const auto& s) {
+    return s.name == "pb" && s.is_cost;
+  });
+  ASSERT_NE(pb, sens.end());
+  EXPECT_DOUBLE_EQ(pb->dgc_minus, 310.0);
+  EXPECT_DOUBLE_EQ(pb->dgc_plus, 210.0);
+}
+
+TEST(Sensitivity, LeavesTheModelUntouched) {
+  const auto m = casestudies::make_factory();
+  const auto cost_before = m.cost;
+  const auto damage_before = m.damage;
+  (void)dgc_sensitivity(m, 3.0, 0.2);
+  EXPECT_EQ(m.cost, cost_before);
+  EXPECT_EQ(m.damage, damage_before);
+}
+
+TEST(Sensitivity, RejectsBadDelta) {
+  const auto m = casestudies::make_factory();
+  EXPECT_THROW(dgc_sensitivity(m, 2.0, 0.0), ModelError);
+  EXPECT_THROW(dgc_sensitivity(m, 2.0, 1.0), ModelError);
+}
+
+TEST(Refund, RefundsCanOnlyImproveTheAttackersFront) {
+  // With refunds, every attack is (weakly) cheaper, so for any expected
+  // damage level the required budget can only drop.
+  const auto m = casestudies::make_factory_probabilistic();
+  const auto base = cedpf_bottom_up(m);
+  const auto refunded = cedpf_bottom_up(refund_model(m, 0.8));
+  for (const auto& p : base) {
+    const auto* q = refunded.min_cost_with_damage(p.value.damage - 1e-9);
+    ASSERT_NE(q, nullptr);
+    EXPECT_LE(q->value.cost, p.value.cost + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace atcd::robust

@@ -1,0 +1,101 @@
+#include "at/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casestudies/factory.hpp"
+#include "core/cdat.hpp"
+
+namespace atcd {
+namespace {
+
+// Example 1 of the paper: the full cost/damage table of the factory AT.
+// Attack order in vectors: (x_ca, x_pb, x_fd).
+struct Example1Row {
+  bool ca, pb, fd;
+  double cost, damage;
+};
+
+constexpr Example1Row kExample1[] = {
+    {false, false, false, 0, 0}, {false, false, true, 2, 10},
+    {false, true, false, 3, 0},  {false, true, true, 5, 310},
+    {true, false, false, 1, 200}, {true, false, true, 3, 210},
+    {true, true, false, 4, 200}, {true, true, true, 6, 310},
+};
+
+class Example1Table : public ::testing::TestWithParam<Example1Row> {};
+
+TEST_P(Example1Table, CostAndDamageMatchThePaper) {
+  const auto m = casestudies::make_factory();
+  const auto& row = GetParam();
+  Attack x(3);
+  if (row.ca) x.set(m.tree.bas_index(*m.tree.find("ca")));
+  if (row.pb) x.set(m.tree.bas_index(*m.tree.find("pb")));
+  if (row.fd) x.set(m.tree.bas_index(*m.tree.find("fd")));
+  EXPECT_DOUBLE_EQ(total_cost(m, x), row.cost);
+  EXPECT_DOUBLE_EQ(total_damage(m, x), row.damage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Example1Table,
+                         ::testing::ValuesIn(kExample1));
+
+TEST(Structure, OrGatePropagation) {
+  const auto m = casestudies::make_factory();
+  const auto x = make_attack(m.tree, {"ca"});
+  const auto s = evaluate_structure(m.tree, x);
+  EXPECT_TRUE(s[*m.tree.find("ca")]);
+  EXPECT_TRUE(s[*m.tree.find("ps")]);   // OR reached via one child
+  EXPECT_FALSE(s[*m.tree.find("dr")]);  // AND not reached
+}
+
+TEST(Structure, AndGateNeedsAllChildren) {
+  const auto m = casestudies::make_factory();
+  EXPECT_FALSE(structure(m.tree, make_attack(m.tree, {"pb"}),
+                         *m.tree.find("dr")));
+  EXPECT_FALSE(structure(m.tree, make_attack(m.tree, {"fd"}),
+                         *m.tree.find("dr")));
+  EXPECT_TRUE(structure(m.tree, make_attack(m.tree, {"pb", "fd"}),
+                        *m.tree.find("dr")));
+}
+
+TEST(Structure, SuccessfulAttackMeansRootReached) {
+  const auto m = casestudies::make_factory();
+  EXPECT_TRUE(is_successful(m.tree, make_attack(m.tree, {"ca"})));
+  EXPECT_FALSE(is_successful(m.tree, make_attack(m.tree, {"fd"})));
+  EXPECT_FALSE(is_successful(m.tree, empty_attack(m.tree)));
+}
+
+TEST(Structure, MonotoneInTheAttack) {
+  // The structure function is monotone: growing an attack can only reach
+  // more nodes (the partial order of Def. 2).
+  const auto m = casestudies::make_factory();
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      if ((a & b) != a) continue;  // a not a subset of b
+      const auto sa = evaluate_structure(m.tree, Attack::from_mask(3, a));
+      const auto sb = evaluate_structure(m.tree, Attack::from_mask(3, b));
+      for (NodeId v = 0; v < m.tree.node_count(); ++v)
+        EXPECT_LE(sa[v], sb[v]);
+    }
+  }
+}
+
+TEST(Structure, RejectsSizeMismatch) {
+  const auto m = casestudies::make_factory();
+  EXPECT_THROW(evaluate_structure(m.tree, Attack(2)), ModelError);
+}
+
+TEST(Structure, MakeAttackRejectsUnknownOrInternalNames) {
+  const auto m = casestudies::make_factory();
+  EXPECT_THROW(make_attack(m.tree, {"nope"}), ModelError);
+  EXPECT_THROW(make_attack(m.tree, {"dr"}), ModelError);  // gate, not BAS
+}
+
+TEST(Structure, AttackToStringListsBasNames) {
+  const auto m = casestudies::make_factory();
+  EXPECT_EQ(attack_to_string(m.tree, make_attack(m.tree, {"pb", "fd"})),
+            "{pb, fd}");
+  EXPECT_EQ(attack_to_string(m.tree, empty_attack(m.tree)), "{}");
+}
+
+}  // namespace
+}  // namespace atcd

@@ -22,6 +22,13 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+/// Value following "--flag" (e.g. --engine bilp); empty when absent.
+inline std::string flag_value(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == flag) return argv[i + 1];
+  return {};
+}
+
 /// Times a callable once, returning seconds.
 template <typename Fn>
 double time_once(Fn&& fn) {

@@ -9,6 +9,7 @@
 /// engine) wall-clock budgets, and per-AT capacity guards.  --full uses
 /// the paper's suite dimensions (still with time budgets, raised 10x).
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 
 #include "bench/common.hpp"
 #include "core/cdat.hpp"
+#include "engine/registry.hpp"
 #include "gen/random_at.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -33,6 +35,14 @@ struct Fig7Engine {
   std::size_t max_bas = 1u << 20;
 };
 
+/// A bench's engine line-up entry: a registry name plus an optional
+/// tighter |B| cap (the paper caps enumeration below each engine's own
+/// capacity guard to keep default runs quick).
+struct Fig7EngineSpec {
+  std::string name;
+  std::size_t max_bas = 1u << 20;
+};
+
 struct Fig7Options {
   std::size_t max_n = 60;        // paper: 100
   std::size_t per_size = 2;      // paper: 5
@@ -40,11 +50,13 @@ struct Fig7Options {
   std::size_t max_bas = 64;      // decoration/evaluation guard
   double group_budget_s = 4.0;   // per (group, engine) wall-clock budget
   std::uint64_t seed = 2023;
+  std::string engine;            // --engine <name>: run only this engine
 };
 
 inline Fig7Options fig7_options(int argc, char** argv, bool treelike) {
   Fig7Options opt;
   opt.treelike = treelike;
+  opt.engine = flag_value(argc, argv, "--engine");
   if (has_flag(argc, argv, "--full")) {
     opt.max_n = 100;
     opt.per_size = 5;
@@ -52,6 +64,46 @@ inline Fig7Options fig7_options(int argc, char** argv, bool treelike) {
     opt.max_bas = 128;
   }
   return opt;
+}
+
+/// Resolves one line-up entry through the engine registry: the returned
+/// Fig7Engine runs `problem` via the backend's polymorphic entry points
+/// and skips (returns false) models outside the backend's capabilities.
+/// Unknown names throw UnsupportedError listing the registered engines —
+/// so `--engine <name>` reaches any future backend without bench changes.
+inline Fig7Engine fig7_engine(const Fig7EngineSpec& spec,
+                              engine::Problem problem) {
+  const engine::Backend& b = engine::default_registry().at(spec.name);
+  Fig7Engine e;
+  e.name = spec.name;
+  e.max_bas = std::min(spec.max_bas, b.capabilities().max_bas);
+  e.run = [&b, problem](const CdpAt& m) {
+    if (engine::is_probabilistic(problem)) {
+      if (!b.supports(problem, engine::traits_of(m))) return false;
+      (void)b.cedpf(m);
+    } else {
+      const CdAt det = m.deterministic();
+      if (!b.supports(problem, engine::traits_of(det))) return false;
+      (void)b.cdpf(det);
+    }
+    return true;
+  };
+  return e;
+}
+
+inline void run_fig7(const Fig7Options& opt,
+                     const std::vector<Fig7Engine>& engines);
+
+/// Registry-resolved variant: the benches name their engine line-up and
+/// --engine <name> narrows the run to a single (possibly non-default)
+/// registered backend.
+inline void run_fig7(const Fig7Options& opt, engine::Problem problem,
+                     std::vector<Fig7EngineSpec> specs) {
+  if (!opt.engine.empty()) specs = {{opt.engine}};
+  std::vector<Fig7Engine> engines;
+  engines.reserve(specs.size());
+  for (const auto& s : specs) engines.push_back(fig7_engine(s, problem));
+  run_fig7(opt, engines);
 }
 
 inline void run_fig7(const Fig7Options& opt,

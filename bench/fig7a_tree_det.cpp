@@ -2,11 +2,12 @@
 /// suite Ttree, deterministic setting — enumeration vs bottom-up vs BILP.
 /// Paper shape to reproduce: BU < BILP << enumeration, with enumeration
 /// only feasible on the smallest groups.
+///
+/// Engines are resolved by name through the engine registry; pass
+/// --engine <name> to time a single (possibly non-default) backend, e.g.
+/// --engine nsga2.
 
 #include "bench/fig7_common.hpp"
-#include "core/bilp_method.hpp"
-#include "core/bottom_up.hpp"
-#include "core/enumerative.hpp"
 
 using namespace atcd;
 using namespace atcd::bench;
@@ -16,24 +17,11 @@ int main(int argc, char** argv) {
                "paper Sec. X-D, Fig. 7a (Enum/BU/BILP over 500 random "
                "treelike ATs)");
   const auto opt = fig7_options(argc, argv, /*treelike=*/true);
-  run_fig7(opt,
+  run_fig7(opt, engine::Problem::Cdpf,
            {
-               {"enum",
-                [](const CdpAt& m) {
-                  (void)cdpf_enumerative(m.deterministic(), 20);
-                  return true;
-                },
-                20},  // paper: enumeration only for N < 30
-               {"bottom-up",
-                [](const CdpAt& m) {
-                  (void)cdpf_bottom_up(m.deterministic());
-                  return true;
-                }},
-               {"bilp",
-                [](const CdpAt& m) {
-                  (void)cdpf_bilp(m.deterministic());
-                  return true;
-                }},
+               {"enumerative", 20},  // paper: enumeration only for N < 30
+               {"bottom-up"},
+               {"bilp"},
            });
   return 0;
 }

@@ -3,10 +3,11 @@
 /// probabilistic BU is slower than deterministic BU on large ATs (fronts
 /// are larger, Example 10), but still orders of magnitude below
 /// enumeration.
+///
+/// Engines are resolved by name through the engine registry; pass
+/// --engine <name> to time a single registered backend.
 
 #include "bench/fig7_common.hpp"
-#include "core/bottom_up_prob.hpp"
-#include "core/enumerative.hpp"
 
 using namespace atcd;
 using namespace atcd::bench;
@@ -14,20 +15,11 @@ using namespace atcd::bench;
 int main(int argc, char** argv) {
   print_header("Fig. 7b — Ttree, probabilistic CEDPF",
                "paper Sec. X-D, Fig. 7b (Enum/BU)");
-  auto opt = fig7_options(argc, argv, /*treelike=*/true);
-  run_fig7(opt,
+  const auto opt = fig7_options(argc, argv, /*treelike=*/true);
+  run_fig7(opt, engine::Problem::Cedpf,
            {
-               {"enum",
-                [](const CdpAt& m) {
-                  (void)cedpf_enumerative(m, 18);
-                  return true;
-                },
-                18},
-               {"bottom-up",
-                [](const CdpAt& m) {
-                  (void)cedpf_bottom_up(m);
-                  return true;
-                }},
+               {"enumerative", 18},
+               {"bottom-up"},
            });
   return 0;
 }

@@ -1,10 +1,11 @@
 /// Regenerates Fig. 7c: mean CDPF computation time on the random DAG
 /// suite TDAG, deterministic setting — enumeration vs BILP.  (Bottom-up
 /// does not apply: sub-AT attack spaces overlap on DAGs.)
+///
+/// Engines are resolved by name through the engine registry; pass
+/// --engine <name> to time a single registered backend.
 
 #include "bench/fig7_common.hpp"
-#include "core/bilp_method.hpp"
-#include "core/enumerative.hpp"
 
 using namespace atcd;
 using namespace atcd::bench;
@@ -15,19 +16,10 @@ int main(int argc, char** argv) {
                "ATs)");
   auto opt = fig7_options(argc, argv, /*treelike=*/false);
   if (!has_flag(argc, argv, "--full")) opt.max_n = 50;
-  run_fig7(opt,
+  run_fig7(opt, engine::Problem::Cdpf,
            {
-               {"enum",
-                [](const CdpAt& m) {
-                  (void)cdpf_enumerative(m.deterministic(), 20);
-                  return true;
-                },
-                20},
-               {"bilp",
-                [](const CdpAt& m) {
-                  (void)cdpf_bilp(m.deterministic());
-                  return true;
-                }},
+               {"enumerative", 20},
+               {"bilp"},
            });
   return 0;
 }

@@ -3,10 +3,15 @@
 ///
 /// Usage:
 ///   atcd_cli <model-file> info
-///   atcd_cli <model-file> cdpf | cedpf
-///   atcd_cli <model-file> dgc  <budget>  [--prob]
-///   atcd_cli <model-file> cgd  <threshold> [--prob]
+///   atcd_cli <model-file> cdpf | cedpf          [--engine <name>]
+///   atcd_cli <model-file> dgc  <budget>   [--prob] [--engine <name>]
+///   atcd_cli <model-file> cgd  <threshold> [--prob] [--engine <name>]
+///   atcd_cli <model-file> engines
 ///   atcd_cli <model-file> dot
+///
+/// --engine picks a specific backend by registry name (see `engines`);
+/// without it the planner selects the paper's Table I method for the
+/// model class.
 ///
 /// The model format is one statement per line ('#' comments):
 ///   bas  <name> [cost=<c>] [damage=<d>] [prob=<p>]
@@ -23,7 +28,7 @@
 
 #include "at/dot.hpp"
 #include "at/parser.hpp"
-#include "core/problems.hpp"
+#include "engine/batch.hpp"
 
 using namespace atcd;
 
@@ -33,7 +38,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: atcd_cli <model-file> "
                "(info | cdpf | cedpf | dgc <U> [--prob] | "
-               "cgd <L> [--prob] | dot)\n");
+               "cgd <L> [--prob] | engines | dot) [--engine <name>]\n");
   return 2;
 }
 
@@ -53,6 +58,22 @@ void print_opt(const AttackTree& t, const OptAttack& r) {
               attack_to_string(t, r.witness).c_str());
 }
 
+/// Runs one instance through the engine subsystem and prints the result.
+int run(const AttackTree& t, const engine::Instance& in,
+        const char* damage_col) {
+  const engine::SolveResult r = engine::solve_one(in);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("# engine: %s\n", r.backend.c_str());
+  if (engine::is_front(in.problem))
+    print_front(t, r.front, damage_col);
+  else
+    print_opt(t, r.attack);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,7 +83,13 @@ int main(int argc, char** argv) {
     const CdAt det{parsed.tree, parsed.cost, parsed.damage};
     const CdpAt prob{parsed.tree, parsed.cost, parsed.damage, parsed.prob};
     const std::string cmd = argv[2];
-    const bool use_prob = argc > 3 && std::strcmp(argv[argc - 1], "--prob") == 0;
+    bool use_prob = false;
+    std::string engine_name;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
+      if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+        engine_name = argv[i + 1];
+    }
 
     if (cmd == "info") {
       std::printf("nodes: %zu (BASs: %zu), edges: %zu, shape: %s\n",
@@ -78,25 +105,55 @@ int main(int argc, char** argv) {
                   parsed.tree.name(parsed.tree.root()).c_str());
       return 0;
     }
-    if (cmd == "cdpf") {
-      print_front(parsed.tree, cdpf(det), "damage");
+    if (cmd == "engines") {
+      for (const auto* b : engine::default_registry().all()) {
+        const auto c = b->capabilities();
+        std::printf("%-12s %s, %s;", b->name(),
+                    c.exact ? "exact" : "approximate",
+                    c.fronts ? "fronts+single" : "single-objective only");
+        std::printf(" classes:%s%s%s%s", c.tree_det ? " tree-det" : "",
+                    c.dag_det ? " dag-det" : "", c.tree_prob ? " tree-prob" : "",
+                    c.dag_prob ? " dag-prob" : "");
+        if (c.additive_only) std::printf(" (additive models only)");
+        if (c.max_bas != engine::kNoCap)
+          std::printf(" (|B| <= %zu)", c.max_bas);
+        std::printf("\n");
+      }
       return 0;
     }
-    if (cmd == "cedpf") {
-      print_front(parsed.tree, cedpf(prob), "E[damage]");
-      return 0;
-    }
+    if (cmd == "cdpf")
+      return run(parsed.tree,
+                 engine::Instance::of(engine::Problem::Cdpf, det, 0.0,
+                                      engine_name),
+                 "damage");
+    if (cmd == "cedpf")
+      return run(parsed.tree,
+                 engine::Instance::of(engine::Problem::Cedpf, prob, 0.0,
+                                      engine_name),
+                 "E[damage]");
     if (cmd == "dgc" && argc >= 4) {
       const double budget = std::atof(argv[3]);
-      print_opt(parsed.tree,
-                use_prob ? edgc(prob, budget) : dgc(det, budget));
-      return 0;
+      return use_prob
+                 ? run(parsed.tree,
+                       engine::Instance::of(engine::Problem::Edgc, prob,
+                                            budget, engine_name),
+                       "E[damage]")
+                 : run(parsed.tree,
+                       engine::Instance::of(engine::Problem::Dgc, det,
+                                            budget, engine_name),
+                       "damage");
     }
     if (cmd == "cgd" && argc >= 4) {
       const double threshold = std::atof(argv[3]);
-      print_opt(parsed.tree,
-                use_prob ? cged(prob, threshold) : cgd(det, threshold));
-      return 0;
+      return use_prob
+                 ? run(parsed.tree,
+                       engine::Instance::of(engine::Problem::Cged, prob,
+                                            threshold, engine_name),
+                       "E[damage]")
+                 : run(parsed.tree,
+                       engine::Instance::of(engine::Problem::Cgd, det,
+                                            threshold, engine_name),
+                       "damage");
     }
     if (cmd == "dot") {
       std::printf("%s", to_dot(parsed.tree, parsed.cost, parsed.damage,

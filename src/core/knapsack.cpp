@@ -53,6 +53,104 @@ OptAttack solve_knapsack_bruteforce(const KnapsackInstance& inst) {
   return best;
 }
 
+namespace {
+
+/// Branch-and-bound state over items sorted by value density.
+struct KnapsackBnb {
+  struct Item {
+    double value, weight;
+    std::size_t index;  ///< position in the original instance
+  };
+  std::vector<Item> items;
+  double capacity = 0.0;
+  bool feasible = false;
+  double best_value = 0.0, best_weight = 0.0;
+  std::vector<char> chosen, best;
+
+  /// Fractional-relaxation bound on the value reachable from depth k.
+  double bound(std::size_t k, double weight, double value) const {
+    double room = capacity - weight, total = value;
+    for (std::size_t i = k; i < items.size(); ++i) {
+      if (items[i].weight <= room) {
+        room -= items[i].weight;
+        total += items[i].value;
+      } else {
+        if (items[i].weight > 0.0)
+          total += items[i].value * (room / items[i].weight);
+        break;
+      }
+    }
+    return total;
+  }
+
+  void dfs(std::size_t k, double weight, double value) {
+    if (weight <= capacity &&
+        (!feasible || value > best_value ||
+         (value == best_value && weight < best_weight))) {
+      feasible = true;
+      best_value = value;
+      best_weight = weight;
+      best = chosen;
+    }
+    if (k == items.size()) return;
+    if (feasible && bound(k, weight, value) + 1e-12 < best_value) return;
+    if (weight + items[k].weight <= capacity) {
+      chosen[k] = 1;
+      dfs(k + 1, weight + items[k].weight, value + items[k].value);
+      chosen[k] = 0;
+    }
+    dfs(k + 1, weight, value);
+  }
+};
+
+}  // namespace
+
+OptAttack solve_knapsack(const KnapsackInstance& inst) {
+  if (inst.value.size() != inst.weight.size())
+    throw ModelError("solve_knapsack: value/weight size mismatch");
+  const std::size_t n = inst.value.size();
+  KnapsackBnb bnb;
+  bnb.capacity = inst.capacity;
+  bnb.items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bnb.items.push_back({inst.value[i], inst.weight[i], i});
+  // Density-descending order (cross-multiplied to handle zero weights:
+  // zero-weight positive-value items sort first).
+  std::stable_sort(bnb.items.begin(), bnb.items.end(),
+                   [](const KnapsackBnb::Item& a, const KnapsackBnb::Item& b) {
+                     return a.value * b.weight > b.value * a.weight;
+                   });
+  bnb.chosen.assign(n, 0);
+  bnb.best.assign(n, 0);
+  bnb.dfs(0, 0.0, 0.0);
+  if (!bnb.feasible) return OptAttack{};
+  OptAttack out{true, bnb.best_weight, bnb.best_value, DynBitset(n)};
+  for (std::size_t k = 0; k < n; ++k)
+    if (bnb.best[k]) out.witness.set(bnb.items[k].index);
+  return out;
+}
+
+OptAttack solve_knapsack_cover(const KnapsackInstance& inst, double target) {
+  if (inst.value.size() != inst.weight.size())
+    throw ModelError("solve_knapsack_cover: value/weight size mismatch");
+  const std::size_t n = inst.value.size();
+  double total_value = 0.0, total_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_value += inst.value[i];
+    total_weight += inst.weight[i];
+  }
+  if (target > total_value) return OptAttack{};  // unreachable value
+  if (target <= 0.0) return OptAttack{true, 0.0, 0.0, DynBitset(n)};
+  // Complement: drop the heaviest item set whose value stays <= slack.
+  KnapsackInstance comp{inst.weight, inst.value, total_value - target};
+  const OptAttack dropped = solve_knapsack(comp);
+  OptAttack out{true, total_weight - dropped.damage,
+                total_value - dropped.cost, DynBitset(n)};
+  for (std::size_t i = 0; i < n; ++i)
+    out.witness.set(i, !dropped.witness.test(i));
+  return out;
+}
+
 CdAt nondecreasing_to_cdat(std::size_t n,
                            const std::function<double(std::uint64_t)>& f,
                            const std::vector<double>& cost) {

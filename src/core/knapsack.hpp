@@ -44,6 +44,23 @@ OptAttack solve_knapsack_via_at(const KnapsackInstance& inst);
 /// Reference O(2^n) knapsack solver for cross-checks.
 OptAttack solve_knapsack_bruteforce(const KnapsackInstance& inst);
 
+/// Exact 0/1 knapsack by branch and bound: density-sorted DFS with the
+/// fractional-relaxation upper bound.  Unlike the brute-force reference
+/// this has no item cap — worst case is still exponential but pruning
+/// makes realistic instances fast.  Ties (equal value) resolve to the
+/// lighter selection.  Result fields: cost = Σ chosen weights, damage =
+/// Σ chosen values, witness bit i = item i chosen.  Infeasible only when
+/// capacity < 0 (the empty selection is otherwise always feasible).
+/// This also powers the "knapsack" engine backend on additive models
+/// (every internal node damage 0), where DgC *is* a knapsack.
+OptAttack solve_knapsack(const KnapsackInstance& inst);
+
+/// Covering variant: minimize Σ weight_i x_i subject to Σ value_i x_i >=
+/// target — CgD on an additive model.  Solved by complementation: with
+/// y = 1 - x it becomes max Σ weight_i y_i s.t. Σ value_i y_i <= Σ value
+/// - target, a plain knapsack.  Infeasible iff target > Σ value.
+OptAttack solve_knapsack_cover(const KnapsackInstance& inst, double target);
+
 /// Thm 2 construction for f given as a truth-table over n <= 20 items:
 /// f(mask) is the value of the subset encoded by mask.  Requirements
 /// checked: f nondecreasing w.r.t. ⊆, f >= 0, f(0) = 0.  The i-th BAS

@@ -1,123 +1,59 @@
 #include "core/problems.hpp"
 
-#include "bdd/at_bdd.hpp"
-#include "core/bilp_method.hpp"
-#include "core/bottom_up.hpp"
-#include "core/bottom_up_prob.hpp"
-#include "core/enumerative.hpp"
+#include "engine/planner.hpp"
 
 namespace atcd {
 namespace {
 
-[[noreturn]] void bad_engine(const char* problem, Engine e) {
-  throw UnsupportedError(std::string(problem) + ": engine '" + to_string(e) +
-                         "' does not apply to this problem/model class");
-}
-
-Engine pick_det(const CdAt& m, Engine e) {
-  if (e != Engine::Auto) return e;
-  return m.tree.is_treelike() ? Engine::BottomUp : Engine::Bilp;
-}
-
-Engine pick_prob(const CdpAt& m, Engine e) {
-  if (e != Engine::Auto) return e;
-  return m.tree.is_treelike() ? Engine::BottomUp : Engine::Bdd;
+/// Resolves an Engine handle against the default registry: Auto goes to
+/// the planner (Table I policy), everything else is an explicit request
+/// validated against the backend's capabilities.
+const engine::Backend& route(Engine e, engine::Problem p,
+                             const engine::Traits& t) {
+  const engine::Planner planner;
+  if (e == Engine::Auto) return planner.plan(p, t);
+  return planner.resolve(to_string(e), p, t);
 }
 
 }  // namespace
 
 const char* to_string(Engine e) {
-  switch (e) {
-    case Engine::Auto:
-      return "auto";
-    case Engine::Enumerative:
-      return "enumerative";
-    case Engine::BottomUp:
-      return "bottom-up";
-    case Engine::Bilp:
-      return "bilp";
-    case Engine::Bdd:
-      return "bdd";
-  }
-  return "?";
+  // One entry per enumerator, in declaration order; the names double as
+  // registry keys (engine/registry.hpp).
+  constexpr const char* names[] = {"auto",  "enumerative", "bottom-up",
+                                   "bilp",  "bdd",         "nsga2",
+                                   "knapsack"};
+  static_assert(sizeof(names) / sizeof(names[0]) ==
+                    static_cast<std::size_t>(Engine::Knapsack) + 1,
+                "to_string(Engine) must cover every enumerator");
+  return names[static_cast<std::size_t>(e)];
 }
 
-Front2d cdpf(const CdAt& m, Engine engine) {
-  switch (pick_det(m, engine)) {
-    case Engine::Enumerative:
-      return cdpf_enumerative(m);
-    case Engine::BottomUp:
-      return cdpf_bottom_up(m);
-    case Engine::Bilp:
-      return cdpf_bilp(m);
-    default:
-      bad_engine("cdpf", engine);
-  }
+Front2d cdpf(const CdAt& m, Engine e) {
+  return route(e, engine::Problem::Cdpf, engine::traits_of(m)).cdpf(m);
 }
 
-OptAttack dgc(const CdAt& m, double budget, Engine engine) {
-  switch (pick_det(m, engine)) {
-    case Engine::Enumerative:
-      return dgc_enumerative(m, budget);
-    case Engine::BottomUp:
-      return dgc_bottom_up(m, budget);
-    case Engine::Bilp:
-      return dgc_bilp(m, budget);
-    default:
-      bad_engine("dgc", engine);
-  }
+OptAttack dgc(const CdAt& m, double budget, Engine e) {
+  return route(e, engine::Problem::Dgc, engine::traits_of(m)).dgc(m, budget);
 }
 
-OptAttack cgd(const CdAt& m, double threshold, Engine engine) {
-  switch (pick_det(m, engine)) {
-    case Engine::Enumerative:
-      return cgd_enumerative(m, threshold);
-    case Engine::BottomUp:
-      return cgd_bottom_up(m, threshold);
-    case Engine::Bilp:
-      return cgd_bilp(m, threshold);
-    default:
-      bad_engine("cgd", engine);
-  }
+OptAttack cgd(const CdAt& m, double threshold, Engine e) {
+  return route(e, engine::Problem::Cgd, engine::traits_of(m))
+      .cgd(m, threshold);
 }
 
-Front2d cedpf(const CdpAt& m, Engine engine) {
-  switch (pick_prob(m, engine)) {
-    case Engine::Enumerative:
-      return cedpf_enumerative(m);
-    case Engine::BottomUp:
-      return cedpf_bottom_up(m);
-    case Engine::Bdd:
-      return cedpf_bdd(m);
-    default:
-      bad_engine("cedpf", engine);
-  }
+Front2d cedpf(const CdpAt& m, Engine e) {
+  return route(e, engine::Problem::Cedpf, engine::traits_of(m)).cedpf(m);
 }
 
-OptAttack edgc(const CdpAt& m, double budget, Engine engine) {
-  switch (pick_prob(m, engine)) {
-    case Engine::Enumerative:
-      return edgc_enumerative(m, budget);
-    case Engine::BottomUp:
-      return edgc_bottom_up(m, budget);
-    case Engine::Bdd:
-      return edgc_bdd(m, budget);
-    default:
-      bad_engine("edgc", engine);
-  }
+OptAttack edgc(const CdpAt& m, double budget, Engine e) {
+  return route(e, engine::Problem::Edgc, engine::traits_of(m))
+      .edgc(m, budget);
 }
 
-OptAttack cged(const CdpAt& m, double threshold, Engine engine) {
-  switch (pick_prob(m, engine)) {
-    case Engine::Enumerative:
-      return cged_enumerative(m, threshold);
-    case Engine::BottomUp:
-      return cged_bottom_up(m, threshold);
-    case Engine::Bdd:
-      return cged_bdd(m, threshold);
-    default:
-      bad_engine("cged", engine);
-  }
+OptAttack cged(const CdpAt& m, double threshold, Engine e) {
+  return route(e, engine::Problem::Cged, engine::traits_of(m))
+      .cged(m, threshold);
 }
 
 }  // namespace atcd

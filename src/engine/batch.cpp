@@ -1,0 +1,126 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace atcd::engine {
+
+Instance Instance::of(Problem p, const CdAt& m, double bound,
+                      std::string backend) {
+  Instance in;
+  in.problem = p;
+  in.det = &m;
+  in.bound = bound;
+  in.backend = std::move(backend);
+  return in;
+}
+
+Instance Instance::of(Problem p, const CdpAt& m, double bound,
+                      std::string backend) {
+  Instance in;
+  in.problem = p;
+  in.prob = &m;
+  in.bound = bound;
+  in.backend = std::move(backend);
+  return in;
+}
+
+namespace {
+
+SolveResult run_instance(const Instance& in, const Planner& planner) {
+  SolveResult out;
+  const bool needs_prob = is_probabilistic(in.problem);
+  if (needs_prob ? in.prob == nullptr : in.det == nullptr)
+    throw Error(std::string("solve_all: instance for ") +
+                to_string(in.problem) + " lacks a " +
+                (needs_prob ? "probabilistic" : "deterministic") + " model");
+  const Traits t = needs_prob ? traits_of(*in.prob) : traits_of(*in.det);
+  const Backend& b = in.backend.empty()
+                         ? planner.plan(in.problem, t)
+                         : planner.resolve(in.backend, in.problem, t);
+  out.backend = b.name();
+  switch (in.problem) {
+    case Problem::Cdpf:
+      out.front = b.cdpf(*in.det);
+      break;
+    case Problem::Dgc:
+      out.attack = b.dgc(*in.det, in.bound);
+      break;
+    case Problem::Cgd:
+      out.attack = b.cgd(*in.det, in.bound);
+      break;
+    case Problem::Cedpf:
+      out.front = b.cedpf(*in.prob);
+      break;
+    case Problem::Edgc:
+      out.attack = b.edgc(*in.prob, in.bound);
+      break;
+    case Problem::Cged:
+      out.attack = b.cged(*in.prob, in.bound);
+      break;
+  }
+  out.ok = true;
+  return out;
+}
+
+Planner make_planner(const BatchOptions& opt) {
+  const Registry& r = opt.registry ? *opt.registry : default_registry();
+  const Policy& p = opt.policy ? *opt.policy : table_one_policy();
+  return Planner(r, p);
+}
+
+}  // namespace
+
+SolveResult solve_one(const Instance& instance, const BatchOptions& opt) {
+  const Planner planner = make_planner(opt);
+  try {
+    return run_instance(instance, planner);
+  } catch (const std::exception& e) {
+    SolveResult out;
+    out.error = e.what();
+    return out;
+  }
+}
+
+std::vector<SolveResult> solve_all(std::span<const Instance> instances,
+                                   const BatchOptions& opt) {
+  std::vector<SolveResult> results(instances.size());
+  if (instances.empty()) return results;
+
+  const Planner planner = make_planner(opt);
+  std::size_t n_threads = opt.threads;
+  if (n_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n_threads = hw == 0 ? 2 : hw;
+  }
+  n_threads = std::min(n_threads, instances.size());
+
+  // Work-stealing by atomic index: each worker pulls the next unsolved
+  // instance, so fast instances don't wait behind slow ones.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= instances.size()) return;
+      try {
+        results[i] = run_instance(instances[i], planner);
+      } catch (const std::exception& e) {
+        results[i].ok = false;
+        results[i].error = e.what();
+      }
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace atcd::engine

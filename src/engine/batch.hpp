@@ -1,0 +1,64 @@
+#pragma once
+/// \file batch.hpp
+/// Batch solve API: fan a set of problem instances out across a small
+/// thread pool — the first step toward the serving / heavy-traffic goal.
+///
+/// Instances reference caller-owned models (no copies); every backend is
+/// stateless and reentrant, so concurrent solves need no locking.
+/// solve_all() is deterministic: each instance is solved independently,
+/// so results are identical to sequential solve_one() calls in any
+/// thread configuration.  Per-instance failures (capacity, unsupported
+/// class, solver errors) are captured in the result instead of tearing
+/// down the batch.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/planner.hpp"
+
+namespace atcd::engine {
+
+/// One problem instance.  Exactly one of det/prob must be set, matching
+/// is_probabilistic(problem); `bound` is the budget (DgC/EDgC) or
+/// threshold (CgD/CgED) and is ignored by the front problems.
+struct Instance {
+  Problem problem = Problem::Cdpf;
+  const CdAt* det = nullptr;
+  const CdpAt* prob = nullptr;
+  double bound = 0.0;
+  std::string backend;  ///< explicit engine name; empty = planner's choice
+
+  static Instance of(Problem p, const CdAt& m, double bound = 0.0,
+                     std::string backend = {});
+  static Instance of(Problem p, const CdpAt& m, double bound = 0.0,
+                     std::string backend = {});
+};
+
+/// Outcome of one instance.
+struct SolveResult {
+  bool ok = false;
+  std::string error;         ///< what() of the failure when !ok
+  std::string backend;       ///< name of the engine that ran
+  Front2d front;             ///< CDPF / CEDPF result
+  OptAttack attack;          ///< DgC / CgD / EDgC / CgED result
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = min(hardware_concurrency, batch size).
+  std::size_t threads = 0;
+  /// Registry to resolve engines against; null = default_registry().
+  const Registry* registry = nullptr;
+  /// Auto-selection policy; null = the Table I default.
+  const Policy* policy = nullptr;
+};
+
+/// Solves one instance synchronously.
+SolveResult solve_one(const Instance& instance, const BatchOptions& opt = {});
+
+/// Solves every instance, fanning out across the thread pool.  The i-th
+/// result corresponds to the i-th instance.
+std::vector<SolveResult> solve_all(std::span<const Instance> instances,
+                                   const BatchOptions& opt = {});
+
+}  // namespace atcd::engine

@@ -1,0 +1,62 @@
+#include "engine/planner.hpp"
+
+#include <algorithm>
+
+namespace atcd::engine {
+namespace {
+
+bool applicable(const Backend& b, Problem p, const Traits& t,
+                bool respect_capacity) {
+  const Capabilities c = b.capabilities();
+  if (!c.exact) return false;  // approximate engines are opt-in only
+  if (respect_capacity && t.bas > c.max_bas) return false;
+  return b.supports(p, t);
+}
+
+}  // namespace
+
+const Backend* TableOnePolicy::choose(const Registry& r, Problem p,
+                                      const Traits& t) const {
+  for (const bool respect_capacity : {true, false}) {
+    for (const std::string& name : preference_)
+      if (const Backend* b = r.find(name))
+        if (applicable(*b, p, t, respect_capacity)) return b;
+    for (const Backend* b : r.all()) {
+      if (std::find(preference_.begin(), preference_.end(), b->name()) !=
+          preference_.end())
+        continue;  // already tried in preference order
+      if (applicable(*b, p, t, respect_capacity)) return b;
+    }
+  }
+  return nullptr;
+}
+
+const Policy& table_one_policy() {
+  static const TableOnePolicy instance;
+  return instance;
+}
+
+Planner::Planner() : Planner(default_registry()) {}
+
+Planner::Planner(const Registry& registry, const Policy& policy)
+    : registry_(&registry), policy_(&policy) {}
+
+const Backend& Planner::plan(Problem p, const Traits& t) const {
+  if (const Backend* b = policy_->choose(*registry_, p, t)) return *b;
+  throw UnsupportedError(
+      std::string(to_string(p)) + ": no registered engine supports " +
+      (t.treelike ? "treelike " : "DAG-shaped ") +
+      (t.probabilistic ? "probabilistic" : "deterministic") +
+      " models (registered: " + registry_->names() + ")");
+}
+
+const Backend& Planner::resolve(std::string_view name, Problem p,
+                                const Traits& t) const {
+  const Backend& b = registry_->at(name);
+  if (std::string reason = b.unsupported_reason(p, t); !reason.empty())
+    throw UnsupportedError(std::string(to_string(p)) + ": engine '" +
+                           b.name() + "' " + reason);
+  return b;
+}
+
+}  // namespace atcd::engine

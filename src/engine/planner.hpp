@@ -1,0 +1,85 @@
+#pragma once
+/// \file planner.hpp
+/// Capability-based engine selection, replacing the old pick_det /
+/// pick_prob switches in core/problems.cpp.
+///
+/// Planner::plan() answers "which registered backend should solve problem
+/// P on a model with these traits?" by delegating to a Policy.  The
+/// default TableOnePolicy preserves the paper's Table I choices —
+/// bottom-up on treelike models, BILP on deterministic DAGs, the BDD
+/// fallback on probabilistic DAGs — expressed as a preference order over
+/// engine names instead of hard-coded branches, so registering a new
+/// exact engine makes it schedulable without touching the dispatch code.
+/// Planner::resolve() handles explicit engine requests and produces
+/// capability-naming UnsupportedErrors on mismatch.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/registry.hpp"
+
+namespace atcd::engine {
+
+/// Chooses a backend for a (problem, traits) pair.  Subclass to override
+/// scheduling wholesale; for mild tweaks construct a TableOnePolicy with
+/// a custom preference order.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// The chosen backend, or nullptr when no registered backend applies.
+  virtual const Backend* choose(const Registry& r, Problem p,
+                                const Traits& t) const = 0;
+};
+
+/// The default policy: paper Table I as a preference order.  Among
+/// applicable *exact* backends the first in preference order wins (then
+/// any remaining applicable exact backend in registration order).
+/// Approximate backends are never auto-selected.  Backends whose
+/// capacity bound the instance exceeds are chosen only when nothing
+/// within capacity applies; they then raise CapacityError themselves,
+/// matching the legacy auto-dispatch behavior.
+class TableOnePolicy : public Policy {
+ public:
+  TableOnePolicy() = default;
+  explicit TableOnePolicy(std::vector<std::string> preference)
+      : preference_(std::move(preference)) {}
+
+  const Backend* choose(const Registry& r, Problem p,
+                        const Traits& t) const override;
+
+ private:
+  std::vector<std::string> preference_ = {"bottom-up", "bilp", "bdd",
+                                          "knapsack", "enumerative"};
+};
+
+/// Shared instance of the default policy.
+const Policy& table_one_policy();
+
+/// Facade combining a registry and a policy.
+class Planner {
+ public:
+  /// Uses default_registry() and the Table I policy.
+  Planner();
+  explicit Planner(const Registry& registry,
+                   const Policy& policy = table_one_policy());
+
+  /// Auto selection.  Throws UnsupportedError naming the problem and
+  /// model class when no registered backend applies.
+  const Backend& plan(Problem p, const Traits& t) const;
+
+  /// Explicit selection by name.  Throws UnsupportedError when the name
+  /// is unknown, or when the backend's capabilities do not cover (p, t)
+  /// — the message names the missing capability
+  /// (treelike/probabilistic/front/additive).
+  const Backend& resolve(std::string_view name, Problem p,
+                         const Traits& t) const;
+
+  const Registry& registry() const { return *registry_; }
+
+ private:
+  const Registry* registry_;
+  const Policy* policy_;
+};
+
+}  // namespace atcd::engine

@@ -1,0 +1,46 @@
+#include "engine/registry.hpp"
+
+namespace atcd::engine {
+
+void Registry::add(std::shared_ptr<const Backend> backend) {
+  if (!backend) throw Error("Registry::add: null backend");
+  if (find(backend->name()))
+    throw Error(std::string("Registry::add: duplicate engine name '") +
+                backend->name() + "'");
+  backends_.push_back(std::move(backend));
+}
+
+const Backend* Registry::find(std::string_view name) const {
+  for (const auto& b : backends_)
+    if (name == b->name()) return b.get();
+  return nullptr;
+}
+
+const Backend& Registry::at(std::string_view name) const {
+  if (const Backend* b = find(name)) return *b;
+  throw UnsupportedError("unknown engine '" + std::string(name) +
+                         "' (registered: " + names() + ")");
+}
+
+std::vector<const Backend*> Registry::all() const {
+  std::vector<const Backend*> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b.get());
+  return out;
+}
+
+std::string Registry::names() const {
+  std::string out;
+  for (const auto& b : backends_) {
+    if (!out.empty()) out += ", ";
+    out += b->name();
+  }
+  return out;
+}
+
+Registry& default_registry() {
+  static Registry instance = Registry::with_builtins();
+  return instance;
+}
+
+}  // namespace atcd::engine

@@ -1,0 +1,57 @@
+#pragma once
+/// \file registry.hpp
+/// Name -> Backend registry.
+///
+/// The registry replaces the old compile-time Engine enum as the source
+/// of truth for which solution methods exist: benches resolve `--engine
+/// <name>` through it, the planner iterates it, and new engines become
+/// reachable everywhere by a single add() call.  `default_registry()` is
+/// a process-wide instance pre-seeded with the built-in backends
+/// (builtin_backends.cpp): enumerative, bottom-up, bilp, bdd, nsga2,
+/// knapsack.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/backend.hpp"
+
+namespace atcd::engine {
+
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Registers a backend.  Throws Error on a duplicate name.
+  void add(std::shared_ptr<const Backend> backend);
+
+  /// Looks a backend up by name(); nullptr when absent.
+  const Backend* find(std::string_view name) const;
+
+  /// Like find(), but throws UnsupportedError listing the registered
+  /// names when absent — the right behavior for user-supplied names.
+  const Backend& at(std::string_view name) const;
+
+  /// All backends in registration order.
+  std::vector<const Backend*> all() const;
+
+  /// Comma-separated registered names (for error messages / --help).
+  std::string names() const;
+
+  bool empty() const { return backends_.empty(); }
+  std::size_t size() const { return backends_.size(); }
+
+  /// A registry holding the built-in backends.
+  static Registry with_builtins();
+
+ private:
+  std::vector<std::shared_ptr<const Backend>> backends_;
+};
+
+/// The process-wide registry, lazily constructed with the built-ins.
+/// Mutable so applications can add their own backends at startup; the
+/// built-ins themselves are stateless and thread-safe.
+Registry& default_registry();
+
+}  // namespace atcd::engine

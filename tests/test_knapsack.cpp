@@ -56,6 +56,84 @@ TEST_P(RandomKnapsack, AtSolutionMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomKnapsack,
                          ::testing::Values(201, 202, 203, 204));
 
+// ---- Exact branch-and-bound solver (the "knapsack" engine backend). ----
+
+TEST(KnapsackBnb, MatchesBruteForceOnRandomInstances) {
+  Rng rng(3301);
+  for (int rep = 0; rep < 40; ++rep) {
+    KnapsackInstance inst;
+    const int n = 1 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < n; ++i) {
+      inst.value.push_back(static_cast<double>(rng.range(0, 20)));
+      // Occasional zero weights exercise the density sort's edge case.
+      inst.weight.push_back(static_cast<double>(rng.range(0, 15)));
+    }
+    inst.capacity = static_cast<double>(rng.range(0, 4 * n));
+    const auto bnb = solve_knapsack(inst);
+    const auto brute = solve_knapsack_bruteforce(inst);
+    ASSERT_TRUE(bnb.feasible);
+    EXPECT_DOUBLE_EQ(bnb.damage, brute.damage) << "rep " << rep;
+    // Witness must be consistent with the reported totals.
+    double w = 0, v = 0;
+    for (std::size_t i = 0; i < inst.value.size(); ++i)
+      if (bnb.witness.test(i)) {
+        w += inst.weight[i];
+        v += inst.value[i];
+      }
+    EXPECT_DOUBLE_EQ(w, bnb.cost);
+    EXPECT_DOUBLE_EQ(v, bnb.damage);
+    EXPECT_LE(w, inst.capacity);
+  }
+}
+
+TEST(KnapsackBnb, NegativeCapacityIsInfeasible) {
+  EXPECT_FALSE(solve_knapsack({{1, 2}, {1, 1}, -1.0}).feasible);
+}
+
+TEST(KnapsackBnb, CoverMatchesBruteForceMinimum) {
+  Rng rng(3302);
+  for (int rep = 0; rep < 40; ++rep) {
+    KnapsackInstance inst;
+    const int n = 1 + static_cast<int>(rng.below(10));
+    double total_value = 0;
+    for (int i = 0; i < n; ++i) {
+      inst.value.push_back(static_cast<double>(rng.range(0, 12)));
+      inst.weight.push_back(static_cast<double>(rng.range(1, 9)));
+      total_value += inst.value.back();
+    }
+    const double target = static_cast<double>(rng.range(0, 14));
+    const auto cover = solve_knapsack_cover(inst, target);
+    // Brute-force reference for min Σw s.t. Σv >= target.
+    bool feasible = false;
+    double best_w = 0;
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+      double w = 0, v = 0;
+      for (int i = 0; i < n; ++i)
+        if (mask >> i & 1) {
+          w += inst.weight[i];
+          v += inst.value[i];
+        }
+      if (v < target) continue;
+      if (!feasible || w < best_w) {
+        feasible = true;
+        best_w = w;
+      }
+    }
+    ASSERT_EQ(cover.feasible, feasible) << "rep " << rep;
+    if (feasible) {
+      EXPECT_DOUBLE_EQ(cover.cost, best_w) << "rep " << rep;
+      EXPECT_GE(cover.damage, target);
+    }
+  }
+}
+
+TEST(KnapsackBnb, CoverInfeasibleBeyondTotalValue) {
+  EXPECT_FALSE(solve_knapsack_cover({{1, 2}, {1, 1}, 0}, 4.0).feasible);
+  const auto zero = solve_knapsack_cover({{1, 2}, {5, 7}, 0}, 0.0);
+  ASSERT_TRUE(zero.feasible);
+  EXPECT_DOUBLE_EQ(zero.cost, 0.0);
+}
+
 TEST(KnapsackReduction, AlsoSolvableViaBilp) {
   // The reduction is engine-independent: Thm 7's single-objective ILP
   // solves the same embedded knapsack.

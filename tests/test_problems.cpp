@@ -4,6 +4,7 @@
 
 #include "casestudies/dataserver.hpp"
 #include "casestudies/factory.hpp"
+#include "engine/registry.hpp"
 #include "helpers.hpp"
 
 namespace atcd {
@@ -57,6 +58,19 @@ TEST(Problems, EngineNames) {
   EXPECT_STREQ(to_string(Engine::BottomUp), "bottom-up");
   EXPECT_STREQ(to_string(Engine::Bilp), "bilp");
   EXPECT_STREQ(to_string(Engine::Bdd), "bdd");
+  EXPECT_STREQ(to_string(Engine::Nsga2), "nsga2");
+  EXPECT_STREQ(to_string(Engine::Knapsack), "knapsack");
+}
+
+TEST(Problems, EngineNamesAreRegistryKeys) {
+  // Every non-Auto enumerator resolves to a registered backend of the
+  // same name, so string- and enum-based selection cannot drift apart.
+  for (const Engine e : {Engine::Enumerative, Engine::BottomUp, Engine::Bilp,
+                         Engine::Bdd, Engine::Nsga2, Engine::Knapsack}) {
+    const auto* b = engine::default_registry().find(to_string(e));
+    ASSERT_NE(b, nullptr) << to_string(e);
+    EXPECT_STREQ(b->name(), to_string(e));
+  }
 }
 
 TEST(Problems, EnumerativeEngineIsSelectable) {

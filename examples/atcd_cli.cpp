@@ -9,6 +9,14 @@
 ///   atcd_cli <model-file> engines
 ///   atcd_cli <model-file> dot
 ///
+/// Solve commands additionally accept:
+///   --threads N   solve through the batch API on N worker threads
+///   --repeat K    submit the instance K times (exercises the result
+///                 cache: the batch attaches a service::ResultCache, so
+///                 up to K-1 of the K solves are cache hits; concurrent
+///                 workers may race past an empty cache and solve
+///                 independently — the engine hook does not coalesce)
+///
 /// --engine picks a specific backend by registry name (see `engines`);
 /// without it the planner selects the paper's Table I method for the
 /// model class.
@@ -25,10 +33,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "at/dot.hpp"
 #include "at/parser.hpp"
 #include "engine/batch.hpp"
+#include "service/cache.hpp"
+#include "util/timer.hpp"
 
 using namespace atcd;
 
@@ -38,7 +49,16 @@ int usage() {
   std::fprintf(stderr,
                "usage: atcd_cli <model-file> "
                "(info | cdpf | cedpf | dgc <U> [--prob] | "
-               "cgd <L> [--prob] | engines | dot) [--engine <name>]\n");
+               "cgd <L> [--prob] | engines | dot) [--engine <name>]\n"
+               "                [--threads N] [--repeat K]\n"
+               "  --engine <name>  solve with a specific backend "
+               "(see the `engines` command)\n"
+               "  --threads N      solve through the batch API on N "
+               "worker threads\n"
+               "  --repeat K       submit the instance K times through "
+               "the result cache\n"
+               "                   (up to K-1 hits; prints cache "
+               "statistics)\n");
   return 2;
 }
 
@@ -58,10 +78,38 @@ void print_opt(const AttackTree& t, const OptAttack& r) {
               attack_to_string(t, r.witness).c_str());
 }
 
+/// Batch/cache knobs from --threads / --repeat.
+struct RunOptions {
+  std::size_t threads = 1;
+  std::size_t repeat = 1;
+};
+
 /// Runs one instance through the engine subsystem and prints the result.
+/// With --repeat/--threads the instance is fanned out through
+/// solve_all() with an attached result cache, and a summary line reports
+/// the batch timing plus cache statistics.
 int run(const AttackTree& t, const engine::Instance& in,
-        const char* damage_col) {
-  const engine::SolveResult r = engine::solve_one(in);
+        const char* damage_col, const RunOptions& ro) {
+  engine::SolveResult r;
+  if (ro.repeat <= 1 && ro.threads <= 1) {
+    r = engine::solve_one(in);
+  } else {
+    atcd::service::ResultCache cache;
+    engine::BatchOptions opt;
+    opt.threads = ro.threads;
+    opt.cache = &cache;
+    const std::vector<engine::Instance> batch(ro.repeat, in);
+    Timer timer;
+    const auto results = engine::solve_all(batch, opt);
+    const double ms = timer.millis();
+    r = results.front();
+    const auto s = cache.stats();
+    std::printf("# batch: %zu requests on %zu threads in %.2f ms "
+                "(cache hits=%llu misses=%llu)\n",
+                ro.repeat, ro.threads, ms,
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses));
+  }
   if (!r.ok) {
     std::fprintf(stderr, "error: %s\n", r.error.c_str());
     return 1;
@@ -85,11 +133,17 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[2];
     bool use_prob = false;
     std::string engine_name;
+    RunOptions ro;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
       if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
         engine_name = argv[i + 1];
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+        ro.threads = std::strtoull(argv[i + 1], nullptr, 10);
+      if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc)
+        ro.repeat = std::strtoull(argv[i + 1], nullptr, 10);
     }
+    if (ro.repeat == 0 || ro.threads == 0) return usage();
 
     if (cmd == "info") {
       std::printf("nodes: %zu (BASs: %zu), edges: %zu, shape: %s\n",
@@ -125,23 +179,23 @@ int main(int argc, char** argv) {
       return run(parsed.tree,
                  engine::Instance::of(engine::Problem::Cdpf, det, 0.0,
                                       engine_name),
-                 "damage");
+                 "damage", ro);
     if (cmd == "cedpf")
       return run(parsed.tree,
                  engine::Instance::of(engine::Problem::Cedpf, prob, 0.0,
                                       engine_name),
-                 "E[damage]");
+                 "E[damage]", ro);
     if (cmd == "dgc" && argc >= 4) {
       const double budget = std::atof(argv[3]);
       return use_prob
                  ? run(parsed.tree,
                        engine::Instance::of(engine::Problem::Edgc, prob,
                                             budget, engine_name),
-                       "E[damage]")
+                       "E[damage]", ro)
                  : run(parsed.tree,
                        engine::Instance::of(engine::Problem::Dgc, det,
                                             budget, engine_name),
-                       "damage");
+                       "damage", ro);
     }
     if (cmd == "cgd" && argc >= 4) {
       const double threshold = std::atof(argv[3]);
@@ -149,11 +203,11 @@ int main(int argc, char** argv) {
                  ? run(parsed.tree,
                        engine::Instance::of(engine::Problem::Cged, prob,
                                             threshold, engine_name),
-                       "E[damage]")
+                       "E[damage]", ro)
                  : run(parsed.tree,
                        engine::Instance::of(engine::Problem::Cgd, det,
                                             threshold, engine_name),
-                       "damage");
+                       "damage", ro);
     }
     if (cmd == "dot") {
       std::printf("%s", to_dot(parsed.tree, parsed.cost, parsed.damage,

@@ -1,0 +1,67 @@
+/// atcd_server — serves the line-oriented solve protocol
+/// (src/service/protocol.hpp) over stdin/stdout.
+///
+/// Usage:
+///   atcd_server [--shards N] [--entries N] [--bytes N] [--no-cache]
+///
+/// Session example (try it interactively, or pipe a script in):
+///
+///   solve cdpf
+///   bas pick cost=1 damage=2
+///   bas drill cost=4 damage=1
+///   or open = pick, drill damage=10
+///   end
+///   stats
+///   quit
+///
+/// Every response is a block of key=value lines terminated by `done`, so
+/// shell scripts can drive it with a coprocess.  The cache is shared
+/// across the whole session: resubmitting a model — even renamed or with
+/// permuted child lists — comes back with cache=hit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "service/protocol.hpp"
+
+int main(int argc, char** argv) {
+  atcd::service::SolveService::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+      opt.cache.shards = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc)
+      opt.cache.max_entries = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc)
+      opt.cache.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--no-cache") == 0)
+      opt.enable_cache = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: atcd_server [--shards N] [--entries N] "
+                   "[--bytes N] [--no-cache]\n"
+                   "Serves the solve protocol on stdin/stdout; see the "
+                   "README's \"Serving layer\" section.\n");
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  atcd::service::SolveService service(opt);
+  std::fprintf(stderr,
+               "atcd_server: ready (cache %s, %zu shards, %zu entries, "
+               "%zu bytes)\n",
+               opt.enable_cache ? "on" : "off", opt.cache.shards,
+               opt.cache.max_entries, opt.cache.max_bytes);
+  const std::size_t n =
+      atcd::service::serve(std::cin, std::cout, service);
+  const auto s = service.cache().stats();
+  std::fprintf(stderr,
+               "atcd_server: session end after %zu solves "
+               "(hits=%llu misses=%llu evictions=%llu collisions=%llu)\n",
+               n, static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.evictions),
+               static_cast<unsigned long long>(s.collisions));
+  return 0;
+}

@@ -26,15 +26,32 @@ Instance Instance::of(Problem p, const CdpAt& m, double bound,
   return in;
 }
 
+std::string instance_error(const Instance& in) {
+  const bool needs_prob = is_probabilistic(in.problem);
+  const std::string head = std::string("instance for ") + to_string(in.problem);
+  if (in.det && in.prob)
+    return head + " sets both a deterministic and a probabilistic model; "
+                  "exactly one must be set";
+  if (!in.det && !in.prob)
+    return head + " lacks a model (neither det nor prob is set)";
+  if (needs_prob && !in.prob)
+    return head + " lacks a probabilistic model: " + to_string(in.problem) +
+           " is probabilistic but the instance carries a deterministic model";
+  if (!needs_prob && !in.det)
+    return head + " lacks a deterministic model: " + to_string(in.problem) +
+           " is deterministic but the instance carries a probabilistic model";
+  return {};
+}
+
 namespace {
 
 SolveResult run_instance(const Instance& in, const Planner& planner) {
   SolveResult out;
+  if (std::string err = instance_error(in); !err.empty()) {
+    out.error = std::move(err);
+    return out;
+  }
   const bool needs_prob = is_probabilistic(in.problem);
-  if (needs_prob ? in.prob == nullptr : in.det == nullptr)
-    throw Error(std::string("solve_all: instance for ") +
-                to_string(in.problem) + " lacks a " +
-                (needs_prob ? "probabilistic" : "deterministic") + " model");
   const Traits t = needs_prob ? traits_of(*in.prob) : traits_of(*in.det);
   const Backend& b = in.backend.empty()
                          ? planner.plan(in.problem, t)
@@ -70,12 +87,23 @@ Planner make_planner(const BatchOptions& opt) {
   return Planner(r, p);
 }
 
+/// run_instance() behind the optional cache hook: hits skip the solve,
+/// successful misses are offered back for storage.
+SolveResult run_cached(const Instance& in, const Planner& planner,
+                       SolveCache* cache) {
+  SolveResult out;
+  if (cache && cache->lookup(in, &out)) return out;
+  out = run_instance(in, planner);
+  if (out.ok && cache) cache->store(in, out);
+  return out;
+}
+
 }  // namespace
 
 SolveResult solve_one(const Instance& instance, const BatchOptions& opt) {
   const Planner planner = make_planner(opt);
   try {
-    return run_instance(instance, planner);
+    return run_cached(instance, planner, opt.cache);
   } catch (const std::exception& e) {
     SolveResult out;
     out.error = e.what();
@@ -104,7 +132,7 @@ std::vector<SolveResult> solve_all(std::span<const Instance> instances,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= instances.size()) return;
       try {
-        results[i] = run_instance(instances[i], planner);
+        results[i] = run_cached(instances[i], planner, opt.cache);
       } catch (const std::exception& e) {
         results[i].ok = false;
         results[i].error = e.what();

@@ -44,6 +44,20 @@ struct SolveResult {
   OptAttack attack;          ///< DgC / CgD / EDgC / CgED result
 };
 
+/// Optional result-cache hook consulted by solve_one()/solve_all().
+/// The engine layer defines only this interface; the implementation
+/// lives above it (service::ResultCache keys entries by canonical model
+/// hash).  Implementations must be thread-safe: solve_all() calls them
+/// concurrently from every worker.
+class SolveCache {
+ public:
+  virtual ~SolveCache() = default;
+  /// Returns true and fills \p out when the instance's result is cached.
+  virtual bool lookup(const Instance& in, SolveResult* out) = 0;
+  /// Offers a successful result for storage (failures are never offered).
+  virtual void store(const Instance& in, const SolveResult& result) = 0;
+};
+
 struct BatchOptions {
   /// Worker threads; 0 = min(hardware_concurrency, batch size).
   std::size_t threads = 0;
@@ -51,7 +65,15 @@ struct BatchOptions {
   const Registry* registry = nullptr;
   /// Auto-selection policy; null = the Table I default.
   const Policy* policy = nullptr;
+  /// Result cache consulted before and fed after each solve; null = none.
+  SolveCache* cache = nullptr;
 };
+
+/// Validates the model/problem pairing of an instance: exactly one of
+/// det/prob must be set and it must match is_probabilistic(problem).
+/// Returns an empty string when valid, else a message naming the
+/// mismatch.  solve_one()/solve_all() report it as an ok=false result.
+std::string instance_error(const Instance& instance);
 
 /// Solves one instance synchronously.
 SolveResult solve_one(const Instance& instance, const BatchOptions& opt = {});

@@ -1,0 +1,270 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "service/hash_mix.hpp"
+
+namespace atcd::service {
+namespace {
+
+std::size_t approx_bytes(const AttackTree& t) {
+  std::size_t b = sizeof(AttackTree) +
+                  t.node_count() * sizeof(AttackTree::Node) +
+                  (t.node_count() + t.bas_count()) * sizeof(NodeId);
+  for (NodeId v = 0; v < static_cast<NodeId>(t.node_count()); ++v) {
+    const auto& n = t.node(v);
+    b += n.name.size() +
+         (n.children.size() + n.parents.size()) * sizeof(NodeId);
+  }
+  return b;
+}
+
+std::size_t approx_bytes(const DynBitset& x) {
+  return sizeof(DynBitset) + (x.size() + 63) / 64 * 8;
+}
+
+std::size_t approx_bytes(const engine::SolveResult& r) {
+  std::size_t b = sizeof(engine::SolveResult) + r.error.size() +
+                  r.backend.size() + approx_bytes(r.attack.witness);
+  for (const auto& p : r.front.points())
+    b += sizeof(FrontPoint) + approx_bytes(p.witness);
+  return b;
+}
+
+std::size_t entry_bytes(const CacheKey& key, const CdAt* det,
+                        const CdpAt* prob, const engine::SolveResult& r) {
+  std::size_t b = sizeof(CacheKey) + key.backend.size() + approx_bytes(r);
+  if (det)
+    b += sizeof(CdAt) + approx_bytes(det->tree) +
+         (det->cost.size() + det->damage.size()) * sizeof(double);
+  if (prob)
+    b += sizeof(CdpAt) + approx_bytes(prob->tree) +
+         (prob->cost.size() + prob->damage.size() + prob->prob.size()) *
+             sizeof(double);
+  return b;
+}
+
+}  // namespace
+
+std::size_t hash_of(const CacheKey& key) {
+  std::uint64_t h = mix64(0xCAC4Eull, key.model);
+  h = mix64(h, static_cast<std::uint64_t>(key.problem));
+  h = mix64(h, std::bit_cast<std::uint64_t>(key.bound == 0.0 ? 0.0 : key.bound));
+  for (char c : key.backend) h = mix64(h, static_cast<unsigned char>(c));
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<CacheKey> make_key(const engine::Instance& in) {
+  if (!engine::instance_error(in).empty()) return std::nullopt;
+  if (!engine::is_front(in.problem) && !std::isfinite(in.bound))
+    return std::nullopt;
+  CacheKey key;
+  key.model = engine::is_probabilistic(in.problem) ? canonical_hash(*in.prob)
+                                                   : canonical_hash(*in.det);
+  key.problem = in.problem;
+  key.bound = engine::is_front(in.problem) ? 0.0 : in.bound;
+  key.backend = in.backend;
+  return key;
+}
+
+void remap_witnesses(const AttackTree& from, const AttackTree& to,
+                     const std::vector<NodeId>& iso,
+                     engine::SolveResult* result) {
+  const std::size_t n_bas = from.bas_count();
+  std::vector<std::uint32_t> bas_remap(n_bas);
+  bool identity = true;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(n_bas); ++i) {
+    bas_remap[i] = to.bas_index(iso[from.bas_id(i)]);
+    identity = identity && bas_remap[i] == i;
+  }
+  if (identity) return;
+
+  const auto rewrite = [&](const DynBitset& w) {
+    DynBitset out(w.size());
+    for (std::size_t i : w.ones()) out.set(bas_remap[i]);
+    return out;
+  };
+  if (result->attack.witness.size() == n_bas)
+    result->attack.witness = rewrite(result->attack.witness);
+  if (!result->front.empty()) {
+    std::vector<FrontPoint> points(result->front.begin(),
+                                   result->front.end());
+    for (auto& p : points) p.witness = rewrite(p.witness);
+    // Re-running the front builder on already-minimal points keeps the
+    // same values in the same order; only the witnesses changed.
+    result->front = Front2d::of_candidates(std::move(points));
+  }
+}
+
+ResultCache::ResultCache() : ResultCache(Config{}) {}
+
+ResultCache::ResultCache(Config config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  entry_budget_per_shard_ =
+      std::max<std::size_t>(1, (config_.max_entries + config_.shards - 1) /
+                                   config_.shards);
+  byte_budget_per_shard_ =
+      std::max<std::size_t>(1, (config_.max_bytes + config_.shards - 1) /
+                                   config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t ResultCache::shard_index(const CacheKey& key) const {
+  // Re-mix so the shard choice and the unordered_map bucket choice use
+  // decorrelated bits.
+  return static_cast<std::size_t>(mix64(0x54A2Dull, hash_of(key))) %
+         shards_.size();
+}
+
+std::optional<engine::SolveResult> ResultCache::lookup(const CacheKey& key,
+                                                       const CdAt* det,
+                                                       const CdpAt* prob,
+                                                       bool count_stats) {
+  Shard& shard = *shards_[shard_index(key)];
+  // Under the lock only find, refresh recency, and grab shared pointers;
+  // the isomorphism deep check, result copy, and witness remap all run
+  // outside so concurrent hits on the same shard don't serialize.
+  // Entries are immutable after insertion, so the pointers stay valid
+  // even if the entry is evicted concurrently.
+  std::shared_ptr<const CdAt> e_det;
+  std::shared_ptr<const CdpAt> e_prob;
+  std::shared_ptr<const engine::SolveResult> e_result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      if (count_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const Entry& e = *it->second;
+    e_det = e.det;
+    e_prob = e.prob;
+    e_result = e.result;
+    // Refreshing recency before the deep check means an (astronomically
+    // rare) colliding probe also touches the entry — harmless.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  }
+  // Guard against canonical-hash collisions: the entry's retained model
+  // must be semantically identical to the probe model.  The bijection
+  // also translates the stored witnesses into the probe's BAS indexing
+  // (an isomorphic resubmission may number its leaves differently).
+  const std::vector<NodeId> iso =
+      e_det ? (det ? canonical_isomorphism(*e_det, *det)
+                   : std::vector<NodeId>{})
+            : (prob ? canonical_isomorphism(*e_prob, *prob)
+                    : std::vector<NodeId>{});
+  if (iso.empty()) {
+    if (count_stats) {
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+  if (count_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  engine::SolveResult out = *e_result;
+  remap_witnesses(e_det ? e_det->tree : e_prob->tree,
+                  det ? det->tree : prob->tree, iso, &out);
+  return out;
+}
+
+void ResultCache::insert(const CacheKey& key, std::shared_ptr<const CdAt> det,
+                         std::shared_ptr<const CdpAt> prob,
+                         const engine::SolveResult& result) {
+  const std::size_t bytes = entry_bytes(key, det.get(), prob.get(), result);
+  if (bytes > byte_budget_per_shard_) return;  // would evict a whole shard
+  Shard& shard = *shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Entry& e = *it->second;
+    const bool same =
+        e.det ? (det != nullptr && equal_canonical(*e.det, *det))
+              : (prob != nullptr && equal_canonical(*e.prob, *prob));
+    if (!same) {
+      // True hash collision: keep the incumbent; replacing it would let
+      // the two models keep evicting each other's entry.
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Same canonical model: the incumbent result is equivalent and its
+    // witnesses already match the retained model's BAS indexing (the new
+    // result's witnesses may not — it could be a permuted resubmission),
+    // so just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(
+      Entry{key, std::move(det), std::move(prob),
+            std::make_shared<engine::SolveResult>(result), bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  evict_to_budget(shard);
+}
+
+void ResultCache::evict_to_budget(Shard& shard) {
+  while (!shard.lru.empty() && (shard.lru.size() > entry_budget_per_shard_ ||
+                                shard.bytes > byte_budget_per_shard_)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ResultCache::lookup(const engine::Instance& in,
+                         engine::SolveResult* out) {
+  const auto key = make_key(in);
+  if (!key) return false;
+  auto r = lookup(*key, in.det, in.prob);
+  if (!r) return false;
+  *out = std::move(*r);
+  return true;
+}
+
+void ResultCache::store(const engine::Instance& in,
+                        const engine::SolveResult& result) {
+  if (!result.ok) return;
+  const auto key = make_key(in);
+  if (!key) return;
+  // The hook borrows caller-owned models, so retain private copies for
+  // the collision deep check.
+  std::shared_ptr<const CdAt> det;
+  std::shared_ptr<const CdpAt> prob;
+  if (engine::is_probabilistic(in.problem))
+    prob = std::make_shared<CdpAt>(*in.prob);
+  else
+    det = std::make_shared<CdAt>(*in.det);
+  insert(*key, std::move(det), std::move(prob), result);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.collisions = collisions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.entries += shard->lru.size();
+    s.bytes += shard->bytes;
+  }
+  return s;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace atcd::service

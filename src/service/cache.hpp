@@ -1,0 +1,166 @@
+#pragma once
+/// \file cache.hpp
+/// Sharded LRU result cache for the solve service.
+///
+/// Entries are keyed by (canonical model hash, problem, bound, backend):
+/// the canonical hash (service/canon.hpp) makes renamed / child-permuted
+/// resubmissions of the same model collide on purpose, the bound is
+/// normalized to 0 for the front problems (which ignore it), and the
+/// backend component is the *requested* engine name ("" for planner
+/// auto-selection) so an explicit engine override never serves another
+/// engine's result.
+///
+/// Because a 64-bit canonical hash can collide, every entry retains a
+/// copy of its model and lookups deep-check it with equal_canonical();
+/// a mismatch is counted as a collision and served as a miss — a
+/// colliding model can cost a cache miss but never a wrong answer.
+///
+/// The cache is mutex-striped into N independent shards (shard chosen by
+/// key hash); each shard runs its own LRU list under its own lock with
+/// 1/N of the global entry and byte budgets, so concurrent lookups from
+/// the batch workers contend only when they land on the same shard.
+///
+/// ResultCache also implements engine::SolveCache, so it can be attached
+/// to engine::BatchOptions::cache and transparently memoize
+/// solve_one()/solve_all() calls.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "service/canon.hpp"
+
+namespace atcd::service {
+
+/// Cache key; see the file comment for the semantics of each component.
+struct CacheKey {
+  CanonHash model = 0;
+  engine::Problem problem = engine::Problem::Cdpf;
+  double bound = 0.0;    ///< 0 for front problems (they ignore it)
+  std::string backend;   ///< requested engine name; "" = auto
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Hash over all key components (model hash, problem, bound, backend).
+std::size_t hash_of(const CacheKey& key);
+
+/// Functor form of hash_of for unordered containers keyed by CacheKey.
+struct CacheKeyHasher {
+  std::size_t operator()(const CacheKey& key) const { return hash_of(key); }
+};
+
+/// Builds the key for an instance: computes the canonical model hash and
+/// normalizes the bound.  Returns nullopt when the instance's model/
+/// problem pairing is invalid, or when a bound-using problem carries a
+/// non-finite bound (NaN never compares equal, so such keys could
+/// neither be found again nor evicted) — either way the instance
+/// bypasses the cache.
+std::optional<CacheKey> make_key(const engine::Instance& in);
+
+/// Rewrites the witness bitsets of \p result from model \p from's BAS
+/// indexing to model \p to's, through the node bijection \p iso as
+/// returned by canonical_isomorphism(from, to).  Costs and damages are
+/// untouched (the models are isomorphic, so they transfer verbatim);
+/// only which BAS index denotes which leaf changes.  No-op when the
+/// bijection preserves BAS indices.
+void remap_witnesses(const AttackTree& from, const AttackTree& to,
+                     const std::vector<NodeId>& iso,
+                     engine::SolveResult* result);
+
+class ResultCache final : public engine::SolveCache {
+ public:
+  struct Config {
+    std::size_t shards = 8;              ///< mutex stripes; >= 1
+    std::size_t max_entries = 4096;      ///< whole-cache entry budget
+    std::size_t max_bytes = 64u << 20;   ///< whole-cache byte budget
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;   ///< entries dropped by LRU/budget
+    std::uint64_t collisions = 0;  ///< equal-key lookups failing the deep check
+    std::size_t entries = 0;       ///< current resident entries
+    std::size_t bytes = 0;         ///< current approximate resident bytes
+  };
+
+  ResultCache();  // default Config (GCC can't parse `= {}` here)
+  explicit ResultCache(Config config);
+
+  // -- Key-level API (the service computes the canonical hash once). ----
+
+  /// Returns the cached result for \p key, deep-checking the entry's
+  /// retained model against the probe model (exactly one of det/prob
+  /// non-null, matching the key's problem).  Counts a hit, miss, or
+  /// collision; pass count_stats=false for a re-check of a request whose
+  /// first lookup already counted (each request contributes exactly one
+  /// hit-or-miss to the counters).
+  std::optional<engine::SolveResult> lookup(const CacheKey& key,
+                                            const CdAt* det,
+                                            const CdpAt* prob,
+                                            bool count_stats = true);
+
+  /// Inserts a successful result, retaining shared ownership of the model
+  /// for the collision deep check.  An equal-key entry for a *different*
+  /// model (a true hash collision) keeps the incumbent; an equal-key
+  /// entry for the same model is refreshed.  Entries larger than a whole
+  /// shard's byte budget are not stored.
+  void insert(const CacheKey& key, std::shared_ptr<const CdAt> det,
+              std::shared_ptr<const CdpAt> prob,
+              const engine::SolveResult& result);
+
+  // -- engine::SolveCache hook (computes the hash per call). -------------
+
+  bool lookup(const engine::Instance& in, engine::SolveResult* out) override;
+  void store(const engine::Instance& in,
+             const engine::SolveResult& result) override;
+
+  Stats stats() const;
+  void clear();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Which shard a key lands on — exposed so tests can craft per-shard
+  /// workloads.
+  std::size_t shard_index(const CacheKey& key) const;
+
+ private:
+  /// Model and result are shared immutable so lookups can release the
+  /// shard lock before the isomorphism deep check and witness remap.
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+    std::shared_ptr<const engine::SolveResult> result;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHasher>
+        index;
+    std::size_t bytes = 0;  ///< resident bytes; guarded by mu
+  };
+
+  /// Drops LRU-tail entries until the shard is within both budgets.
+  /// Caller holds the shard lock.
+  void evict_to_budget(Shard& shard);
+
+  Config config_;
+  std::size_t entry_budget_per_shard_;
+  std::size_t byte_budget_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, insertions_{0},
+      evictions_{0}, collisions_{0};
+};
+
+}  // namespace atcd::service

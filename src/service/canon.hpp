@@ -1,0 +1,71 @@
+#pragma once
+/// \file canon.hpp
+/// Canonical model fingerprints for the solve service.
+///
+/// The six cost-damage problems are pure functions of (model, problem,
+/// bound), so identical submissions can be served from a cache — but
+/// "identical" must mean *semantically* identical, not textually: the
+/// same model resubmitted with renamed nodes, reordered statements, or
+/// permuted OR/AND child lists should hit the same cache entry.
+///
+/// canonical_hash() computes a structural fingerprint that is invariant
+/// under node renaming and child reordering while remaining sensitive to
+/// everything that affects the solution: node types, DAG sharing
+/// structure, and all decorations (cost, damage, and — for CdpAt —
+/// probability).  It is a Weisfeiler-Leman style color refinement: every
+/// node starts with a color derived from its type and decorations, then
+/// colors are repeatedly mixed with the sorted colors of children and
+/// parents until the partition stabilizes; the model hash digests the
+/// color multiset, the root color, and the model kind.
+///
+/// A 64-bit hash can collide, so cache entries are guarded by
+/// equal_canonical(): an exact isomorphism test (color-guided backtracking
+/// matching with a step budget) that never returns true for semantically
+/// different models.  It may return false for isomorphic models with very
+/// large automorphism groups once the budget is exhausted — that costs a
+/// cache miss, never a wrong answer.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cdat.hpp"
+
+namespace atcd::service {
+
+/// Structural fingerprint; equal for isomorphic decorated models.
+using CanonHash = std::uint64_t;
+
+/// Fingerprint of a bare (tree, decorations) triple.  \p prob selects the
+/// probabilistic model kind: passing nullptr and passing a vector of all
+/// ones hash differently on purpose (CdAt vs CdpAt solve different
+/// problems).  The tree must be finalized.
+CanonHash canonical_hash(const AttackTree& t, const std::vector<double>& cost,
+                         const std::vector<double>& damage,
+                         const std::vector<double>* prob = nullptr);
+
+CanonHash canonical_hash(const CdAt& m);
+CanonHash canonical_hash(const CdpAt& m);
+
+/// Exact semantic equality: true iff there is a type-, decoration- and
+/// edge-preserving bijection between the two models' nodes.  Sound (never
+/// true for non-isomorphic models); complete up to an internal step
+/// budget that only very large automorphism groups exhaust.
+bool equal_canonical(const AttackTree& ta, const std::vector<double>& cost_a,
+                     const std::vector<double>& damage_a,
+                     const std::vector<double>* prob_a, const AttackTree& tb,
+                     const std::vector<double>& cost_b,
+                     const std::vector<double>& damage_b,
+                     const std::vector<double>* prob_b);
+
+bool equal_canonical(const CdAt& a, const CdAt& b);
+bool equal_canonical(const CdpAt& a, const CdpAt& b);
+
+/// The node bijection witnessing equal_canonical: map[v] is the b-node
+/// matching a-node v (types, decorations, edges, and the root all
+/// correspond).  Empty when the models are not (detectably) isomorphic.
+/// Consumers use it to translate attack witnesses between the BAS
+/// indexings of two isomorphic submissions of the same model.
+std::vector<NodeId> canonical_isomorphism(const CdAt& a, const CdAt& b);
+std::vector<NodeId> canonical_isomorphism(const CdpAt& a, const CdpAt& b);
+
+}  // namespace atcd::service

@@ -1,0 +1,21 @@
+#pragma once
+/// \file hash_mix.hpp
+/// The splitmix64-style mixing step shared by canonical hashing
+/// (canon.cpp) and cache key/shard hashing (cache.cpp).  One definition:
+/// the cache re-mixes values produced by canonical hashing, so the two
+/// sides must never diverge.
+
+#include <cstdint>
+
+namespace atcd::service {
+
+/// Folds \p v into \p h; order-sensitive, so order-insensitive digests
+/// are obtained by sorting before folding.
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull + h;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+}  // namespace atcd::service

@@ -1,0 +1,222 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "at/structure.hpp"
+
+namespace atcd::service {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Error messages travel on one line; fold any embedded newlines.
+std::string one_line(std::string s) {
+  for (auto pos = s.find('\n'); pos != std::string::npos;
+       pos = s.find('\n', pos))
+    s.replace(pos, 1, "; ");
+  return s;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string micros_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string error_block(const std::string& message) {
+  return "ok=false\nerror=" + one_line(message) + "\ndone\n";
+}
+
+const AttackTree* tree_of(const Response& r) {
+  if (r.det) return &r.det->tree;
+  if (r.prob) return &r.prob->tree;
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<engine::Problem> parse_problem(const std::string& name) {
+  using engine::Problem;
+  for (Problem p : {Problem::Cdpf, Problem::Dgc, Problem::Cgd, Problem::Cedpf,
+                    Problem::Edgc, Problem::Cged})
+    if (name == engine::to_string(p)) return p;
+  return std::nullopt;
+}
+
+std::string format_response(const Response& r) {
+  if (!r.result.ok) return error_block(r.result.error);
+  std::ostringstream out;
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(r.model_hash));
+  out << "ok=true\n"
+      << "engine=" << r.result.backend << '\n'
+      << "cache=" << (r.cache_hit ? "hit" : r.coalesced ? "coalesced" : "miss")
+      << '\n'
+      << "hash=" << hash << '\n'
+      << "micros=" << micros_str(r.micros) << '\n';
+  const AttackTree* tree = tree_of(r);
+  if (engine::is_front(r.problem)) {
+    out << "kind=front\n"
+        << "points=" << r.result.front.size() << '\n';
+    for (std::size_t i = 0; i < r.result.front.size(); ++i) {
+      const FrontPoint& p = r.result.front[i];
+      out << "point." << i << '=' << num(p.value.cost) << ' '
+          << num(p.value.damage) << ' '
+          << (tree ? attack_to_string(*tree, p.witness) : p.witness.to_string())
+          << '\n';
+    }
+  } else {
+    const OptAttack& a = r.result.attack;
+    out << "kind=attack\n"
+        << "feasible=" << (a.feasible ? "true" : "false") << '\n';
+    if (a.feasible)
+      out << "cost=" << num(a.cost) << '\n'
+          << "damage=" << num(a.damage) << '\n'
+          << "attack="
+          << (tree ? attack_to_string(*tree, a.witness) : a.witness.to_string())
+          << '\n';
+  }
+  out << "done\n";
+  return out.str();
+}
+
+std::string format_stats(const ResultCache::Stats& s) {
+  std::ostringstream out;
+  out << "ok=true\n"
+      << "hits=" << s.hits << '\n'
+      << "misses=" << s.misses << '\n'
+      << "insertions=" << s.insertions << '\n'
+      << "evictions=" << s.evictions << '\n'
+      << "collisions=" << s.collisions << '\n'
+      << "entries=" << s.entries << '\n'
+      << "bytes=" << s.bytes << '\n'
+      << "done\n";
+  return out.str();
+}
+
+std::size_t serve(std::istream& in, std::ostream& out,
+                  SolveService& service) {
+  std::size_t handled = 0;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = trim(raw);
+    if (const auto h = line.find('#'); h != std::string::npos)
+      line = trim(line.substr(0, h));
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = split_ws(line);
+
+    if (tok[0] == "quit" || tok[0] == "exit") break;
+
+    if (tok[0] == "stats") {
+      out << format_stats(service.cache().stats());
+      out.flush();
+      continue;
+    }
+
+    if (tok[0] != "solve") {
+      out << error_block("unknown command '" + tok[0] +
+                         "' (expected solve, stats, or quit)");
+      out.flush();
+      continue;
+    }
+
+    // -- solve header --------------------------------------------------
+    // Header problems are collected, not reported yet: the client sends
+    // a model block after every solve line, so the block must be
+    // consumed either way or the stream desyncs (model lines would be
+    // re-parsed as commands).
+    std::string header_error;
+    std::optional<engine::Problem> problem;
+    double bound = 0.0;
+    std::string engine_name;
+    if (tok.size() < 2) {
+      header_error = "solve requires a problem name "
+                     "(cdpf|dgc|cgd|cedpf|edgc|cged)";
+    } else if (!(problem = parse_problem(tok[1]))) {
+      header_error = "unknown problem '" + tok[1] +
+                     "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)";
+    }
+    for (std::size_t i = 2; i < tok.size() && header_error.empty(); ++i) {
+      if (tok[i].rfind("bound=", 0) == 0) {
+        const std::string val = tok[i].substr(6);
+        std::size_t consumed = 0;
+        try {
+          bound = std::stod(val, &consumed);
+        } catch (const std::exception&) {
+          consumed = 0;
+        }
+        if (val.empty() || consumed != val.size())  // reject trailing junk
+          header_error = "bad bound '" + tok[i] + "'";
+        else if (!std::isfinite(bound))
+          header_error = "bad bound '" + tok[i] + "' (must be finite)";
+      } else if (tok[i].rfind("engine=", 0) == 0) {
+        engine_name = tok[i].substr(7);
+      } else {
+        header_error = "unknown solve argument '" + tok[i] +
+                       "' (expected bound=<num> or engine=<name>)";
+      }
+    }
+
+    // -- model block (always consumed) ---------------------------------
+    std::string model_text;
+    bool terminated = false;
+    while (std::getline(in, raw)) {
+      // The terminator may carry a trailing comment ('#' starts a
+      // comment everywhere in the protocol), so strip it before testing.
+      std::string stripped = raw;
+      if (const auto h = stripped.find('#'); h != std::string::npos)
+        stripped.erase(h);
+      if (trim(stripped) == "end") {
+        terminated = true;
+        break;
+      }
+      model_text += raw;
+      model_text += '\n';
+    }
+
+    if (!header_error.empty()) {
+      out << error_block(header_error);
+      out.flush();
+      continue;
+    }
+    if (!terminated) {
+      out << error_block("unterminated model block (missing 'end' line)");
+      out.flush();
+      continue;
+    }
+
+    const Response r = service.handle(Request::of_text(
+        *problem, std::move(model_text), bound, std::move(engine_name)));
+    out << format_response(r);
+    out.flush();
+    ++handled;
+  }
+  return handled;
+}
+
+}  // namespace atcd::service

@@ -1,0 +1,58 @@
+#pragma once
+/// \file protocol.hpp
+/// Line-oriented request/response protocol over the solve service.
+///
+/// Requests (one command per line; '#' starts a comment outside model
+/// blocks too):
+///
+///   solve <problem> [bound=<num>] [engine=<name>]
+///   <model lines in the at/parser.hpp format>
+///   end
+///
+///   stats        # dump cache counters
+///   quit         # end the session
+///
+/// <problem> is one of cdpf, dgc, cgd, cedpf, edgc, cged.  The model
+/// block between the `solve` line and the `end` line is the textual
+/// model format of at/parser.hpp verbatim.
+///
+/// Responses are stable key=value lines terminated by a single `done`
+/// line.  Successful solves:
+///
+///   ok=true
+///   engine=<backend>  cache=hit|miss|coalesced  hash=<16 hex digits>
+///   micros=<float>
+///   kind=front  points=<n>  point.<i>=<cost> <damage> {<bas, ...>}
+///     — or —
+///   kind=attack  feasible=true|false  cost=... damage=... attack={...}
+///   done
+///
+/// Failures: ok=false, error=<single-line message>, done.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace atcd::service {
+
+/// Parses a protocol problem name (as printed by engine::to_string).
+std::optional<engine::Problem> parse_problem(const std::string& name);
+
+/// Renders one response as the key=value block described above.
+std::string format_response(const Response& response);
+
+/// Renders cache counters as a stats response block.
+std::string format_stats(const ResultCache::Stats& stats);
+
+/// Serves requests from \p in to \p out until EOF or `quit`.  Protocol
+/// errors (unknown command, bad solve header, unterminated model block)
+/// produce ok=false responses; the session keeps going.  A `solve` line
+/// is always followed by a model block, which is consumed even when the
+/// header is invalid — one response block per request, so clients never
+/// desync.  Returns the number of solve requests handled.
+std::size_t serve(std::istream& in, std::ostream& out,
+                  SolveService& service);
+
+}  // namespace atcd::service

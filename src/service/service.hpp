@@ -1,0 +1,106 @@
+#pragma once
+/// \file service.hpp
+/// SolveService: the request/response front door of the library.
+///
+/// A Request carries a problem, a bound, an optional explicit engine
+/// name, and a model — either already parsed (shared ownership, so the
+/// cache can retain it) or as raw text in the at/parser.hpp format.
+/// handle() parses if needed, validates the model/problem pairing,
+/// computes the canonical model hash once, consults the sharded result
+/// cache, coalesces concurrent identical requests onto a single backend
+/// invocation, and routes misses through the engine planner/registry.
+///
+/// The Response wraps the engine's SolveResult with serving metadata:
+/// whether it was a cache hit, whether the call piggybacked on an
+/// in-flight identical solve, the canonical hash, and the wall time
+/// spent inside handle().
+///
+/// handle() is thread-safe; a SolveService is meant to be shared by all
+/// connection/worker threads of a server (examples/atcd_server.cpp).
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "at/parser.hpp"
+#include "engine/batch.hpp"
+#include "service/cache.hpp"
+
+namespace atcd::service {
+
+/// One solve request.  Exactly one model source must be set: a parsed
+/// det/prob model (matching is_probabilistic(problem)) or model_text.
+struct Request {
+  engine::Problem problem = engine::Problem::Cdpf;
+  double bound = 0.0;        ///< budget/threshold; ignored by the fronts
+  std::string engine_name;   ///< explicit engine; "" = planner's choice
+  std::string model_text;    ///< textual model, parsed when no model is set
+  std::shared_ptr<const CdAt> det;
+  std::shared_ptr<const CdpAt> prob;
+
+  /// Builders for parsed models (the model is copied into shared
+  /// ownership so the cache may retain it past the caller's scope).
+  static Request of(engine::Problem p, const CdAt& m, double bound = 0.0,
+                    std::string engine = {});
+  static Request of(engine::Problem p, const CdpAt& m, double bound = 0.0,
+                    std::string engine = {});
+  static Request of_text(engine::Problem p, std::string text,
+                         double bound = 0.0, std::string engine = {});
+};
+
+/// A solve result plus serving metadata.
+struct Response {
+  engine::Problem problem = engine::Problem::Cdpf;  ///< echoed from the request
+  engine::SolveResult result;
+  bool cache_hit = false;   ///< served from the result cache
+  bool coalesced = false;   ///< waited on an identical in-flight solve
+  CanonHash model_hash = 0; ///< 0 when the model could not be parsed
+  double micros = 0.0;      ///< wall time inside handle()
+  /// The model the request was served against (the parse result for text
+  /// requests) — lets callers render witnesses without reparsing.
+  std::shared_ptr<const CdAt> det;
+  std::shared_ptr<const CdpAt> prob;
+};
+
+class SolveService {
+ public:
+  struct Options {
+    engine::BatchOptions batch;  ///< registry/policy for the solve path
+    ResultCache::Config cache;
+    bool enable_cache = true;  ///< false: every request solves (benchmarks)
+  };
+
+  SolveService();  // default Options (GCC can't parse `= {}` here)
+  explicit SolveService(Options options);
+
+  /// Serves one request.  Never throws: parse, validation, and solver
+  /// failures come back as ok=false results with a message.
+  Response handle(const Request& request);
+
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    engine::SolveResult result;
+    // The leader's model, for the coalescing collision deep check.
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+  };
+
+  engine::SolveResult solve(const Request& request) const;
+
+  Options options_;
+  ResultCache cache_;
+  std::mutex inflight_mu_;
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHasher>
+      inflight_;
+};
+
+}  // namespace atcd::service

@@ -1,0 +1,188 @@
+/// incremental_edits — quantifies the incremental-session win: after k
+/// random leaf cost edits, how much faster is a session re-solve (which
+/// recomputes only the dirtied root-paths, pulling every untouched
+/// subtree's front from the per-session memo) than a full from-scratch
+/// solve of the same edited model?
+///
+/// Sweeps the edit rate (edits per re-solve) at several depths on
+/// complete binary AND/OR trees with paper-range random decorations.
+/// Two problem settings:
+///
+///   * dgc  (budget-pruned sweep): per-node fronts stay small, so the
+///     per-node work is roughly uniform and the speedup approaches
+///     #nodes / #dirty-path-nodes — the headline case, required to be
+///     >= 5x for single-leaf edits at depth 8.
+///   * cdpf (full fronts): fronts grow toward the root and the root-path
+///     recombination dominates, so the speedup is structurally smaller —
+///     reported for honesty about the regime.
+///
+/// Usage: bench_incremental_edits [--rounds N] [--depths "6 8"] [--full]
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/cdat.hpp"
+#include "engine/batch.hpp"
+#include "service/session.hpp"
+#include "util/rng.hpp"
+
+using namespace atcd;
+
+namespace {
+
+/// Complete binary tree of the given depth, alternating OR/AND levels,
+/// with Sec. X random decorations.
+CdAt complete_binary_model(Rng& rng, int depth) {
+  AttackTree t;
+  std::vector<NodeId> level;
+  const std::size_t n_leaves = std::size_t{1} << depth;
+  for (std::size_t i = 0; i < n_leaves; ++i)
+    level.push_back(t.add_bas("b" + std::to_string(i)));
+  int g = 0;
+  for (int d = depth; d > 0; --d) {
+    const NodeType type = d % 2 ? NodeType::OR : NodeType::AND;
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(t.add_gate(type, "g" + std::to_string(g++),
+                                {level[i], level[i + 1]}));
+    level = std::move(next);
+  }
+  t.set_root(level[0]);
+  t.finalize();
+  return randomize_decorations(t, rng).deterministic();
+}
+
+struct Case {
+  engine::Problem problem;
+  double bound;
+  const char* label;
+};
+
+struct Row {
+  int depth;
+  std::size_t edits;
+  double scratch_us;
+  double session_us;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  std::size_t rounds = full ? 60 : 25;
+  if (const std::string v = bench::flag_value(argc, argv, "--rounds");
+      !v.empty())
+    rounds = std::strtoull(v.c_str(), nullptr, 10);
+  std::vector<int> depths{6, 8};
+  if (const std::string v = bench::flag_value(argc, argv, "--depths");
+      !v.empty()) {
+    depths.clear();
+    std::istringstream in(v);
+    for (int d; in >> d;) depths.push_back(d);
+  }
+  const std::vector<std::size_t> edit_rates{1, 2, 4, 8, 16};
+
+  std::printf(
+      "incremental_edits: session re-solve vs full re-solve after k "
+      "random leaf cost edits\n"
+      "(complete binary trees, %zu rounds per point; times are "
+      "mean microseconds per re-solve)\n\n",
+      rounds);
+
+  const Case cases[] = {
+      {engine::Problem::Dgc, 15.0, "dgc(U=15)"},
+      {engine::Problem::Cdpf, 0.0, "cdpf"},
+  };
+
+  bool dgc_depth8_single_ok = false;
+  double dgc_depth8_single_speedup = 0.0;
+
+  for (const Case& c : cases) {
+    std::printf("%-10s %6s %6s %14s %14s %9s\n", c.label, "depth", "edits",
+                "scratch(us)", "session(us)", "speedup");
+    for (const int depth : depths) {
+      Rng rng(0xBE7Cull * 97 + static_cast<std::uint64_t>(depth));
+      const CdAt base = complete_binary_model(rng, depth);
+
+      for (const std::size_t k : edit_rates) {
+        service::Session::Options sopt;
+        sopt.problem = c.problem;
+        sopt.bound = c.bound;
+        service::Session session(base, std::move(sopt));
+        // Warm the memo: the first resolve is the cold full solve.
+        if (!session.resolve().result.ok) {
+          std::fprintf(stderr, "cold resolve failed\n");
+          return 1;
+        }
+
+        double scratch_us = 0.0, session_us = 0.0;
+        for (std::size_t round = 0; round < rounds; ++round) {
+          // k random leaf cost edits between re-solves.
+          for (std::size_t e = 0; e < k; ++e) {
+            const std::string leaf =
+                "b" + std::to_string(rng.below(base.tree.bas_count()));
+            if (!session.set_cost(leaf, double(rng.range(1, 10))).empty()) {
+              std::fprintf(stderr, "edit failed\n");
+              return 1;
+            }
+          }
+          service::Response r;
+          session_us += 1e6 * bench::time_once([&] { r = session.resolve(); });
+          if (!r.result.ok) {
+            std::fprintf(stderr, "resolve failed: %s\n",
+                         r.result.error.c_str());
+            return 1;
+          }
+          // Scratch baseline: solve the identical effective model from
+          // nothing (no memo, no caches).
+          const auto snap = session.snapshot_det();
+          engine::Instance in;
+          in.problem = c.problem;
+          in.det = snap.get();
+          in.bound = c.bound;
+          engine::SolveResult ref;
+          scratch_us +=
+              1e6 * bench::time_once([&] { ref = engine::solve_one(in); });
+          if (!ref.ok) {
+            std::fprintf(stderr, "scratch solve failed: %s\n",
+                         ref.error.c_str());
+            return 1;
+          }
+          // Equivalence guard: a bench that drifts from correctness is
+          // measuring nothing.
+          const bool same =
+              engine::is_front(c.problem)
+                  ? r.result.front.same_values(ref.front)
+                  : r.result.attack.feasible == ref.attack.feasible &&
+                        (!ref.attack.feasible ||
+                         (r.result.attack.cost == ref.attack.cost &&
+                          r.result.attack.damage == ref.attack.damage));
+          if (!same) {
+            std::fprintf(stderr, "MISMATCH: session != scratch\n");
+            return 1;
+          }
+        }
+        scratch_us /= double(rounds);
+        session_us /= double(rounds);
+        const double speedup = scratch_us / session_us;
+        std::printf("%-10s %6d %6zu %14.1f %14.1f %8.1fx\n", "", depth, k,
+                    scratch_us, session_us, speedup);
+        if (c.problem == engine::Problem::Dgc && depth == 8 && k == 1) {
+          dgc_depth8_single_ok = speedup >= 5.0;
+          dgc_depth8_single_speedup = speedup;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "headline: dgc depth-8 single-leaf-edit session re-solve is %.1fx "
+      "the full re-solve (target >= 5x): %s\n",
+      dgc_depth8_single_speedup, dgc_depth8_single_ok ? "PASS" : "FAIL");
+  return dgc_depth8_single_ok ? 0 : 1;
+}

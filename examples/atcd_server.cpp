@@ -3,8 +3,10 @@
 ///
 /// Usage:
 ///   atcd_server [--shards N] [--entries N] [--bytes N] [--no-cache]
+///               [--subtree-entries N] [--subtree-bytes N]
+///               [--no-subtree-cache]
 ///
-/// Session example (try it interactively, or pipe a script in):
+/// One-shot example (try it interactively, or pipe a script in):
 ///
 ///   solve cdpf
 ///   bas pick cost=1 damage=2
@@ -14,10 +16,24 @@
 ///   stats
 ///   quit
 ///
+/// Incremental-session example (open/edit/resolve/close):
+///
+///   open dgc bound=5
+///   bas pick cost=1 damage=2
+///   bas drill cost=4 damage=1
+///   or open = pick, drill damage=10
+///   end                      # -> session=1
+///   resolve 1
+///   edit 1 set-cost pick 3
+///   resolve 1                # recomputes only pick's root-path
+///   close 1
+///
 /// Every response is a block of key=value lines terminated by `done`, so
-/// shell scripts can drive it with a coprocess.  The cache is shared
-/// across the whole session: resubmitting a model — even renamed or with
-/// permuted child lists — comes back with cache=hit.
+/// shell scripts can drive it with a coprocess.  The caches are shared
+/// across the whole connection: resubmitting a model — even renamed or
+/// with permuted child lists — comes back with cache=hit, and distinct
+/// models sharing subtrees reuse each other's bottom-up fronts through
+/// the subtree cache (see `stats`' subtree_* counters).
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,12 +53,20 @@ int main(int argc, char** argv) {
       opt.cache.max_bytes = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--no-cache") == 0)
       opt.enable_cache = false;
+    else if (std::strcmp(argv[i], "--subtree-entries") == 0 && i + 1 < argc)
+      opt.subtree.max_entries = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--subtree-bytes") == 0 && i + 1 < argc)
+      opt.subtree.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--no-subtree-cache") == 0)
+      opt.enable_subtree_cache = false;
     else {
       std::fprintf(stderr,
                    "usage: atcd_server [--shards N] [--entries N] "
-                   "[--bytes N] [--no-cache]\n"
+                   "[--bytes N] [--no-cache] [--subtree-entries N] "
+                   "[--subtree-bytes N] [--no-subtree-cache]\n"
                    "Serves the solve protocol on stdin/stdout; see the "
-                   "README's \"Serving layer\" section.\n");
+                   "README's \"Serving layer\" and \"Incremental "
+                   "sessions\" sections.\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
@@ -53,15 +77,20 @@ int main(int argc, char** argv) {
                "%zu bytes)\n",
                opt.enable_cache ? "on" : "off", opt.cache.shards,
                opt.cache.max_entries, opt.cache.max_bytes);
+  atcd::service::SessionManager sessions;
   const std::size_t n =
-      atcd::service::serve(std::cin, std::cout, service);
+      atcd::service::serve(std::cin, std::cout, service, &sessions);
   const auto s = service.cache().stats();
+  const auto st = service.subtree_cache().stats();
   std::fprintf(stderr,
                "atcd_server: session end after %zu solves "
-               "(hits=%llu misses=%llu evictions=%llu collisions=%llu)\n",
+               "(hits=%llu misses=%llu evictions=%llu collisions=%llu; "
+               "subtree hits=%llu misses=%llu entries=%zu)\n",
                n, static_cast<unsigned long long>(s.hits),
                static_cast<unsigned long long>(s.misses),
                static_cast<unsigned long long>(s.evictions),
-               static_cast<unsigned long long>(s.collisions));
+               static_cast<unsigned long long>(s.collisions),
+               static_cast<unsigned long long>(st.hits),
+               static_cast<unsigned long long>(st.misses), st.entries);
   return 0;
 }

@@ -49,6 +49,14 @@ struct Sweep {
   const BottomUpOptions& opt;
 
   std::vector<AttrTriple> at(NodeId v) const {
+    std::vector<AttrTriple> memoized;
+    if (opt.visitor && opt.visitor->lookup(v, &memoized)) return memoized;
+    std::vector<AttrTriple> r = compute(v);
+    if (opt.visitor) opt.visitor->store(v, r);
+    return r;
+  }
+
+  std::vector<AttrTriple> compute(NodeId v) const {
     const auto& n = tree.node(v);
     if (n.type == NodeType::BAS) {
       std::vector<AttrTriple> r;
@@ -87,6 +95,12 @@ std::vector<AttrTriple> bottom_up_root_front(const AttackTree& tree,
         "bottom_up: model is DAG-shaped; sub-AT attack spaces are not "
         "disjoint, use the BILP engine (deterministic) or the BDD engine "
         "(probabilistic) instead");
+  if (opt.ignore_activation && opt.visitor) {
+    // Never let the unsound ablation's fronts reach (or read) a memo.
+    BottomUpOptions sanitized = opt;
+    sanitized.visitor = nullptr;
+    return Sweep{tree, cost, damage, prob, sanitized}.at(tree.root());
+  }
   return Sweep{tree, cost, damage, prob, opt}.at(tree.root());
 }
 
@@ -124,40 +138,52 @@ std::vector<double> unit_probs(const AttackTree& t) {
 
 }  // namespace
 
-Front2d cdpf_bottom_up(const CdAt& m) {
+Front2d cdpf_bottom_up(const CdAt& m, detail::SubtreeVisitor* visitor) {
   m.validate();
+  detail::BottomUpOptions opt;
+  opt.visitor = visitor;
   return project_front(detail::bottom_up_root_front(
-      m.tree, m.cost, m.damage, unit_probs(m.tree)));
+      m.tree, m.cost, m.damage, unit_probs(m.tree), opt));
 }
 
-OptAttack dgc_bottom_up(const CdAt& m, double budget) {
+OptAttack dgc_bottom_up(const CdAt& m, double budget,
+                        detail::SubtreeVisitor* visitor) {
   m.validate();
   detail::BottomUpOptions opt;
   opt.budget = budget;
+  opt.visitor = visitor;
   return best_damage(detail::bottom_up_root_front(m.tree, m.cost, m.damage,
                                                   unit_probs(m.tree), opt));
 }
 
-OptAttack cgd_bottom_up(const CdAt& m, double threshold) {
-  return from_front_point(cdpf_bottom_up(m).min_cost_with_damage(threshold));
+OptAttack cgd_bottom_up(const CdAt& m, double threshold,
+                        detail::SubtreeVisitor* visitor) {
+  return from_front_point(
+      cdpf_bottom_up(m, visitor).min_cost_with_damage(threshold));
 }
 
-Front2d cedpf_bottom_up(const CdpAt& m) {
+Front2d cedpf_bottom_up(const CdpAt& m, detail::SubtreeVisitor* visitor) {
   m.validate();
+  detail::BottomUpOptions opt;
+  opt.visitor = visitor;
   return project_front(
-      detail::bottom_up_root_front(m.tree, m.cost, m.damage, m.prob));
+      detail::bottom_up_root_front(m.tree, m.cost, m.damage, m.prob, opt));
 }
 
-OptAttack edgc_bottom_up(const CdpAt& m, double budget) {
+OptAttack edgc_bottom_up(const CdpAt& m, double budget,
+                         detail::SubtreeVisitor* visitor) {
   m.validate();
   detail::BottomUpOptions opt;
   opt.budget = budget;
+  opt.visitor = visitor;
   return best_damage(
       detail::bottom_up_root_front(m.tree, m.cost, m.damage, m.prob, opt));
 }
 
-OptAttack cged_bottom_up(const CdpAt& m, double threshold) {
-  return from_front_point(cedpf_bottom_up(m).min_cost_with_damage(threshold));
+OptAttack cged_bottom_up(const CdpAt& m, double threshold,
+                         detail::SubtreeVisitor* visitor) {
+  return from_front_point(
+      cedpf_bottom_up(m, visitor).min_cost_with_damage(threshold));
 }
 
 }  // namespace atcd

@@ -20,18 +20,25 @@
 
 namespace atcd {
 
-/// CDPF for treelike deterministic models (Thm 4).
-Front2d cdpf_bottom_up(const CdAt& m);
+/// CDPF for treelike deterministic models (Thm 4).  The optional
+/// \p visitor memoizes per-node fronts (see detail::SubtreeVisitor); it
+/// must be bound to this model with budget kNoBudget.
+Front2d cdpf_bottom_up(const CdAt& m,
+                       detail::SubtreeVisitor* visitor = nullptr);
 
 /// DgC for treelike deterministic models (Thm 3): attacks whose cost
 /// exceeds the budget are discarded at every node (min_U), which shrinks
 /// the propagated fronts — the full front is still required, a single
-/// best-attack propagation is unsound (Sec. VI-B).
-OptAttack dgc_bottom_up(const CdAt& m, double budget);
+/// best-attack propagation is unsound (Sec. VI-B).  \p visitor, if any,
+/// must be bound with the same budget.
+OptAttack dgc_bottom_up(const CdAt& m, double budget,
+                        detail::SubtreeVisitor* visitor = nullptr);
 
 /// CgD for treelike deterministic models: needs the complete front —
 /// under-threshold attacks cannot be discarded early (Sec. VI-B/C) — so
-/// this computes CDPF and applies eq. (2).
-OptAttack cgd_bottom_up(const CdAt& m, double threshold);
+/// this computes CDPF and applies eq. (2).  \p visitor, if any, must be
+/// bound with budget kNoBudget (the shared entries are exactly CDPF's).
+OptAttack cgd_bottom_up(const CdAt& m, double threshold,
+                        detail::SubtreeVisitor* visitor = nullptr);
 
 }  // namespace atcd

@@ -17,6 +17,30 @@
 
 namespace atcd::detail {
 
+/// Per-node memoization hook for the bottom-up sweep.
+///
+/// The sweep is compositional: the pruned front C^P_U(v) of a node
+/// depends only on v's subtree (tree shape plus decorations below v) and
+/// the budget — so it can be cached and reused across solves of the same
+/// model (incremental sessions, service/session.hpp) and even across
+/// *distinct* models that share an isomorphic subtree
+/// (service/subtree_cache.hpp keys entries by a canonical subtree hash).
+///
+/// The sweep consults lookup() before computing a node and offers the
+/// computed front to store() afterwards.  Witnesses are exchanged in the
+/// host model's full BAS index space; implementations that cache across
+/// models translate to/from a canonical subtree-local space internally.
+/// A visitor is bound to one (model, budget) pair for one solve call and
+/// is used from a single thread.
+class SubtreeVisitor {
+ public:
+  virtual ~SubtreeVisitor() = default;
+  /// Returns true and fills *out with node v's pruned front.
+  virtual bool lookup(NodeId v, std::vector<AttrTriple>* out) = 0;
+  /// Offers node v's computed pruned front for memoization.
+  virtual void store(NodeId v, const std::vector<AttrTriple>& front) = 0;
+};
+
 /// Options for the bottom-up sweep, mostly exercised by ablation benches.
 struct BottomUpOptions {
   double budget = kNoBudget;  ///< min_U cost pruning (Thm 3 / Thm 8)
@@ -24,6 +48,11 @@ struct BottomUpOptions {
   /// Ablation A1: drop the third triple coordinate when pruning
   /// (deliberately UNSOUND, reproduces the failure mode of Example 4).
   bool ignore_activation = false;
+  /// Per-node memo consulted/populated by the sweep; ignored when the
+  /// unsound ignore_activation ablation is active (its fronts must never
+  /// leak into a cache).  The visitor must have been bound to the same
+  /// (tree, decorations, budget) this sweep runs with.
+  SubtreeVisitor* visitor = nullptr;
 };
 
 /// Computes C^P_U(v) for v = root: the incomplete Pareto front of

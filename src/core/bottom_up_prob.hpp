@@ -10,19 +10,26 @@
 /// children of an OR raises the activation probability, so extra spend can
 /// buy expected damage (Example 10).
 
+#include "core/bottom_up_core.hpp"
 #include "core/cdat.hpp"
 #include "core/opt_result.hpp"
 #include "pareto/front2d.hpp"
 
 namespace atcd {
 
-/// CEDPF for treelike probabilistic models (Thm 9).
-Front2d cedpf_bottom_up(const CdpAt& m);
+/// CEDPF for treelike probabilistic models (Thm 9).  \p visitor, if any,
+/// memoizes per-node fronts and must be bound with budget kNoBudget.
+Front2d cedpf_bottom_up(const CdpAt& m,
+                        detail::SubtreeVisitor* visitor = nullptr);
 
 /// EDgC for treelike probabilistic models (Thm 8), with min_U pruning.
-OptAttack edgc_bottom_up(const CdpAt& m, double budget);
+/// \p visitor, if any, must be bound with the same budget.
+OptAttack edgc_bottom_up(const CdpAt& m, double budget,
+                         detail::SubtreeVisitor* visitor = nullptr);
 
 /// CgED for treelike probabilistic models, via the full front.
-OptAttack cged_bottom_up(const CdpAt& m, double threshold);
+/// \p visitor, if any, must be bound with budget kNoBudget.
+OptAttack cged_bottom_up(const CdpAt& m, double threshold,
+                         detail::SubtreeVisitor* visitor = nullptr);
 
 }  // namespace atcd

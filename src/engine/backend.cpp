@@ -69,6 +69,29 @@ void Backend::reject(Problem p, const Traits& t) const {
                          "' " + reason);
 }
 
+Front2d Backend::cdpf(const CdAt& m, const SolveContext&) const {
+  return cdpf(m);
+}
+OptAttack Backend::dgc(const CdAt& m, double budget,
+                       const SolveContext&) const {
+  return dgc(m, budget);
+}
+OptAttack Backend::cgd(const CdAt& m, double threshold,
+                       const SolveContext&) const {
+  return cgd(m, threshold);
+}
+Front2d Backend::cedpf(const CdpAt& m, const SolveContext&) const {
+  return cedpf(m);
+}
+OptAttack Backend::edgc(const CdpAt& m, double budget,
+                        const SolveContext&) const {
+  return edgc(m, budget);
+}
+OptAttack Backend::cged(const CdpAt& m, double threshold,
+                        const SolveContext&) const {
+  return cged(m, threshold);
+}
+
 Front2d Backend::cdpf(const CdAt& m) const {
   reject(Problem::Cdpf, traits_of(m));
 }

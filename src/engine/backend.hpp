@@ -17,8 +17,10 @@
 /// missing capability.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
+#include "core/bottom_up_core.hpp"
 #include "core/cdat.hpp"
 #include "core/opt_result.hpp"
 #include "pareto/front2d.hpp"
@@ -55,6 +57,10 @@ struct Capabilities {
   bool exact = true;     ///< results provably optimal (vs. approximate)
   bool fronts = true;    ///< supports the Pareto-front problems
   bool additive_only = false;  ///< requires zero damage on internal nodes
+  /// The backend's computation is compositional over the tree and can
+  /// consult/populate a per-subtree memo (SolveContext::subtree) — the
+  /// capability incremental sessions (service/session.hpp) key on.
+  bool incremental = false;
   std::size_t max_bas = kNoCap;  ///< capacity bound on |B| (enumeration)
 };
 
@@ -68,6 +74,31 @@ struct Traits {
 
 Traits traits_of(const CdAt& m);
 Traits traits_of(const CdpAt& m);
+
+/// Factory for per-solve subtree memo visitors, implemented above the
+/// engine layer (service::SubtreeCache).  An incremental-capable backend
+/// binds a visitor to the exact (model, budget-class) its sweep runs
+/// with — the budget is part of the memo key because budget pruning
+/// (min_U) makes per-node fronts budget-dependent.  bind() may return
+/// nullptr when the model is not memoizable (e.g. DAG-shaped); the
+/// returned visitor borrows the model and must not outlive the call.
+/// Implementations must be thread-safe (bound concurrently by batch
+/// workers); each returned visitor is used from one thread only.
+class SubtreeMemo {
+ public:
+  virtual ~SubtreeMemo() = default;
+  virtual std::unique_ptr<atcd::detail::SubtreeVisitor> bind(
+      const CdAt& m, double budget) = 0;
+  virtual std::unique_ptr<atcd::detail::SubtreeVisitor> bind(
+      const CdpAt& m, double budget) = 0;
+};
+
+/// Per-solve context passed alongside an instance.  Default-constructed
+/// means "no extras" — the context entry points then behave exactly like
+/// the plain ones.
+struct SolveContext {
+  SubtreeMemo* subtree = nullptr;  ///< per-subtree memo; null = none
+};
 
 /// One solution method with capability metadata.  Stateless and
 /// thread-safe: all entry points are const and reentrant (the batch API
@@ -86,6 +117,21 @@ class Backend {
   virtual Front2d cedpf(const CdpAt& m) const;
   virtual OptAttack edgc(const CdpAt& m, double budget) const;
   virtual OptAttack cged(const CdpAt& m, double threshold) const;
+
+  /// Context-taking entry points.  Backends advertising `incremental`
+  /// override these to consult ctx.subtree; the defaults ignore the
+  /// context and delegate to the plain entry points, so callers can pass
+  /// a context unconditionally.
+  virtual Front2d cdpf(const CdAt& m, const SolveContext& ctx) const;
+  virtual OptAttack dgc(const CdAt& m, double budget,
+                        const SolveContext& ctx) const;
+  virtual OptAttack cgd(const CdAt& m, double threshold,
+                        const SolveContext& ctx) const;
+  virtual Front2d cedpf(const CdpAt& m, const SolveContext& ctx) const;
+  virtual OptAttack edgc(const CdpAt& m, double budget,
+                         const SolveContext& ctx) const;
+  virtual OptAttack cged(const CdpAt& m, double threshold,
+                         const SolveContext& ctx) const;
 
   /// True when the capabilities cover problem \p p on a model with traits
   /// \p t.  Capacity (max_bas) is deliberately *not* checked here: it is

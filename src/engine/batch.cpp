@@ -45,7 +45,8 @@ std::string instance_error(const Instance& in) {
 
 namespace {
 
-SolveResult run_instance(const Instance& in, const Planner& planner) {
+SolveResult run_instance(const Instance& in, const Planner& planner,
+                         const SolveContext& ctx) {
   SolveResult out;
   if (std::string err = instance_error(in); !err.empty()) {
     out.error = std::move(err);
@@ -59,22 +60,22 @@ SolveResult run_instance(const Instance& in, const Planner& planner) {
   out.backend = b.name();
   switch (in.problem) {
     case Problem::Cdpf:
-      out.front = b.cdpf(*in.det);
+      out.front = b.cdpf(*in.det, ctx);
       break;
     case Problem::Dgc:
-      out.attack = b.dgc(*in.det, in.bound);
+      out.attack = b.dgc(*in.det, in.bound, ctx);
       break;
     case Problem::Cgd:
-      out.attack = b.cgd(*in.det, in.bound);
+      out.attack = b.cgd(*in.det, in.bound, ctx);
       break;
     case Problem::Cedpf:
-      out.front = b.cedpf(*in.prob);
+      out.front = b.cedpf(*in.prob, ctx);
       break;
     case Problem::Edgc:
-      out.attack = b.edgc(*in.prob, in.bound);
+      out.attack = b.edgc(*in.prob, in.bound, ctx);
       break;
     case Problem::Cged:
-      out.attack = b.cged(*in.prob, in.bound);
+      out.attack = b.cged(*in.prob, in.bound, ctx);
       break;
   }
   out.ok = true;
@@ -88,13 +89,17 @@ Planner make_planner(const BatchOptions& opt) {
 }
 
 /// run_instance() behind the optional cache hook: hits skip the solve,
-/// successful misses are offered back for storage.
+/// successful misses are offered back for storage.  A whole-model hit
+/// returns before the subtree memo is bound, so enabling both caches
+/// never performs (or accounts) the same work twice.
 SolveResult run_cached(const Instance& in, const Planner& planner,
-                       SolveCache* cache) {
+                       const BatchOptions& opt) {
   SolveResult out;
-  if (cache && cache->lookup(in, &out)) return out;
-  out = run_instance(in, planner);
-  if (out.ok && cache) cache->store(in, out);
+  if (opt.cache && opt.cache->lookup(in, &out)) return out;
+  SolveContext ctx;
+  ctx.subtree = opt.subtree;
+  out = run_instance(in, planner, ctx);
+  if (out.ok && opt.cache) opt.cache->store(in, out);
   return out;
 }
 
@@ -103,7 +108,7 @@ SolveResult run_cached(const Instance& in, const Planner& planner,
 SolveResult solve_one(const Instance& instance, const BatchOptions& opt) {
   const Planner planner = make_planner(opt);
   try {
-    return run_cached(instance, planner, opt.cache);
+    return run_cached(instance, planner, opt);
   } catch (const std::exception& e) {
     SolveResult out;
     out.error = e.what();
@@ -132,7 +137,7 @@ std::vector<SolveResult> solve_all(std::span<const Instance> instances,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= instances.size()) return;
       try {
-        results[i] = run_cached(instances[i], planner, opt.cache);
+        results[i] = run_cached(instances[i], planner, opt);
       } catch (const std::exception& e) {
         results[i].ok = false;
         results[i].error = e.what();

@@ -67,6 +67,11 @@ struct BatchOptions {
   const Policy* policy = nullptr;
   /// Result cache consulted before and fed after each solve; null = none.
   SolveCache* cache = nullptr;
+  /// Per-subtree memo bound by incremental-capable backends (see
+  /// Capabilities::incremental); null = none.  Independent of `cache`:
+  /// a whole-model cache hit skips the solve entirely, so the two never
+  /// store the same work twice — and each accounts only its own bytes.
+  SubtreeMemo* subtree = nullptr;
 };
 
 /// Validates the model/problem pairing of an instance: exactly one of

@@ -70,6 +70,7 @@ class BottomUpBackend final : public Backend {
     c.tree_det = c.tree_prob = true;  // unsound on DAGs (shared subtrees)
     c.exact = true;
     c.fronts = true;
+    c.incremental = true;  // compositional sweep; subtree-memo aware
     return c;
   }
   Front2d cdpf(const CdAt& m) const override { return cdpf_bottom_up(m); }
@@ -85,6 +86,45 @@ class BottomUpBackend final : public Backend {
   }
   OptAttack cged(const CdpAt& m, double l) const override {
     return cged_bottom_up(m, l);
+  }
+
+  // Context entry points: bind the memo to the exact budget-class each
+  // sweep prunes with — kNoBudget for the front problems and CgD/CgED
+  // (which run the budgetless CDPF/CEDPF sweep), the budget for DgC/EDgC.
+  Front2d cdpf(const CdAt& m, const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, kNoBudget);
+    return cdpf_bottom_up(m, vis.get());
+  }
+  OptAttack dgc(const CdAt& m, double u,
+                const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, u);
+    return dgc_bottom_up(m, u, vis.get());
+  }
+  OptAttack cgd(const CdAt& m, double l,
+                const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, kNoBudget);
+    return cgd_bottom_up(m, l, vis.get());
+  }
+  Front2d cedpf(const CdpAt& m, const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, kNoBudget);
+    return cedpf_bottom_up(m, vis.get());
+  }
+  OptAttack edgc(const CdpAt& m, double u,
+                 const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, u);
+    return edgc_bottom_up(m, u, vis.get());
+  }
+  OptAttack cged(const CdpAt& m, double l,
+                 const SolveContext& ctx) const override {
+    const auto vis = bind(ctx, m, kNoBudget);
+    return cged_bottom_up(m, l, vis.get());
+  }
+
+ private:
+  template <class Model>
+  static std::unique_ptr<atcd::detail::SubtreeVisitor> bind(
+      const SolveContext& ctx, const Model& m, double budget) {
+    return ctx.subtree ? ctx.subtree->bind(m, budget) : nullptr;
   }
 };
 

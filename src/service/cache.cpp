@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "service/hash_mix.hpp"
+#include "service/subtree_cache.hpp"
 
 namespace atcd::service {
 namespace {
@@ -61,8 +62,9 @@ std::optional<CacheKey> make_key(const engine::Instance& in) {
   if (!engine::is_front(in.problem) && !std::isfinite(in.bound))
     return std::nullopt;
   CacheKey key;
-  key.model = engine::is_probabilistic(in.problem) ? canonical_hash(*in.prob)
-                                                   : canonical_hash(*in.det);
+  key.model = engine::is_probabilistic(in.problem)
+                  ? model_fingerprint(*in.prob)
+                  : model_fingerprint(*in.det);
   key.problem = in.problem;
   key.bound = engine::is_front(in.problem) ? 0.0 : in.bound;
   key.backend = in.backend;

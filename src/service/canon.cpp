@@ -14,7 +14,7 @@ using atcd::service::mix64;
 
 /// Decorations are compared bit-exactly; -0.0 is normalized so it hashes
 /// like 0.0 (the two compare equal).
-std::uint64_t bits_of(double d) {
+std::uint64_t double_bits(double d) {
   return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
 }
 
@@ -29,10 +29,10 @@ struct View {
 std::uint64_t initial_color(const View& m, NodeId v) {
   const auto& n = m.tree.node(v);
   std::uint64_t c = mix64(0x5eedull, static_cast<std::uint64_t>(n.type));
-  c = mix64(c, bits_of(m.damage[v]));
+  c = mix64(c, double_bits(m.damage[v]));
   if (n.type == NodeType::BAS) {
-    c = mix64(c, bits_of(m.cost[n.bas_index]));
-    if (m.prob) c = mix64(c, bits_of((*m.prob)[n.bas_index]));
+    c = mix64(c, double_bits(m.cost[n.bas_index]));
+    if (m.prob) c = mix64(c, double_bits((*m.prob)[n.bas_index]));
   } else {
     c = mix64(c, n.children.size());
   }

@@ -5,9 +5,18 @@
 /// the cache re-mixes values produced by canonical hashing, so the two
 /// sides must never diverge.
 
+#include <bit>
 #include <cstdint>
 
 namespace atcd::service {
+
+/// Bit-exact double embedding for hashing/signatures, with -0.0
+/// normalized to 0.0 (the two compare equal, so they must digest
+/// equally).  Shared by the WL canonical hasher (canon.cpp) and the
+/// Merkle subtree hasher (subtree_cache.cpp) so the two never diverge.
+inline std::uint64_t double_bits(double d) {
+  return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
+}
 
 /// Folds \p v into \p h; order-sensitive, so order-insensitive digests
 /// are obtained by sorting before folding.

@@ -105,7 +105,9 @@ std::string format_response(const Response& r) {
   return out.str();
 }
 
-std::string format_stats(const ResultCache::Stats& s) {
+std::string format_stats(const ResultCache::Stats& s,
+                         const SubtreeCache::Stats& sub,
+                         std::size_t sessions) {
   std::ostringstream out;
   out << "ok=true\n"
       << "hits=" << s.hits << '\n'
@@ -115,12 +117,131 @@ std::string format_stats(const ResultCache::Stats& s) {
       << "collisions=" << s.collisions << '\n'
       << "entries=" << s.entries << '\n'
       << "bytes=" << s.bytes << '\n'
+      << "subtree_hits=" << sub.hits << '\n'
+      << "subtree_misses=" << sub.misses << '\n'
+      << "subtree_insertions=" << sub.insertions << '\n'
+      << "subtree_evictions=" << sub.evictions << '\n'
+      << "subtree_collisions=" << sub.collisions << '\n'
+      << "subtree_entries=" << sub.entries << '\n'
+      << "subtree_bytes=" << sub.bytes << '\n'
+      << "sessions=" << sessions << '\n'
       << "done\n";
   return out.str();
 }
 
-std::size_t serve(std::istream& in, std::ostream& out,
-                  SolveService& service) {
+namespace {
+
+bool parse_value(const std::string& tok, double* value) {
+  std::size_t consumed = 0;
+  try {
+    *value = std::stod(tok, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == tok.size() && std::isfinite(*value);
+}
+
+/// Parsed `solve`/`open` header; `error` set when malformed.
+struct SolveHeader {
+  std::string error;
+  std::optional<engine::Problem> problem;
+  double bound = 0.0;
+  std::string engine_name;
+};
+
+SolveHeader parse_solve_header(const std::vector<std::string>& tok) {
+  SolveHeader h;
+  if (tok.size() < 2) {
+    h.error = tok[0] + " requires a problem name "
+              "(cdpf|dgc|cgd|cedpf|edgc|cged)";
+    return h;
+  }
+  if (!(h.problem = parse_problem(tok[1]))) {
+    h.error = "unknown problem '" + tok[1] +
+              "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)";
+    return h;
+  }
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    if (tok[i].rfind("bound=", 0) == 0) {
+      // Strict numeric parse shared with the edit values: full
+      // consumption (no trailing junk) and finite.
+      if (!parse_value(tok[i].substr(6), &h.bound)) {
+        h.error = "bad bound '" + tok[i] + "' (must be finite)";
+        return h;
+      }
+    } else if (tok[i].rfind("engine=", 0) == 0) {
+      h.engine_name = tok[i].substr(7);
+    } else {
+      h.error = "unknown " + tok[0] + " argument '" + tok[i] +
+                "' (expected bound=<num> or engine=<name>)";
+      return h;
+    }
+  }
+  return h;
+}
+
+/// Reads lines up to the `end` terminator into \p model_text.  Returns
+/// false when the stream ends first.
+bool read_model_block(std::istream& in, std::string* model_text) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    // The terminator may carry a trailing comment ('#' starts a comment
+    // everywhere in the protocol), so strip it before testing.
+    std::string stripped = raw;
+    if (const auto h = stripped.find('#'); h != std::string::npos)
+      stripped.erase(h);
+    if (trim(stripped) == "end") return true;
+    *model_text += raw;
+    *model_text += '\n';
+  }
+  return false;
+}
+
+bool parse_session_id(const std::string& tok, std::uint64_t* id) {
+  if (tok.empty()) return false;
+  std::size_t consumed = 0;
+  try {
+    *id = std::stoull(tok, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == tok.size();
+}
+
+/// Applies one `edit` command (tokens after the session id).  The
+/// replace-subtree model block has already been consumed into
+/// \p subtree_text by the caller.
+std::string apply_edit(Session& session, const std::vector<std::string>& tok,
+                       const std::string& subtree_text) {
+  const std::string& op = tok[2];
+  if (op == "replace-subtree") {
+    if (tok.size() != 4) return "edit replace-subtree takes: <node>";
+    return session.replace_subtree(tok[3], subtree_text);
+  }
+  if (op == "toggle-defense") {
+    if (tok.size() != 4) return "edit toggle-defense takes: <bas>";
+    return session.toggle_defense(tok[3]);
+  }
+  if (op == "set-cost" || op == "set-prob" || op == "set-damage") {
+    if (tok.size() != 5) return "edit " + op + " takes: <name> <value>";
+    double value = 0.0;
+    if (!parse_value(tok[4], &value))
+      return "edit " + op + ": bad value '" + tok[4] + "'";
+    if (op == "set-cost") return session.set_cost(tok[3], value);
+    if (op == "set-prob") return session.set_prob(tok[3], value);
+    return session.set_damage(tok[3], value);
+  }
+  return "unknown edit op '" + op +
+         "' (expected set-cost, set-prob, set-damage, toggle-defense, or "
+         "replace-subtree)";
+}
+
+}  // namespace
+
+std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
+                  SessionManager* sessions) {
+  SessionManager local_sessions;
+  SessionManager& mgr = sessions ? *sessions : local_sessions;
   std::size_t handled = 0;
   std::string raw;
   while (std::getline(in, raw)) {
@@ -133,88 +254,117 @@ std::size_t serve(std::istream& in, std::ostream& out,
     if (tok[0] == "quit" || tok[0] == "exit") break;
 
     if (tok[0] == "stats") {
-      out << format_stats(service.cache().stats());
+      out << format_stats(service.cache().stats(),
+                          service.subtree_cache().stats(), mgr.size());
       out.flush();
       continue;
     }
 
-    if (tok[0] != "solve") {
-      out << error_block("unknown command '" + tok[0] +
-                         "' (expected solve, stats, or quit)");
+    if (tok[0] == "solve" || tok[0] == "open") {
+      // Header problems are collected, not reported yet: the client
+      // sends a model block after every solve/open line, so the block
+      // must be consumed either way or the stream desyncs (model lines
+      // would be re-parsed as commands).
+      SolveHeader header = parse_solve_header(tok);
+      std::string model_text;
+      const bool terminated = read_model_block(in, &model_text);
+      if (!header.error.empty()) {
+        out << error_block(header.error);
+        out.flush();
+        continue;
+      }
+      if (!terminated) {
+        out << error_block("unterminated model block (missing 'end' line)");
+        out.flush();
+        continue;
+      }
+      if (tok[0] == "solve") {
+        const Response r = service.handle(
+            Request::of_text(*header.problem, std::move(model_text),
+                             header.bound, std::move(header.engine_name)));
+        out << format_response(r);
+        out.flush();
+        ++handled;
+        continue;
+      }
+      // open: build an incremental session over the service's engine
+      // configuration, sharing the service-wide subtree cache.
+      Session::Options sopt;
+      sopt.problem = *header.problem;
+      sopt.bound = header.bound;
+      sopt.engine_name = std::move(header.engine_name);
+      sopt.batch = service.options().batch;
+      sopt.shared = service.shared_subtree_cache();
+      try {
+        const std::uint64_t id = mgr.open(
+            std::make_unique<Session>(model_text, std::move(sopt)));
+        out << "ok=true\nsession=" << id << "\ndone\n";
+      } catch (const std::exception& e) {
+        out << error_block(e.what());
+      }
       out.flush();
       continue;
     }
 
-    // -- solve header --------------------------------------------------
-    // Header problems are collected, not reported yet: the client sends
-    // a model block after every solve line, so the block must be
-    // consumed either way or the stream desyncs (model lines would be
-    // re-parsed as commands).
-    std::string header_error;
-    std::optional<engine::Problem> problem;
-    double bound = 0.0;
-    std::string engine_name;
-    if (tok.size() < 2) {
-      header_error = "solve requires a problem name "
-                     "(cdpf|dgc|cgd|cedpf|edgc|cged)";
-    } else if (!(problem = parse_problem(tok[1]))) {
-      header_error = "unknown problem '" + tok[1] +
-                     "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)";
-    }
-    for (std::size_t i = 2; i < tok.size() && header_error.empty(); ++i) {
-      if (tok[i].rfind("bound=", 0) == 0) {
-        const std::string val = tok[i].substr(6);
-        std::size_t consumed = 0;
-        try {
-          bound = std::stod(val, &consumed);
-        } catch (const std::exception&) {
-          consumed = 0;
-        }
-        if (val.empty() || consumed != val.size())  // reject trailing junk
-          header_error = "bad bound '" + tok[i] + "'";
-        else if (!std::isfinite(bound))
-          header_error = "bad bound '" + tok[i] + "' (must be finite)";
-      } else if (tok[i].rfind("engine=", 0) == 0) {
-        engine_name = tok[i].substr(7);
+    if (tok[0] == "edit") {
+      // A replace-subtree edit is followed by a model block, which must
+      // be consumed even when the header or session id is bad — also
+      // check the op's shifted position (a forgotten session id moves
+      // it), or the block's model lines would be re-parsed as commands
+      // and desync the stream.  Only the op positions are checked:
+      // "replace-subtree" is a legal *node name*, so an operand match
+      // (e.g. `edit 1 set-cost replace-subtree 3`) must not eat a block.
+      const bool has_block =
+          (tok.size() >= 2 && tok[1] == "replace-subtree") ||
+          (tok.size() >= 3 && tok[2] == "replace-subtree");
+      std::string subtree_text;
+      bool terminated = true;
+      if (has_block) terminated = read_model_block(in, &subtree_text);
+      std::uint64_t id = 0;
+      std::string err;
+      if (tok.size() < 3 || !parse_session_id(tok[1], &id)) {
+        err = "edit takes: <session-id> <op> ...";
+      } else if (!terminated) {
+        err = "unterminated model block (missing 'end' line)";
+      } else if (const auto session = mgr.find(id); !session) {
+        err = "no session " + tok[1];
       } else {
-        header_error = "unknown solve argument '" + tok[i] +
-                       "' (expected bound=<num> or engine=<name>)";
+        err = apply_edit(*session, tok, subtree_text);
       }
-    }
-
-    // -- model block (always consumed) ---------------------------------
-    std::string model_text;
-    bool terminated = false;
-    while (std::getline(in, raw)) {
-      // The terminator may carry a trailing comment ('#' starts a
-      // comment everywhere in the protocol), so strip it before testing.
-      std::string stripped = raw;
-      if (const auto h = stripped.find('#'); h != std::string::npos)
-        stripped.erase(h);
-      if (trim(stripped) == "end") {
-        terminated = true;
-        break;
-      }
-      model_text += raw;
-      model_text += '\n';
-    }
-
-    if (!header_error.empty()) {
-      out << error_block(header_error);
-      out.flush();
-      continue;
-    }
-    if (!terminated) {
-      out << error_block("unterminated model block (missing 'end' line)");
+      out << (err.empty() ? "ok=true\ndone\n" : error_block(err));
       out.flush();
       continue;
     }
 
-    const Response r = service.handle(Request::of_text(
-        *problem, std::move(model_text), bound, std::move(engine_name)));
-    out << format_response(r);
+    if (tok[0] == "resolve" || tok[0] == "close") {
+      std::uint64_t id = 0;
+      if (tok.size() != 2 || !parse_session_id(tok[1], &id)) {
+        out << error_block(tok[0] + " takes: <session-id>");
+        out.flush();
+        continue;
+      }
+      if (tok[0] == "close") {
+        out << (mgr.close(id) ? "ok=true\ndone\n"
+                              : error_block("no session " + tok[1]));
+        out.flush();
+        continue;
+      }
+      const auto session = mgr.find(id);
+      if (!session) {
+        out << error_block("no session " + tok[1]);
+        out.flush();
+        continue;
+      }
+      out << format_response(session->resolve());
+      out.flush();
+      ++handled;
+      continue;
+    }
+
+    out << error_block("unknown command '" + tok[0] +
+                       "' (expected solve, open, edit, resolve, close, "
+                       "stats, or quit)");
     out.flush();
-    ++handled;
   }
   return handled;
 }

@@ -9,12 +9,27 @@
 ///   <model lines in the at/parser.hpp format>
 ///   end
 ///
-///   stats        # dump cache counters
+///   open <problem> [bound=<num>] [engine=<name>]   # incremental session
+///   <model lines>
+///   end
+///   edit <sid> set-cost <bas> <num>
+///   edit <sid> set-prob <bas> <num>
+///   edit <sid> set-damage <node> <num>
+///   edit <sid> toggle-defense <bas>
+///   edit <sid> replace-subtree <node>
+///   <model lines for the replacement subtree>
+///   end
+///   resolve <sid>    # re-solve, reusing memoized unchanged subtrees
+///   close <sid>
+///
+///   stats        # dump result-cache + subtree-cache counters
 ///   quit         # end the session
 ///
 /// <problem> is one of cdpf, dgc, cgd, cedpf, edgc, cged.  The model
-/// block between the `solve` line and the `end` line is the textual
-/// model format of at/parser.hpp verbatim.
+/// block between the `solve`/`open` line (or a `replace-subtree` edit)
+/// and the `end` line is the textual model format of at/parser.hpp
+/// verbatim.  `open` answers `session=<sid>`; edits answer plain
+/// ok=true/ok=false blocks; `resolve` answers like `solve`.
 ///
 /// Responses are stable key=value lines terminated by a single `done`
 /// line.  Successful solves:
@@ -34,6 +49,7 @@
 #include <string>
 
 #include "service/service.hpp"
+#include "service/session.hpp"
 
 namespace atcd::service {
 
@@ -43,16 +59,25 @@ std::optional<engine::Problem> parse_problem(const std::string& name);
 /// Renders one response as the key=value block described above.
 std::string format_response(const Response& response);
 
-/// Renders cache counters as a stats response block.
-std::string format_stats(const ResultCache::Stats& stats);
+/// Renders the stats response block: result-cache counters,
+/// subtree-cache counters (subtree_ prefix), and the number of open
+/// sessions.
+std::string format_stats(const ResultCache::Stats& stats,
+                         const SubtreeCache::Stats& subtree,
+                         std::size_t sessions);
 
 /// Serves requests from \p in to \p out until EOF or `quit`.  Protocol
 /// errors (unknown command, bad solve header, unterminated model block)
-/// produce ok=false responses; the session keeps going.  A `solve` line
-/// is always followed by a model block, which is consumed even when the
-/// header is invalid — one response block per request, so clients never
-/// desync.  Returns the number of solve requests handled.
-std::size_t serve(std::istream& in, std::ostream& out,
-                  SolveService& service);
+/// produce ok=false responses; the session keeps going.  A `solve` or
+/// `open` line (and a `replace-subtree` edit) is always followed by a
+/// model block, which is consumed even when the header is invalid — one
+/// response block per request, so clients never desync.  Returns the
+/// number of solve/resolve requests handled.
+///
+/// \p sessions holds this connection's incremental sessions; pass a
+/// shared manager to share sessions across connections, or null to give
+/// the connection a private manager (sessions die with it).
+std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
+                  SessionManager* sessions = nullptr);
 
 }  // namespace atcd::service

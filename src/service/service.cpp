@@ -1,17 +1,8 @@
 #include "service/service.hpp"
 
-#include <chrono>
+#include "service/timing.hpp"
 
 namespace atcd::service {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double micros_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-}
-
-}  // namespace
 
 Request Request::of(engine::Problem p, const CdAt& m, double bound,
                     std::string engine) {
@@ -46,9 +37,11 @@ Request Request::of_text(engine::Problem p, std::string text, double bound,
 SolveService::SolveService() : SolveService(Options{}) {}
 
 SolveService::SolveService(Options options)
-    : options_(std::move(options)), cache_(options_.cache) {}
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      subtree_cache_(options_.subtree) {}
 
-engine::SolveResult SolveService::solve(const Request& request) const {
+engine::SolveResult SolveService::solve(const Request& request) {
   engine::Instance in;
   in.problem = request.problem;
   in.det = request.det.get();
@@ -57,11 +50,12 @@ engine::SolveResult SolveService::solve(const Request& request) const {
   in.backend = request.engine_name;
   engine::BatchOptions opt = options_.batch;
   opt.cache = nullptr;  // the service layers its own cache + coalescing
+  opt.subtree = shared_subtree_cache();
   return engine::solve_one(in, opt);
 }
 
 Response SolveService::handle(const Request& request) {
-  const auto t0 = Clock::now();
+  const auto t0 = detail::Clock::now();
   Response resp;
   resp.problem = request.problem;
 
@@ -88,7 +82,7 @@ Response SolveService::handle(const Request& request) {
       }
     } catch (const std::exception& e) {
       resp.result.error = e.what();
-      resp.micros = micros_since(t0);
+      resp.micros = detail::micros_since(t0);
       return resp;
     }
   }
@@ -104,7 +98,7 @@ Response SolveService::handle(const Request& request) {
   probe.backend = req.engine_name;
   if (std::string err = engine::instance_error(probe); !err.empty()) {
     resp.result.error = std::move(err);
-    resp.micros = micros_since(t0);
+    resp.micros = detail::micros_since(t0);
     return resp;
   }
 
@@ -113,19 +107,19 @@ Response SolveService::handle(const Request& request) {
   // non-finite bound; those solve directly.
   const auto key = make_key(probe);
   resp.model_hash = key ? key->model
-                        : (req.det ? canonical_hash(*req.det)
-                                   : canonical_hash(*req.prob));
+                        : (req.det ? model_fingerprint(*req.det)
+                                   : model_fingerprint(*req.prob));
 
   if (!options_.enable_cache || !key) {
     resp.result = solve(req);
-    resp.micros = micros_since(t0);
+    resp.micros = detail::micros_since(t0);
     return resp;
   }
 
   if (auto cached = cache_.lookup(*key, req.det.get(), req.prob.get())) {
     resp.result = std::move(*cached);
     resp.cache_hit = true;
-    resp.micros = micros_since(t0);
+    resp.micros = detail::micros_since(t0);
     return resp;
   }
 
@@ -169,7 +163,7 @@ Response SolveService::handle(const Request& request) {
         flight->done = true;
       }
       flight->cv.notify_all();
-      resp.micros = micros_since(t0);
+      resp.micros = detail::micros_since(t0);
       return resp;
     }
   }
@@ -188,7 +182,7 @@ Response SolveService::handle(const Request& request) {
                         : std::vector<NodeId>{});
     if (join_iso.empty()) {
       resp.result = solve(req);
-      resp.micros = micros_since(t0);
+      resp.micros = detail::micros_since(t0);
       return resp;
     }
     std::unique_lock<std::mutex> lock(flight->mu);
@@ -201,7 +195,7 @@ Response SolveService::handle(const Request& request) {
                       req.det ? req.det->tree : req.prob->tree, join_iso,
                       &resp.result);
     resp.coalesced = true;
-    resp.micros = micros_since(t0);
+    resp.micros = detail::micros_since(t0);
     return resp;
   }
 
@@ -224,7 +218,7 @@ Response SolveService::handle(const Request& request) {
     flight->done = true;
   }
   flight->cv.notify_all();
-  resp.micros = micros_since(t0);
+  resp.micros = detail::micros_since(t0);
   return resp;
 }
 

@@ -27,6 +27,7 @@
 #include "at/parser.hpp"
 #include "engine/batch.hpp"
 #include "service/cache.hpp"
+#include "service/subtree_cache.hpp"
 
 namespace atcd::service {
 
@@ -70,6 +71,12 @@ class SolveService {
     engine::BatchOptions batch;  ///< registry/policy for the solve path
     ResultCache::Config cache;
     bool enable_cache = true;  ///< false: every request solves (benchmarks)
+    /// The shared per-subtree front cache (service/subtree_cache.hpp):
+    /// consulted by incremental-capable backends on the one-shot solve
+    /// path and layered under every session's private memo, so distinct
+    /// models sharing subtrees reuse each other's work.
+    SubtreeCache::Config subtree;
+    bool enable_subtree_cache = true;
   };
 
   SolveService();  // default Options (GCC can't parse `= {}` here)
@@ -81,7 +88,15 @@ class SolveService {
 
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
+  SubtreeCache& subtree_cache() { return subtree_cache_; }
+  const SubtreeCache& subtree_cache() const { return subtree_cache_; }
   const Options& options() const { return options_; }
+
+  /// The shared subtree cache when enabled, else null — what the solve
+  /// path and new sessions attach.
+  SubtreeCache* shared_subtree_cache() {
+    return options_.enable_subtree_cache ? &subtree_cache_ : nullptr;
+  }
 
  private:
   struct InFlight {
@@ -94,10 +109,11 @@ class SolveService {
     std::shared_ptr<const CdpAt> prob;
   };
 
-  engine::SolveResult solve(const Request& request) const;
+  engine::SolveResult solve(const Request& request);
 
   Options options_;
   ResultCache cache_;
+  SubtreeCache subtree_cache_;
   std::mutex inflight_mu_;
   std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHasher>
       inflight_;

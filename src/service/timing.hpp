@@ -1,0 +1,17 @@
+#pragma once
+/// \file timing.hpp
+/// The serving layer's latency clock, shared by SolveService and
+/// Session so the two report micros the same way.
+
+#include <chrono>
+
+namespace atcd::service::detail {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds elapsed since \p t0.
+inline double micros_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+}  // namespace atcd::service::detail

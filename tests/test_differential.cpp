@@ -1,0 +1,337 @@
+/// Seeded cross-engine differential fuzzing: for N random tree/DAG
+/// models per problem, every capable *exact* backend must agree with the
+/// enumerative oracle (or, for probabilistic DAGs where enumeration is
+/// unsupported, a local brute-force oracle) on the optimal value — and
+/// every reported witness must actually evaluate to the reported
+/// (cost, damage), so an engine can't be right by accident.
+///
+/// On any mismatch the failing model's parser text and seed are printed,
+/// so the case replays as a one-liner through atcd_cli / atcd_server.
+///
+/// Iteration count: ATCD_FUZZ_ITERS (default 30; CI's nightly fuzz-smoke
+/// job runs 200).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "at/parser.hpp"
+#include "core/cdat.hpp"
+#include "core/enumerative.hpp"
+#include "engine/batch.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace atcd {
+namespace {
+
+using engine::Instance;
+using engine::Problem;
+using testing::fronts_equal;
+
+constexpr double kTol = 1e-6;
+
+std::size_t iters() {
+  if (const char* env = std::getenv("ATCD_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 30;
+}
+
+std::string dump(const CdAt& m, std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) + "\nmodel:\n" +
+         serialize_model(m.tree, m.cost, m.damage);
+}
+
+std::string dump(const CdpAt& m, std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) + "\nmodel:\n" +
+         serialize_model(m.tree, m.cost, m.damage, &m.prob);
+}
+
+/// The exact backends whose capabilities cover (p, traits), by name.
+std::vector<std::string> capable_exact_engines(Problem p,
+                                               const engine::Traits& t) {
+  std::vector<std::string> names;
+  for (const engine::Backend* b : engine::default_registry().all()) {
+    const auto caps = b->capabilities();
+    if (!caps.exact) continue;  // nsga2: approximate, no agreement claim
+    if (caps.max_bas < t.bas) continue;
+    if (!b->supports(p, t)) continue;
+    names.push_back(b->name());
+  }
+  return names;
+}
+
+engine::SolveResult run(Problem p, const CdAt& m, double bound,
+                        const std::string& backend) {
+  return engine::solve_one(Instance::of(p, m, bound, backend));
+}
+
+engine::SolveResult run(Problem p, const CdpAt& m, double bound,
+                        const std::string& backend) {
+  return engine::solve_one(Instance::of(p, m, bound, backend));
+}
+
+// -- Witness evaluation (independent of any engine). ----------------------
+
+double witness_damage(const CdAt& m, const Attack& x) {
+  return total_damage(m, x);
+}
+
+/// d̂_E by brute force over actualizations — deliberately *not* the BDD,
+/// so the BDD engine is checked against independent arithmetic.
+double witness_damage(const CdpAt& m, const Attack& x) {
+  return expected_damage_exact(m, x);
+}
+
+template <class Model>
+void check_front_witnesses(const Model& m, const Front2d& front,
+                           const std::string& engine_name,
+                           const std::string& context) {
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const FrontPoint& pt = front[i];
+    ASSERT_EQ(pt.witness.size(), m.tree.bas_count())
+        << engine_name << " front point " << i << ": bad witness size\n"
+        << context;
+    EXPECT_NEAR(total_cost(m, pt.witness), pt.value.cost, kTol)
+        << engine_name << " front point " << i
+        << ": witness cost != reported cost\n" << context;
+    EXPECT_NEAR(witness_damage(m, pt.witness), pt.value.damage, kTol)
+        << engine_name << " front point " << i
+        << ": witness damage != reported damage\n" << context;
+  }
+}
+
+/// One-sided epsilon-domination: every point of \p b is matched by \p a
+/// up to tol (a reaches damage >= d - tol at cost <= c + tol).  Two
+/// fronts that epsilon-cover each other describe the same frontier —
+/// point-for-point equality is too strict for probabilistic models,
+/// where summation order makes 1e-15-scale damage differences flip the
+/// survival of dominated-up-to-noise points between engines.
+::testing::AssertionResult epsilon_covers(const Front2d& a, const Front2d& b,
+                                          double tol) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const FrontPoint* p = a.max_damage_within_cost(b[i].value.cost + tol);
+    if (!p || p->value.damage < b[i].value.damage - tol)
+      return ::testing::AssertionFailure()
+             << "point (" << b[i].value.cost << ", " << b[i].value.damage
+             << ") is not epsilon-matched";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// One (problem, model) differential round: every capable exact engine
+/// vs the given oracle result.  \p exact_arithmetic marks deterministic
+/// models (integer decorations, exact sums): fronts must then match
+/// point-for-point and single-objective cost tie-breaks must agree.
+/// Probabilistic rounds compare fronts by mutual epsilon-domination and
+/// skip the cost tie-break for the damage-maximization problems.
+template <class Model>
+void differential_round(Problem p, const Model& m, double bound,
+                        const engine::SolveResult& oracle,
+                        const std::string& oracle_name,
+                        const std::string& context,
+                        bool exact_arithmetic) {
+  ASSERT_TRUE(oracle.ok) << oracle_name << ": " << oracle.error << "\n"
+                         << context;
+  const engine::Traits traits = engine::traits_of(m);
+  for (const std::string& name : capable_exact_engines(p, traits)) {
+    if (name == oracle_name) continue;
+    const engine::SolveResult r = run(p, m, bound, name);
+    ASSERT_TRUE(r.ok) << name << ": " << r.error << "\n" << context;
+    if (engine::is_front(p)) {
+      const bool agree =
+          exact_arithmetic
+              ? r.front.same_values(oracle.front, kTol)
+              : epsilon_covers(r.front, oracle.front, kTol) &&
+                    epsilon_covers(oracle.front, r.front, kTol);
+      EXPECT_TRUE(agree)
+          << name << " front disagrees with " << oracle_name << "\n"
+          << name << ":\n" << r.front.to_string() << oracle_name << ":\n"
+          << oracle.front.to_string() << context;
+      check_front_witnesses(m, r.front, name, context);
+    } else {
+      ASSERT_EQ(r.attack.feasible, oracle.attack.feasible)
+          << name << " feasibility disagrees with " << oracle_name << "\n"
+          << context;
+      if (!oracle.attack.feasible) continue;
+      // Optimal values must agree; witnesses may differ but must
+      // actually achieve the reported numbers and satisfy the bound.
+      EXPECT_NEAR(r.attack.damage, oracle.attack.damage, kTol)
+          << name << " vs " << oracle_name << " (" << engine::to_string(p)
+          << ", bound=" << bound << ")\n" << context;
+      // DgC/EDgC maximize damage; cost only breaks ties, and ties at
+      // float-noise scale resolve differently per engine — compare the
+      // cost only where arithmetic is exact.  CgD/CgED *minimize* cost,
+      // so there the cost is the optimum and must always agree.
+      if (exact_arithmetic || p == Problem::Cgd || p == Problem::Cged)
+        EXPECT_NEAR(r.attack.cost, oracle.attack.cost, kTol)
+            << name << " vs " << oracle_name << " (" << engine::to_string(p)
+            << ", bound=" << bound << ")\n" << context;
+      EXPECT_NEAR(total_cost(m, r.attack.witness), r.attack.cost, kTol)
+          << name << ": witness cost != reported cost\n" << context;
+      EXPECT_NEAR(witness_damage(m, r.attack.witness), r.attack.damage, kTol)
+          << name << ": witness damage != reported damage\n" << context;
+      if (p == Problem::Dgc || p == Problem::Edgc)
+        EXPECT_LE(r.attack.cost, bound + kTol)
+            << name << ": witness over budget\n" << context;
+      if (p == Problem::Cgd || p == Problem::Cged)
+        EXPECT_GE(r.attack.damage, bound - kTol)
+            << name << ": witness under threshold\n" << context;
+    }
+  }
+}
+
+/// A damage threshold placed safely *between* achievable damages (or
+/// beyond the maximum), so float noise around an achievable value can't
+/// flip feasibility decisions between engines.
+double pick_threshold(const Front2d& oracle_front, Rng& rng) {
+  if (oracle_front.empty()) return 1.0;
+  const std::size_t i = rng.below(oracle_front.size() + 1);
+  if (i == 0) return 0.0;  // always feasible (the empty attack)
+  const double below = oracle_front[i - 1].value.damage;
+  if (i == oracle_front.size()) return below * 1.25 + 1.0;  // infeasible
+  return (below + oracle_front[i].value.damage) / 2.0;
+}
+
+double total_cost_sum(const std::vector<double>& cost) {
+  double s = 0.0;
+  for (double c : cost) s += c;
+  return s;
+}
+
+TEST(Differential, DeterministicTreeAndDagEnginesAgree) {
+  const std::size_t n = iters();
+  for (std::uint64_t seed = 0; seed < n; ++seed) {
+    Rng rng(0xD1FFull * 1000 + seed);
+    const bool treelike = seed % 2 == 0;
+    CdAt m = testing::random_cdat(rng, 2 + rng.below(9), treelike);
+    // Every third deterministic model is made additive (zero internal
+    // damage) so the knapsack backend joins the differential pool.
+    if (seed % 3 == 0)
+      for (NodeId v = 0; v < static_cast<NodeId>(m.tree.node_count()); ++v)
+        if (!m.tree.is_bas(v)) m.damage[v] = 0.0;
+    const std::string context = dump(m, seed);
+
+    const engine::SolveResult oracle_front =
+        run(Problem::Cdpf, m, 0.0, "enumerative");
+    differential_round(Problem::Cdpf, m, 0.0, oracle_front, "enumerative",
+                       context, /*exact_arithmetic=*/true);
+    if (::testing::Test::HasFailure()) return;
+
+    const double budget = rng.uniform(0.0, total_cost_sum(m.cost) * 1.1);
+    differential_round(Problem::Dgc, m, budget,
+                       run(Problem::Dgc, m, budget, "enumerative"),
+                       "enumerative", context, /*exact_arithmetic=*/true);
+    ASSERT_TRUE(oracle_front.ok);
+    const double threshold = pick_threshold(oracle_front.front, rng);
+    differential_round(Problem::Cgd, m, threshold,
+                       run(Problem::Cgd, m, threshold, "enumerative"),
+                       "enumerative", context, /*exact_arithmetic=*/true);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(Differential, ProbabilisticTreeEnginesAgree) {
+  const std::size_t n = iters();
+  for (std::uint64_t seed = 0; seed < n; ++seed) {
+    Rng rng(0xF0F5ull * 1000 + seed);
+    const CdpAt m =
+        testing::random_cdpat(rng, 2 + rng.below(8), /*treelike=*/true);
+    const std::string context = dump(m, seed);
+
+    const engine::SolveResult oracle_front =
+        run(Problem::Cedpf, m, 0.0, "enumerative");
+    differential_round(Problem::Cedpf, m, 0.0, oracle_front, "enumerative",
+                       context, /*exact_arithmetic=*/false);
+    if (::testing::Test::HasFailure()) return;
+
+    const double budget = rng.uniform(0.0, total_cost_sum(m.cost) * 1.1);
+    differential_round(Problem::Edgc, m, budget,
+                       run(Problem::Edgc, m, budget, "enumerative"),
+                       "enumerative", context, /*exact_arithmetic=*/false);
+    ASSERT_TRUE(oracle_front.ok);
+    const double threshold = pick_threshold(oracle_front.front, rng);
+    differential_round(Problem::Cged, m, threshold,
+                       run(Problem::Cged, m, threshold, "enumerative"),
+                       "enumerative", context, /*exact_arithmetic=*/false);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+/// Probabilistic DAGs: enumeration is unsupported (per-node independence
+/// breaks), so the oracle is a local brute force — all attacks scored
+/// with expected_damage_exact(), fronts/optima derived here.  This
+/// checks the BDD engine against completely independent arithmetic.
+TEST(Differential, ProbabilisticDagBddAgreesWithBruteForce) {
+  const std::size_t n = iters();
+  for (std::uint64_t seed = 0; seed < n; ++seed) {
+    Rng rng(0xDA6ull * 1000 + seed);
+    const CdpAt m =
+        testing::random_cdpat(rng, 2 + rng.below(6), /*treelike=*/false);
+    if (m.tree.is_treelike()) continue;  // rare: sharing didn't trigger
+    const std::string context = dump(m, seed);
+    const std::size_t bas = m.tree.bas_count();
+    ASSERT_LE(bas, 12u);
+
+    std::vector<FrontPoint> candidates;
+    OptAttack best_within;  // EDgC oracle
+    const double budget = rng.uniform(0.0, total_cost_sum(m.cost) * 1.1);
+    for (std::uint64_t mask = 0; mask < (1ull << bas); ++mask) {
+      const Attack x = Attack::from_mask(bas, mask);
+      const double c = total_cost(m, x);
+      const double d = expected_damage_exact(m, x);
+      candidates.push_back({CdPoint{c, d}, x});
+      if (c <= budget &&
+          (!best_within.feasible || d > best_within.damage ||
+           (d == best_within.damage && c < best_within.cost)))
+        best_within = OptAttack{true, c, d, x};
+    }
+    const Front2d oracle_front = Front2d::of_candidates(std::move(candidates));
+
+    const engine::SolveResult bdd_front =
+        run(Problem::Cedpf, m, 0.0, "bdd");
+    ASSERT_TRUE(bdd_front.ok) << bdd_front.error << "\n" << context;
+    EXPECT_TRUE(epsilon_covers(bdd_front.front, oracle_front, kTol) &&
+                epsilon_covers(oracle_front, bdd_front.front, kTol))
+        << "bdd front disagrees with brute force\nbdd:\n"
+        << bdd_front.front.to_string() << "brute:\n"
+        << oracle_front.to_string() << context;
+    check_front_witnesses(m, bdd_front.front, "bdd", context);
+
+    const engine::SolveResult bdd_edgc = run(Problem::Edgc, m, budget, "bdd");
+    ASSERT_TRUE(bdd_edgc.ok) << bdd_edgc.error << "\n" << context;
+    ASSERT_EQ(bdd_edgc.attack.feasible, best_within.feasible) << context;
+    if (best_within.feasible) {
+      EXPECT_NEAR(bdd_edgc.attack.damage, best_within.damage, kTol)
+          << "bdd EDgC disagrees with brute force (budget=" << budget
+          << ")\n" << context;
+      EXPECT_LE(bdd_edgc.attack.cost, budget + kTol) << context;
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+/// The models behind the failing prints must round-trip through the
+/// parser, or the "reproducibility" promise above is hollow.
+TEST(Differential, FailureDumpsRoundTripThroughTheParser) {
+  Rng rng(77);
+  const CdpAt m = testing::random_cdpat(rng, 8, /*treelike=*/false);
+  const ParsedModel p =
+      parse_model(serialize_model(m.tree, m.cost, m.damage, &m.prob));
+  CdpAt back;
+  back.tree = p.tree;
+  back.cost = p.cost;
+  back.damage = p.damage;
+  back.prob = p.prob;
+  const engine::SolveResult a = run(Problem::Cedpf, m, 0.0, "bdd");
+  const engine::SolveResult b = run(Problem::Cedpf, back, 0.0, "bdd");
+  ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+  EXPECT_TRUE(fronts_equal(a.front, b.front));
+}
+
+}  // namespace
+}  // namespace atcd

@@ -1,0 +1,162 @@
+/// analysis_sweep — quantifies the session-backed sweep win: a 1D grid
+/// over one leaf's cost, replayed as an ordered edit script through an
+/// incremental session (analysis::sweep), against the naive baseline
+/// that rebuilds and solves the edited model from scratch at every grid
+/// point.  Each sweep step dirties only the edited leaf's root-path, so
+/// on deep trees the session pays O(depth) node recomputes where the
+/// baseline pays O(#nodes).
+///
+/// Two problem settings, mirroring bench_incremental_edits:
+///
+///   * dgc  (budget-pruned sweep): per-node fronts stay small; the
+///     headline case, required to be >= 3x at depth 8.
+///   * cdpf (full fronts): the root-path recombination dominates, so
+///     the structural win is bounded — reported for honesty.
+///
+/// Every grid point is equivalence-checked against the scratch solve —
+/// a bench that drifts from correctness measures nothing.
+///
+/// Usage: bench_analysis_sweep [--points N] [--depth D] [--smoke]
+///   --smoke: tiny grid on a shallow tree, no speedup gate (CI's
+///            nightly job runs this to keep the harness honest).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "bench/common.hpp"
+#include "core/cdat.hpp"
+#include "engine/batch.hpp"
+#include "util/rng.hpp"
+
+using namespace atcd;
+
+namespace {
+
+/// Complete binary tree of the given depth, alternating OR/AND levels,
+/// with Sec. X random decorations.
+CdAt complete_binary_model(Rng& rng, int depth) {
+  AttackTree t;
+  std::vector<NodeId> level;
+  const std::size_t n_leaves = std::size_t{1} << depth;
+  for (std::size_t i = 0; i < n_leaves; ++i)
+    level.push_back(t.add_bas("b" + std::to_string(i)));
+  int g = 0;
+  for (int d = depth; d > 0; --d) {
+    const NodeType type = d % 2 ? NodeType::OR : NodeType::AND;
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(t.add_gate(type, "g" + std::to_string(g++),
+                                {level[i], level[i + 1]}));
+    level = std::move(next);
+  }
+  t.set_root(level[0]);
+  t.finalize();
+  return randomize_decorations(t, rng).deterministic();
+}
+
+struct Case {
+  engine::Problem problem;
+  double bound;
+  const char* label;
+};
+
+bool cells_match(const analysis::SweepCell& cell,
+                 const engine::SolveResult& ref, engine::Problem p) {
+  if (!cell.result.ok || !ref.ok) return false;
+  if (engine::is_front(p)) return cell.result.front.same_values(ref.front);
+  return cell.result.attack.feasible == ref.attack.feasible &&
+         (!ref.attack.feasible ||
+          (cell.result.attack.cost == ref.attack.cost &&
+           cell.result.attack.damage == ref.attack.damage));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  int depth = smoke ? 6 : 8;
+  std::size_t points = smoke ? 8 : 64;
+  if (const std::string v = bench::flag_value(argc, argv, "--depth");
+      !v.empty())
+    depth = std::atoi(v.c_str());
+  if (const std::string v = bench::flag_value(argc, argv, "--points");
+      !v.empty())
+    points = std::strtoull(v.c_str(), nullptr, 10);
+
+  std::printf(
+      "analysis_sweep: session-backed 1D leaf-cost sweep vs from-scratch "
+      "per-point solves\n"
+      "(complete binary tree, depth %d, %zu grid points over b0's cost; "
+      "times are total ms per sweep)\n\n",
+      depth, points);
+
+  Rng rng(0x5EEDull * 131 + static_cast<std::uint64_t>(depth));
+  const CdAt base = complete_binary_model(rng, depth);
+  const analysis::Axis axis =
+      analysis::Axis::linspace(analysis::Attribute::Cost, "b0", 1.0, 10.0,
+                               points);
+
+  const Case cases[] = {
+      {engine::Problem::Dgc, 15.0, "dgc(U=15)"},
+      {engine::Problem::Cdpf, 0.0, "cdpf"},
+  };
+
+  bool headline_ok = false;
+  double headline_speedup = 0.0;
+  std::printf("%-10s %14s %14s %9s\n", "case", "scratch(ms)", "sweep(ms)",
+              "speedup");
+  for (const Case& c : cases) {
+    analysis::Options aopt;
+    aopt.problem = c.problem;
+    aopt.bound = c.bound;
+
+    analysis::SweepResult swept;
+    const double sweep_ms =
+        1e3 * bench::time_once([&] { swept = analysis::sweep(base, {axis},
+                                                             aopt); });
+    if (!swept.incremental) {
+      std::fprintf(stderr, "expected the incremental fast path\n");
+      return 1;
+    }
+
+    // Scratch baseline: rebuild the edited model and solve from nothing
+    // (no session, no caches) at every grid point.
+    double scratch_ms = 0.0;
+    const std::uint32_t b0 = base.tree.bas_index(*base.tree.find("b0"));
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      CdAt edited = base;
+      edited.cost[b0] = axis.values[i];
+      engine::SolveResult ref;
+      scratch_ms += 1e3 * bench::time_once([&] {
+        ref = engine::solve_one(
+            engine::Instance::of(c.problem, edited, c.bound));
+      });
+      if (!cells_match(swept.cells[i], ref, c.problem)) {
+        std::fprintf(stderr, "MISMATCH at grid point %zu: sweep != scratch\n",
+                     i);
+        return 1;
+      }
+    }
+
+    const double speedup = scratch_ms / sweep_ms;
+    std::printf("%-10s %14.2f %14.2f %8.1fx\n", c.label, scratch_ms,
+                sweep_ms, speedup);
+    if (c.problem == engine::Problem::Dgc) {
+      headline_speedup = speedup;
+      headline_ok = speedup >= 3.0;
+    }
+  }
+
+  if (smoke) {
+    std::printf("\nsmoke run: equivalence checks passed (no speedup gate)\n");
+    return 0;
+  }
+  std::printf(
+      "\nheadline: dgc depth-%d session-backed sweep is %.1fx the "
+      "from-scratch per-point baseline (target >= 3x): %s\n",
+      depth, headline_speedup, headline_ok ? "PASS" : "FAIL");
+  return headline_ok ? 0 : 1;
+}

@@ -9,6 +9,17 @@
 ///   atcd_cli <model-file> engines
 ///   atcd_cli <model-file> dot
 ///
+/// Scenario analyses (src/analysis/; axis spec is
+/// <attr>:<node>:<lo>:<hi>:<steps> with <attr> in cost|prob|damage, or
+/// defense:<bas>; defense spec is <name>:<cost>:<bas>[+<bas>...]):
+///   atcd_cli <model-file> sweep <problem> <axis> [<axis>]
+///            [--bound <num>] [--engine <name>]
+///   atcd_cli <model-file> sensitivity [--prob] [--step <rel>]
+///            [--engine <name>]
+///   atcd_cli <model-file> portfolio <defense-budget>
+///            --defense <spec> [--defense <spec> ...]
+///            [--prob] [--bound <attacker-budget>] [--engine <name>]
+///
 /// Solve commands additionally accept:
 ///   --threads N   solve through the batch API on N worker threads
 ///   --repeat K    submit the instance K times (exercises the result
@@ -32,13 +43,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "analysis/portfolio.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/sweep.hpp"
 #include "at/dot.hpp"
 #include "at/parser.hpp"
 #include "engine/batch.hpp"
 #include "service/cache.hpp"
+#include "service/protocol.hpp"
 #include "util/timer.hpp"
 
 using namespace atcd;
@@ -51,15 +67,38 @@ int usage() {
                "(info | cdpf | cedpf | dgc <U> [--prob] | "
                "cgd <L> [--prob] | engines | dot) [--engine <name>]\n"
                "                [--threads N] [--repeat K]\n"
+               "       atcd_cli <model-file> sweep <problem> <axis> "
+               "[<axis>] [--bound U] [--engine <name>]\n"
+               "       atcd_cli <model-file> sensitivity [--prob] "
+               "[--step r] [--engine <name>]\n"
+               "       atcd_cli <model-file> portfolio <defense-budget> "
+               "--defense <spec> ... [--prob] [--bound U]\n"
                "  --engine <name>  solve with a specific backend "
                "(see the `engines` command)\n"
-               "  --threads N      solve through the batch API on N "
+               "  --threads N      solve (or fan scenarios out) on N "
                "worker threads\n"
                "  --repeat K       submit the instance K times through "
                "the result cache\n"
                "                   (up to K-1 hits; prints cache "
-               "statistics)\n");
+               "statistics)\n"
+               "  axis spec: <attr>:<node>:<lo>:<hi>:<steps> "
+               "(attr: cost|prob|damage) or defense:<bas>\n"
+               "  defense spec: <name>:<cost>:<bas>[+<bas>...]\n");
   return 2;
+}
+
+/// Arguments not consumed by any --flag: skips every flag and, for the
+/// value-taking ones (all but --prob), its value.
+std::vector<std::string> positionals(int argc, char** argv, int from) {
+  std::vector<std::string> out;
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (std::strcmp(argv[i], "--prob") != 0 && i + 1 < argc) ++i;
+      continue;
+    }
+    out.push_back(argv[i]);
+  }
+  return out;
 }
 
 void print_front(const AttackTree& t, const Front2d& f, const char* damage_col) {
@@ -134,6 +173,10 @@ int main(int argc, char** argv) {
     bool use_prob = false;
     std::string engine_name;
     RunOptions ro;
+    double bound = 0.0;
+    bool have_bound = false;
+    double step = 0.05;
+    std::vector<defense::Countermeasure> catalogue;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
       if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
@@ -142,8 +185,95 @@ int main(int argc, char** argv) {
         ro.threads = std::strtoull(argv[i + 1], nullptr, 10);
       if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc)
         ro.repeat = std::strtoull(argv[i + 1], nullptr, 10);
+      if (std::strcmp(argv[i], "--bound") == 0 && i + 1 < argc) {
+        bound = std::atof(argv[i + 1]);
+        have_bound = true;
+      }
+      if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc)
+        step = std::atof(argv[i + 1]);
+      if (std::strcmp(argv[i], "--defense") == 0 && i + 1 < argc) {
+        std::string err;
+        const auto cm = analysis::parse_countermeasure(argv[i + 1], &err);
+        if (!cm) {
+          std::fprintf(stderr, "error: %s\n", err.c_str());
+          return 2;
+        }
+        catalogue.push_back(*cm);
+      }
     }
     if (ro.repeat == 0 || ro.threads == 0) return usage();
+
+    // Shared analysis knobs: scenario fan-outs run on --threads workers
+    // and reuse subtree fronts across scenarios via a local cache.
+    service::SubtreeCache subtree_cache;
+    analysis::Options aopt;
+    aopt.engine_name = engine_name;
+    aopt.batch.threads = ro.threads;
+    aopt.shared = &subtree_cache;
+    aopt.sensitivity_step = step;
+
+    if (cmd == "sweep") {
+      const std::vector<std::string> pos = positionals(argc, argv, 3);
+      if (pos.empty()) return usage();
+      const auto problem = service::parse_problem(pos[0]);
+      if (!problem) {
+        std::fprintf(stderr, "error: unknown problem '%s'\n",
+                     pos[0].c_str());
+        return 2;
+      }
+      std::vector<analysis::Axis> axes;
+      for (std::size_t i = 1; i < pos.size(); ++i) {
+        std::string err;
+        const auto axis = analysis::parse_axis(pos[i], &err);
+        if (!axis) {
+          std::fprintf(stderr, "error: %s\n", err.c_str());
+          return 2;
+        }
+        axes.push_back(*axis);
+      }
+      if (axes.empty()) return usage();
+      aopt.problem = *problem;
+      aopt.bound = bound;
+      const std::string table =
+          engine::is_probabilistic(*problem)
+              ? analysis::to_table(analysis::sweep(prob, axes, aopt))
+              : analysis::to_table(analysis::sweep(det, axes, aopt));
+      std::fputs(table.c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "sensitivity") {
+      const std::string table =
+          use_prob ? analysis::to_table(analysis::sensitivity(prob, aopt))
+                   : analysis::to_table(analysis::sensitivity(det, aopt));
+      std::fputs(table.c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "portfolio" && argc >= 4) {
+      char* end = nullptr;
+      const double defense_budget = std::strtod(argv[3], &end);
+      if (end == argv[3] || *end != '\0' || !(defense_budget >= 0.0)) {
+        std::fprintf(stderr,
+                     "error: portfolio takes a numeric defense budget, "
+                     "got '%s'\n", argv[3]);
+        return 2;
+      }
+      if (catalogue.empty()) {
+        std::fprintf(stderr,
+                     "error: portfolio needs at least one --defense "
+                     "<name>:<cost>:<bas>[+<bas>...]\n");
+        return 2;
+      }
+      aopt.bound = have_bound
+                       ? bound
+                       : std::numeric_limits<double>::infinity();
+      const std::string table =
+          use_prob ? analysis::to_table(analysis::portfolio(
+                         prob, catalogue, defense_budget, aopt))
+                   : analysis::to_table(analysis::portfolio(
+                         det, catalogue, defense_budget, aopt));
+      std::fputs(table.c_str(), stdout);
+      return 0;
+    }
 
     if (cmd == "info") {
       std::printf("nodes: %zu (BASs: %zu), edges: %zu, shape: %s\n",

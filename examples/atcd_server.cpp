@@ -4,7 +4,12 @@
 /// Usage:
 ///   atcd_server [--shards N] [--entries N] [--bytes N] [--no-cache]
 ///               [--subtree-entries N] [--subtree-bytes N]
-///               [--no-subtree-cache]
+///               [--no-subtree-cache] [--threads N]
+///
+/// --threads caps the worker threads the scenario analyses (`analyze
+/// sweep|sensitivity|portfolio`) fan their derived solves out on; 0
+/// (default) = hardware concurrency.  `stats --json` emits the counters
+/// as one machine-readable json= line for bench harnesses.
 ///
 /// One-shot example (try it interactively, or pipe a script in):
 ///
@@ -59,14 +64,17 @@ int main(int argc, char** argv) {
       opt.subtree.max_bytes = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--no-subtree-cache") == 0)
       opt.enable_subtree_cache = false;
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      opt.batch.threads = std::strtoull(argv[++i], nullptr, 10);
     else {
       std::fprintf(stderr,
                    "usage: atcd_server [--shards N] [--entries N] "
                    "[--bytes N] [--no-cache] [--subtree-entries N] "
-                   "[--subtree-bytes N] [--no-subtree-cache]\n"
+                   "[--subtree-bytes N] [--no-subtree-cache] "
+                   "[--threads N]\n"
                    "Serves the solve protocol on stdin/stdout; see the "
-                   "README's \"Serving layer\" and \"Incremental "
-                   "sessions\" sections.\n");
+                   "README's \"Serving layer\", \"Incremental "
+                   "sessions\", and \"Analysis layer\" sections.\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }

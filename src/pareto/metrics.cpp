@@ -1,0 +1,57 @@
+#include "pareto/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace atcd {
+
+bool epsilon_covers(const Front2d& a, const Front2d& b, double tol,
+                    std::string* unmatched) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const FrontPoint* p = a.max_damage_within_cost(b[i].value.cost + tol);
+    if (!p || p->value.damage < b[i].value.damage - tol) {
+      if (unmatched) {
+        std::ostringstream out;
+        out << "point (" << b[i].value.cost << ", " << b[i].value.damage
+            << ") is not epsilon-matched";
+        *unmatched = out.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool epsilon_equal(const Front2d& a, const Front2d& b, double tol) {
+  return epsilon_covers(a, b, tol) && epsilon_covers(b, a, tol);
+}
+
+double front_gap(const Front2d& a, const Front2d& b) {
+  double gap = 0.0;
+  for (const FrontPoint& p : b) {
+    const FrontPoint* best = a.max_damage_within_cost(p.value.cost);
+    const double reached = best ? best->value.damage : 0.0;
+    gap = std::max(gap, p.value.damage - reached);
+  }
+  return gap;
+}
+
+double front_distance(const Front2d& a, const Front2d& b) {
+  return std::max(front_gap(a, b), front_gap(b, a));
+}
+
+double hypervolume(const Front2d& front, double ref_cost) {
+  // Points come sorted by ascending cost and (by minimality) ascending
+  // damage, so each point contributes the slab between its damage and
+  // its predecessor's, as wide as its cost slack against the reference.
+  double area = 0.0;
+  double prev_damage = 0.0;
+  for (const FrontPoint& p : front) {
+    if (p.value.cost > ref_cost) break;
+    area += (ref_cost - p.value.cost) * (p.value.damage - prev_damage);
+    prev_damage = p.value.damage;
+  }
+  return area;
+}
+
+}  // namespace atcd

@@ -1,0 +1,61 @@
+#pragma once
+/// \file metrics.hpp
+/// Quantitative comparisons between cost-damage Pareto fronts.
+///
+/// Point-for-point equality (Front2d::same_values) is the right notion
+/// only under exact arithmetic.  Probabilistic engines accumulate
+/// 1e-15-scale summation noise that can flip the survival of
+/// dominated-up-to-noise points between engines, and scenario analysis
+/// needs to *measure* how far apart two fronts are, not just whether
+/// they are equal.  This header provides both:
+///
+///  * epsilon_covers / epsilon_equal — the tolerance-based front
+///    comparator used by the cross-engine differential fuzz harness
+///    (tests/test_differential.cpp): two fronts that epsilon-cover each
+///    other describe the same frontier.
+///  * front_distance — the symmetric damage-gap between two frontiers,
+///    the sensitivity metric of src/analysis/: how much attainable
+///    damage one front reaches that the other cannot match at equal
+///    cost, maximized over the frontier.
+///  * hypervolume — the area dominated by a front up to a cost
+///    reference, the standard scalar summary of multi-objective
+///    optimization; scenario sweeps report it per grid cell.
+
+#include <string>
+
+#include "pareto/front2d.hpp"
+
+namespace atcd {
+
+/// One-sided epsilon-domination: every point of \p b is matched by \p a
+/// up to the tolerance — a reaches damage >= d - tol at cost <= c + tol.
+/// When a point is unmatched and \p unmatched is non-null, it receives a
+/// human-readable description of the first offending point.
+bool epsilon_covers(const Front2d& a, const Front2d& b, double tol,
+                    std::string* unmatched = nullptr);
+
+/// Mutual epsilon-domination: the two fronts describe the same frontier
+/// up to the tolerance.
+bool epsilon_equal(const Front2d& a, const Front2d& b, double tol);
+
+/// Directed damage-gap: the largest damage shortfall of \p a against
+/// \p b — max over points (c, d) of b of max(0, d - best damage a
+/// attains at cost <= c).  Zero iff a covers b with no tolerance slack
+/// on the cost axis.  An empty \p b yields 0.
+double front_gap(const Front2d& a, const Front2d& b);
+
+/// Symmetric frontier distance: max(front_gap(a, b), front_gap(b, a)).
+/// Zero iff the two fronts attain identical damage at every cost level;
+/// small values mean the frontiers differ only by damage-noise.  This is
+/// the quantitative counterpart of epsilon_equal (which additionally
+/// allows tol slack on the cost axis).
+double front_distance(const Front2d& a, const Front2d& b);
+
+/// Area of the cost-damage region dominated by the front relative to the
+/// cost reference \p ref_cost: the union over front points (c, d) with
+/// c <= ref_cost of the rectangles [c, ref_cost] x [0, d].  The standard
+/// staircase sum; O(|front|) thanks to the ascending-cost invariant.
+/// Larger = the attacker attains more damage at lower cost.
+double hypervolume(const Front2d& front, double ref_cost);
+
+}  // namespace atcd

@@ -3,11 +3,16 @@
 #include <cmath>
 #include <cstdio>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "analysis/portfolio.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/sweep.hpp"
 #include "at/structure.hpp"
+#include "service/timing.hpp"
 
 namespace atcd::service {
 namespace {
@@ -102,6 +107,23 @@ std::string format_response(const Response& r) {
           << '\n';
   }
   out << "done\n";
+  return out.str();
+}
+
+std::string format_stats_json(const ResultCache::Stats& s,
+                              const SubtreeCache::Stats& sub,
+                              std::size_t sessions) {
+  const auto counters = [](const auto& c) {
+    std::ostringstream out;
+    out << "{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+        << ",\"insertions\":" << c.insertions << ",\"evictions\":"
+        << c.evictions << ",\"collisions\":" << c.collisions
+        << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes << '}';
+    return out.str();
+  };
+  std::ostringstream out;
+  out << "ok=true\njson={\"cache\":" << counters(s) << ",\"subtree\":"
+      << counters(sub) << ",\"sessions\":" << sessions << "}\ndone\n";
   return out.str();
 }
 
@@ -236,6 +258,142 @@ std::string apply_edit(Session& session, const std::vector<std::string>& tok,
          "replace-subtree)";
 }
 
+/// Wraps an analysis table as a response block: the table rides along
+/// verbatim, one row.<i>= line per table line, so clients get exactly
+/// the byte-stable rendering the library produces.
+std::string analysis_block(const char* kind, const std::string& table,
+                           double micros) {
+  std::ostringstream out;
+  out << "ok=true\nkind=" << kind << "\nmicros=" << micros_str(micros)
+      << '\n';
+  std::size_t rows = 0, start = 0;
+  std::ostringstream body;
+  while (start < table.size()) {
+    std::size_t nl = table.find('\n', start);
+    if (nl == std::string::npos) nl = table.size();
+    body << "row." << rows++ << '=' << table.substr(start, nl - start)
+         << '\n';
+    start = nl + 1;
+  }
+  out << "rows=" << rows << '\n' << body.str() << "done\n";
+  return out.str();
+}
+
+/// Handles one `analyze` command (model block already consumed).  Sets
+/// \p ran when an analysis actually executed (for the serve() counter).
+std::string handle_analyze(const std::vector<std::string>& tok,
+                           const std::string& model_text,
+                           SolveService& service, bool* ran) {
+  if (tok.size() < 3)
+    return error_block(
+        "analyze takes: (sweep|sensitivity|portfolio) <problem> ...");
+  const std::string& what = tok[1];
+  if (what != "sweep" && what != "sensitivity" && what != "portfolio")
+    return error_block("unknown analysis '" + what +
+                       "' (expected sweep, sensitivity, or portfolio)");
+  const auto problem = parse_problem(tok[2]);
+  if (!problem)
+    return error_block("unknown problem '" + tok[2] +
+                       "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)");
+
+  analysis::Options aopt;
+  aopt.problem = *problem;
+  aopt.engine_name.clear();
+  aopt.batch = service.options().batch;
+  aopt.shared = service.shared_subtree_cache();
+  std::vector<analysis::Axis> axes;
+  std::vector<defense::Countermeasure> catalogue;
+  double defense_budget = std::numeric_limits<double>::infinity();
+  bool have_bound = false;
+  for (std::size_t i = 3; i < tok.size(); ++i) {
+    std::string err;
+    if (tok[i].rfind("axis=", 0) == 0) {
+      const auto axis = analysis::parse_axis(tok[i].substr(5), &err);
+      if (!axis) return error_block(err);
+      axes.push_back(*axis);
+    } else if (tok[i].rfind("defense=", 0) == 0) {
+      const auto cm = analysis::parse_countermeasure(tok[i].substr(8), &err);
+      if (!cm) return error_block(err);
+      catalogue.push_back(*cm);
+    } else if (tok[i].rfind("budget=", 0) == 0) {
+      if (what != "portfolio")
+        return error_block("budget= only applies to analyze portfolio");
+      if (!parse_value(tok[i].substr(7), &defense_budget) ||
+          defense_budget < 0.0)
+        return error_block("bad budget '" + tok[i] + "' (must be >= 0)");
+    } else if (tok[i].rfind("bound=", 0) == 0) {
+      if (what == "sensitivity")
+        return error_block("bound= does not apply to analyze sensitivity "
+                           "(the front problems ignore it)");
+      if (!parse_value(tok[i].substr(6), &aopt.bound))
+        return error_block("bad bound '" + tok[i] + "' (must be finite)");
+      have_bound = true;
+    } else if (tok[i].rfind("step=", 0) == 0) {
+      if (what != "sensitivity")
+        return error_block("step= only applies to analyze sensitivity");
+      if (!parse_value(tok[i].substr(5), &aopt.sensitivity_step) ||
+          aopt.sensitivity_step <= 0.0)
+        return error_block("bad step '" + tok[i] + "' (must be > 0)");
+    } else if (tok[i].rfind("engine=", 0) == 0) {
+      aopt.engine_name = tok[i].substr(7);
+    } else {
+      return error_block("unknown analyze argument '" + tok[i] + "'");
+    }
+  }
+  if (what == "sweep" && axes.empty())
+    return error_block("analyze sweep needs at least one axis=<spec>");
+  if (what != "sweep" && !axes.empty())
+    return error_block("axis= only applies to analyze sweep");
+  if (what == "sensitivity" && !engine::is_front(*problem))
+    return error_block("analyze sensitivity takes a front problem "
+                       "(cdpf or cedpf)");
+  if (what == "portfolio" &&
+      (*problem != engine::Problem::Dgc && *problem != engine::Problem::Edgc))
+    return error_block("analyze portfolio takes dgc or edgc");
+  if (what == "portfolio" && catalogue.empty())
+    return error_block(
+        "analyze portfolio needs at least one defense=<name>:<cost>:<bas>");
+  if (what != "portfolio" && !catalogue.empty())
+    return error_block("defense= only applies to analyze portfolio");
+  // An unbounded attacker is the portfolio default; the clamp to the
+  // hardening scale happens inside portfolio().
+  if (what == "portfolio" && !have_bound)
+    aopt.bound = std::numeric_limits<double>::infinity();
+
+  try {
+    const auto t0 = detail::Clock::now();
+    ParsedModel parsed = parse_model(model_text);
+    std::string table;
+    if (engine::is_probabilistic(*problem)) {
+      const CdpAt m{std::move(parsed.tree), std::move(parsed.cost),
+                    std::move(parsed.damage), std::move(parsed.prob)};
+      m.validate();
+      if (what == "sweep")
+        table = analysis::to_table(analysis::sweep(m, axes, aopt));
+      else if (what == "sensitivity")
+        table = analysis::to_table(analysis::sensitivity(m, aopt));
+      else
+        table = analysis::to_table(
+            analysis::portfolio(m, catalogue, defense_budget, aopt));
+    } else {
+      const CdAt m{std::move(parsed.tree), std::move(parsed.cost),
+                   std::move(parsed.damage)};
+      m.validate();
+      if (what == "sweep")
+        table = analysis::to_table(analysis::sweep(m, axes, aopt));
+      else if (what == "sensitivity")
+        table = analysis::to_table(analysis::sensitivity(m, aopt));
+      else
+        table = analysis::to_table(
+            analysis::portfolio(m, catalogue, defense_budget, aopt));
+    }
+    *ran = true;
+    return analysis_block(what.c_str(), table, detail::micros_since(t0));
+  } catch (const std::exception& e) {
+    return error_block(e.what());
+  }
+}
+
 }  // namespace
 
 std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
@@ -254,9 +412,29 @@ std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
     if (tok[0] == "quit" || tok[0] == "exit") break;
 
     if (tok[0] == "stats") {
-      out << format_stats(service.cache().stats(),
-                          service.subtree_cache().stats(), mgr.size());
+      const bool json = tok.size() >= 2 && tok[1] == "--json";
+      out << (json ? format_stats_json(service.cache().stats(),
+                                       service.subtree_cache().stats(),
+                                       mgr.size())
+                   : format_stats(service.cache().stats(),
+                                  service.subtree_cache().stats(),
+                                  mgr.size()));
       out.flush();
+      continue;
+    }
+
+    if (tok[0] == "analyze") {
+      // Like solve/open, an analyze line is always followed by a model
+      // block, consumed even when the header is bad (desync guard).
+      std::string model_text;
+      const bool terminated = read_model_block(in, &model_text);
+      bool ran = false;
+      out << (terminated
+                  ? handle_analyze(tok, model_text, service, &ran)
+                  : error_block(
+                        "unterminated model block (missing 'end' line)"));
+      out.flush();
+      if (ran) ++handled;
       continue;
     }
 
@@ -363,7 +541,7 @@ std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
 
     out << error_block("unknown command '" + tok[0] +
                        "' (expected solve, open, edit, resolve, close, "
-                       "stats, or quit)");
+                       "analyze, stats, or quit)");
     out.flush();
   }
   return handled;

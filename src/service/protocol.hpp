@@ -22,14 +22,38 @@
 ///   resolve <sid>    # re-solve, reusing memoized unchanged subtrees
 ///   close <sid>
 ///
-///   stats        # dump result-cache + subtree-cache counters
-///   quit         # end the session
+///   analyze sweep <problem> axis=<spec> [axis=<spec>]
+///           [bound=<num>] [engine=<name>]
+///   <model lines>
+///   end
+///   analyze sensitivity <problem> [step=<num>] [engine=<name>]
+///   <model lines>
+///   end
+///   analyze portfolio <problem> defense=<spec> [defense=<spec> ...]
+///           [budget=<num>] [bound=<num>] [engine=<name>]
+///   <model lines>
+///   end
+///
+///   stats [--json]   # result-cache + subtree-cache counters; --json
+///                    # emits them as one machine-readable json= line
+///   quit             # end the session
 ///
 /// <problem> is one of cdpf, dgc, cgd, cedpf, edgc, cged.  The model
-/// block between the `solve`/`open` line (or a `replace-subtree` edit)
-/// and the `end` line is the textual model format of at/parser.hpp
-/// verbatim.  `open` answers `session=<sid>`; edits answer plain
-/// ok=true/ok=false blocks; `resolve` answers like `solve`.
+/// block between the `solve`/`open`/`analyze` line (or a
+/// `replace-subtree` edit) and the `end` line is the textual model
+/// format of at/parser.hpp verbatim.  `open` answers `session=<sid>`;
+/// edits answer plain ok=true/ok=false blocks; `resolve` answers like
+/// `solve`.
+///
+/// `analyze` runs the scenario analyses of src/analysis/ over the model
+/// block: `sweep` grids 1-2 axes (axis spec
+/// <attr>:<node>:<lo>:<hi>:<steps> with <attr> in cost|prob|damage, or
+/// defense:<bas>) through an incremental session; `sensitivity`
+/// (cdpf/cedpf only) ranks every leaf parameter by its front impact;
+/// `portfolio` (dgc/edgc only) optimizes the defense subset (spec
+/// <name>:<cost>:<bas>[+<bas>...]) under the defender budget= — bound=
+/// is the attacker budget, unbounded when omitted.  Responses carry the
+/// analysis table verbatim, one row.<i>= line per table line.
 ///
 /// Responses are stable key=value lines terminated by a single `done`
 /// line.  Successful solves:
@@ -66,13 +90,20 @@ std::string format_stats(const ResultCache::Stats& stats,
                          const SubtreeCache::Stats& subtree,
                          std::size_t sessions);
 
+/// Renders the same counters as a single `json=` line (stable key
+/// order), so bench harnesses and dashboards parse them without
+/// scraping the key=value block.
+std::string format_stats_json(const ResultCache::Stats& stats,
+                              const SubtreeCache::Stats& subtree,
+                              std::size_t sessions);
+
 /// Serves requests from \p in to \p out until EOF or `quit`.  Protocol
 /// errors (unknown command, bad solve header, unterminated model block)
-/// produce ok=false responses; the session keeps going.  A `solve` or
-/// `open` line (and a `replace-subtree` edit) is always followed by a
-/// model block, which is consumed even when the header is invalid — one
-/// response block per request, so clients never desync.  Returns the
-/// number of solve/resolve requests handled.
+/// produce ok=false responses; the session keeps going.  A `solve`,
+/// `open`, or `analyze` line (and a `replace-subtree` edit) is always
+/// followed by a model block, which is consumed even when the header is
+/// invalid — one response block per request, so clients never desync.
+/// Returns the number of solve/resolve/analyze requests handled.
 ///
 /// \p sessions holds this connection's incremental sessions; pass a
 /// shared manager to share sessions across connections, or null to give

@@ -30,7 +30,11 @@
 /// engine choice) lands on an incremental-capable backend
 /// (engine::Capabilities::incremental — bottom-up on treelike models);
 /// otherwise resolve() transparently falls back to a full solve, so
-/// sessions work on every model class the engines support.
+/// sessions work on every model class the engines support.  The full-
+/// solve fallback still feeds the shared SubtreeCache: the model's
+/// maximal exclusively-owned treelike portions are swept into it, so
+/// other sessions and treelike one-shot solves sharing those subtrees
+/// reuse this session's work even though its own backend cannot.
 ///
 /// Responses hand out the current model snapshot by shared pointer;
 /// the first edit after a snapshot left the session copy-on-writes the
@@ -144,6 +148,15 @@ class Session {
   void ensure_unique();
   /// Invalidates the memo for \p v and every (transitive) parent.
   void mark_dirty(NodeId v);
+  /// DAG-fallback cache population: a non-treelike model routes to a
+  /// non-incremental backend that never touches the memo chain, which
+  /// would leave the shared SubtreeCache cold even though the model's
+  /// exclusively-owned treelike portions have perfectly cacheable
+  /// fronts.  This sweeps each maximal such portion bottom-up through
+  /// the shared cache (skipping portions whose root front is already
+  /// cached), so treelike models and other sessions sharing those
+  /// subtrees still reuse this session's work.
+  void populate_shared_portions();
   /// The budget-class the chosen problem's sweep prunes with.
   double memo_budget() const;
   Response resolve_locked();
@@ -169,6 +182,12 @@ class Session {
   std::vector<char> memo_valid_;
   std::vector<std::vector<AttrTriple>> memo_front_;
   std::vector<char> dirty_seen_;  ///< scratch for mark_dirty's walk
+  /// DAG fallback only: portion roots already swept into the shared
+  /// cache and unedited since (cleared by mark_dirty like the memo), so
+  /// warm resolves skip even the extraction.  A shared-cache eviction
+  /// can outlive this marker; the portion is then re-offered on the
+  /// session's next edit under it.
+  std::vector<char> portion_valid_;
   MemoStats memo_stats_;
 
   CanonHash hash_ = 0;       ///< fingerprint of the working model

@@ -22,6 +22,7 @@
 #include "core/enumerative.hpp"
 #include "engine/batch.hpp"
 #include "helpers.hpp"
+#include "pareto/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace atcd {
@@ -105,21 +106,16 @@ void check_front_witnesses(const Model& m, const Front2d& front,
   }
 }
 
-/// One-sided epsilon-domination: every point of \p b is matched by \p a
-/// up to tol (a reaches damage >= d - tol at cost <= c + tol).  Two
-/// fronts that epsilon-cover each other describe the same frontier —
+/// gtest wrapper over pareto/metrics.hpp's epsilon-domination check.
+/// Two fronts that epsilon-cover each other describe the same frontier —
 /// point-for-point equality is too strict for probabilistic models,
 /// where summation order makes 1e-15-scale damage differences flip the
 /// survival of dominated-up-to-noise points between engines.
-::testing::AssertionResult epsilon_covers(const Front2d& a, const Front2d& b,
+::testing::AssertionResult covers_up_to_eps(const Front2d& a, const Front2d& b,
                                           double tol) {
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    const FrontPoint* p = a.max_damage_within_cost(b[i].value.cost + tol);
-    if (!p || p->value.damage < b[i].value.damage - tol)
-      return ::testing::AssertionFailure()
-             << "point (" << b[i].value.cost << ", " << b[i].value.damage
-             << ") is not epsilon-matched";
-  }
+  std::string unmatched;
+  if (!atcd::epsilon_covers(a, b, tol, &unmatched))
+    return ::testing::AssertionFailure() << unmatched;
   return ::testing::AssertionSuccess();
 }
 
@@ -146,8 +142,8 @@ void differential_round(Problem p, const Model& m, double bound,
       const bool agree =
           exact_arithmetic
               ? r.front.same_values(oracle.front, kTol)
-              : epsilon_covers(r.front, oracle.front, kTol) &&
-                    epsilon_covers(oracle.front, r.front, kTol);
+              : covers_up_to_eps(r.front, oracle.front, kTol) &&
+                    covers_up_to_eps(oracle.front, r.front, kTol);
       EXPECT_TRUE(agree)
           << name << " front disagrees with " << oracle_name << "\n"
           << name << ":\n" << r.front.to_string() << oracle_name << ":\n"
@@ -295,8 +291,8 @@ TEST(Differential, ProbabilisticDagBddAgreesWithBruteForce) {
     const engine::SolveResult bdd_front =
         run(Problem::Cedpf, m, 0.0, "bdd");
     ASSERT_TRUE(bdd_front.ok) << bdd_front.error << "\n" << context;
-    EXPECT_TRUE(epsilon_covers(bdd_front.front, oracle_front, kTol) &&
-                epsilon_covers(oracle_front, bdd_front.front, kTol))
+    EXPECT_TRUE(covers_up_to_eps(bdd_front.front, oracle_front, kTol) &&
+                covers_up_to_eps(oracle_front, bdd_front.front, kTol))
         << "bdd front disagrees with brute force\nbdd:\n"
         << bdd_front.front.to_string() << "brute:\n"
         << oracle_front.to_string() << context;

@@ -1,0 +1,167 @@
+/// api_dispatch — micro-benchmark gating the api::Dispatcher facade
+/// overhead against direct SolveService calls.
+///
+/// The facade adds per-request work on top of the service front door:
+/// the operation variant dispatch, typed error classification, atomic
+/// op counters, and building the transport-independent SolvePayload
+/// (including witness rendering).  This bench measures both paths on
+/// the same steady-state serving workload — text request, warm result
+/// cache, DgC (single-witness) solves, so the per-call cost is
+/// parse + canonical hash + cache hit on both sides — and FAILS when
+/// the facade costs more than 5% over the direct path.  A CDPF row is
+/// reported for reference without a gate (rendering a whole front's
+/// witness strings is facade work a raw SolveService caller would have
+/// to do themselves anyway).
+///
+/// Usage: bench_api_dispatch [--iters N] [--trials N] [--smoke]
+///
+/// Runs in CI's nightly job; --smoke shrinks it for quick local runs.
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "bench/common.hpp"
+#include "service/service.hpp"
+#include "util/timer.hpp"
+
+using namespace atcd;
+
+namespace {
+
+/// A layered treelike model: `leaves` BASs grouped 4 at a time under
+/// alternating OR/AND gates — big enough that parsing and canonical
+/// hashing (the shared per-request cost) dominate a cache-hit solve.
+std::string make_model(std::size_t leaves) {
+  std::ostringstream m;
+  std::vector<std::string> open;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::string name = "b" + std::to_string(i);
+    m << "bas " << name << " cost=" << (1 + i % 7) << " damage="
+      << (1 + (i * 3) % 5) << "\n";
+    open.push_back(name);
+  }
+  std::size_t g = 0;
+  while (open.size() > 1) {
+    std::vector<std::string> next;
+    for (std::size_t i = 0; i < open.size(); i += 4) {
+      const std::size_t hi = std::min(open.size(), i + 4);
+      if (hi - i == 1) {
+        next.push_back(open[i]);
+        continue;
+      }
+      const std::string name = "g" + std::to_string(g);
+      m << (g % 2 ? "and " : "or ") << name << " = ";
+      for (std::size_t k = i; k < hi; ++k)
+        m << open[k] << (k + 1 < hi ? ", " : "");
+      m << " damage=" << (g % 3) << "\n";
+      next.push_back(name);
+      ++g;
+    }
+    open = std::move(next);
+  }
+  return m.str();
+}
+
+struct Timing {
+  double direct_us = 0.0;
+  double facade_us = 0.0;
+  double overhead() const { return facade_us / direct_us - 1.0; }
+};
+
+/// Best-of-`trials` per-request micros for both paths, trials
+/// interleaved so thermal/scheduler noise hits both sides alike.
+Timing measure(service::SolveService& direct, api::Dispatcher& facade,
+               const service::Request& sreq, const api::Request& areq,
+               std::size_t iters, std::size_t trials) {
+  // Warm the caches so both paths run their steady-state hit path.
+  (void)direct.handle(sreq);
+  (void)facade.dispatch(areq);
+  Timing best;
+  best.direct_us = best.facade_us = 1e300;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto r = direct.handle(sreq);
+      if (!r.result.ok) {
+        std::fprintf(stderr, "direct solve failed: %s\n",
+                     r.result.error.c_str());
+        std::exit(1);
+      }
+    }
+    best.direct_us = std::min(best.direct_us,
+                              timer.seconds() * 1e6 /
+                                  static_cast<double>(iters));
+    timer = Timer();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto r = facade.dispatch(areq);
+      if (r.code != api::ErrorCode::Ok) {
+        std::fprintf(stderr, "facade solve failed: %s\n", r.error.c_str());
+        std::exit(1);
+      }
+    }
+    best.facade_us = std::min(best.facade_us,
+                              timer.seconds() * 1e6 /
+                                  static_cast<double>(iters));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t iters = 4000, trials = 5;
+  if (const std::string v = bench::flag_value(argc, argv, "--iters");
+      !v.empty())
+    iters = std::stoull(v);
+  if (const std::string v = bench::flag_value(argc, argv, "--trials");
+      !v.empty())
+    trials = std::stoull(v);
+  if (bench::has_flag(argc, argv, "--smoke")) {
+    iters = 300;
+    trials = 2;
+  }
+
+  const std::string model = make_model(48);
+
+  service::SolveService direct;
+  api::Dispatcher facade;
+
+  const service::Request sreq_dgc =
+      service::Request::of_text(engine::Problem::Dgc, model, 10.0);
+  api::Request areq_dgc;
+  areq_dgc.op =
+      api::SolveRequest{{engine::Problem::Dgc, 10.0, true, "", model}};
+
+  const service::Request sreq_cdpf =
+      service::Request::of_text(engine::Problem::Cdpf, model, 0.0);
+  api::Request areq_cdpf;
+  areq_cdpf.op =
+      api::SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", model}};
+
+  std::printf("# api_dispatch: facade overhead over direct SolveService "
+              "(48-leaf model, warm cache, %zu iters x %zu trials)\n",
+              iters, trials);
+  std::printf("%-8s %14s %14s %10s\n", "problem", "direct us/req",
+              "facade us/req", "overhead");
+
+  const Timing dgc =
+      measure(direct, facade, sreq_dgc, areq_dgc, iters, trials);
+  std::printf("%-8s %14.2f %14.2f %9.2f%%\n", "dgc", dgc.direct_us,
+              dgc.facade_us, 100.0 * dgc.overhead());
+
+  const Timing cdpf =
+      measure(direct, facade, sreq_cdpf, areq_cdpf, iters, trials);
+  std::printf("%-8s %14.2f %14.2f %9.2f%%  (reference, ungated: includes "
+              "front witness rendering)\n",
+              "cdpf", cdpf.direct_us, cdpf.facade_us,
+              100.0 * cdpf.overhead());
+
+  const bool ok = dgc.overhead() < 0.05;
+  std::printf("# gate: dgc facade overhead %.2f%% < 5%% : %s\n",
+              100.0 * dgc.overhead(), ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

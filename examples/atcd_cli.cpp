@@ -1,6 +1,17 @@
 /// atcd_cli — command-line front-end for the library's textual model
 /// format (at/parser.hpp).
 ///
+/// Every solve and analysis subcommand builds a typed api::Request and
+/// runs it through the same api::Dispatcher facade as atcd_server, so
+/// the CLI and the server cannot drift: identical solver results,
+/// identical error taxonomy.  Exit codes are deterministic, mapped from
+/// api::ErrorCode:
+///
+///   0  success
+///   2  usage / invalid argument (unknown problem, engine, bad spec)
+///   3  model error (unparseable or structurally invalid model)
+///   4  solver failure (unsupported class, capacity, numeric failure)
+///
 /// Usage:
 ///   atcd_cli <model-file> info
 ///   atcd_cli <model-file> cdpf | cedpf          [--engine <name>]
@@ -21,12 +32,11 @@
 ///            [--prob] [--bound <attacker-budget>] [--engine <name>]
 ///
 /// Solve commands additionally accept:
-///   --threads N   solve through the batch API on N worker threads
-///   --repeat K    submit the instance K times (exercises the result
-///                 cache: the batch attaches a service::ResultCache, so
-///                 up to K-1 of the K solves are cache hits; concurrent
-///                 workers may race past an empty cache and solve
-///                 independently — the engine hook does not coalesce)
+///   --threads N   fan the batch (or the analysis scenarios) out on N
+///                 worker threads
+///   --repeat K    submit the instance K times as one api batch
+///                 request (exercises the service result cache and
+///                 request coalescing; prints cache statistics)
 ///
 /// --engine picks a specific backend by registry name (see `engines`);
 /// without it the planner selects the paper's Table I method for the
@@ -41,20 +51,16 @@
 /// A sample model ships in examples/data/factory.atcd.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <limits>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "analysis/portfolio.hpp"
-#include "analysis/sensitivity.hpp"
-#include "analysis/sweep.hpp"
+#include "api/dispatcher.hpp"
 #include "at/dot.hpp"
 #include "at/parser.hpp"
-#include "engine/batch.hpp"
-#include "service/cache.hpp"
-#include "service/protocol.hpp"
+#include "engine/registry.hpp"
 #include "util/timer.hpp"
 
 using namespace atcd;
@@ -77,13 +83,15 @@ int usage() {
                "(see the `engines` command)\n"
                "  --threads N      solve (or fan scenarios out) on N "
                "worker threads\n"
-               "  --repeat K       submit the instance K times through "
-               "the result cache\n"
-               "                   (up to K-1 hits; prints cache "
+               "  --repeat K       submit the instance K times as one "
+               "batch through the\n"
+               "                   service cache (prints cache "
                "statistics)\n"
                "  axis spec: <attr>:<node>:<lo>:<hi>:<steps> "
                "(attr: cost|prob|damage) or defense:<bas>\n"
-               "  defense spec: <name>:<cost>:<bas>[+<bas>...]\n");
+               "  defense spec: <name>:<cost>:<bas>[+<bas>...]\n"
+               "exit codes: 0 ok, 2 usage, 3 model error, 4 solver "
+               "failure\n");
   return 2;
 }
 
@@ -101,20 +109,25 @@ std::vector<std::string> positionals(int argc, char** argv, int from) {
   return out;
 }
 
-void print_front(const AttackTree& t, const Front2d& f, const char* damage_col) {
-  std::printf("%10s %12s  %s\n", "cost", damage_col, "attack");
-  for (const auto& p : f)
-    std::printf("%10g %12g  %s\n", p.value.cost, p.value.damage,
-                attack_to_string(t, p.witness).c_str());
+/// Reports a failed response on stderr and maps its code to the
+/// deterministic exit code (2 usage / 3 model / 4 solver).
+int report_error(const api::Response& resp) {
+  std::fprintf(stderr, "error: %s\n", resp.error.c_str());
+  return api::exit_code(resp.code);
 }
 
-void print_opt(const AttackTree& t, const OptAttack& r) {
-  if (!r.feasible) {
+void print_solve(const api::SolvePayload& p, const char* damage_col) {
+  std::printf("# engine: %s\n", p.backend.c_str());
+  if (p.is_front) {
+    std::printf("%10s %12s  %s\n", "cost", damage_col, "attack");
+    for (const auto& pt : p.points)
+      std::printf("%10g %12g  %s\n", pt.cost, pt.damage, pt.attack.c_str());
+  } else if (!p.feasible) {
     std::printf("infeasible\n");
-    return;
+  } else {
+    std::printf("cost=%g damage=%g attack=%s\n", p.cost, p.damage,
+                p.attack.c_str());
   }
-  std::printf("cost=%g damage=%g attack=%s\n", r.cost, r.damage,
-              attack_to_string(t, r.witness).c_str());
 }
 
 /// Batch/cache knobs from --threads / --repeat.
@@ -123,159 +136,189 @@ struct RunOptions {
   std::size_t repeat = 1;
 };
 
-/// Runs one instance through the engine subsystem and prints the result.
-/// With --repeat/--threads the instance is fanned out through
-/// solve_all() with an attached result cache, and a summary line reports
-/// the batch timing plus cache statistics.
-int run(const AttackTree& t, const engine::Instance& in,
+/// Runs one solve spec through the dispatcher and prints the result.
+/// With --repeat/--threads the spec is fanned out as one api batch
+/// request (same service cache + coalescing the server uses), and a
+/// summary line reports the batch timing plus cache statistics.
+int run(api::Dispatcher& dispatcher, api::SolveSpec spec,
         const char* damage_col, const RunOptions& ro) {
-  engine::SolveResult r;
   if (ro.repeat <= 1 && ro.threads <= 1) {
-    r = engine::solve_one(in);
-  } else {
-    atcd::service::ResultCache cache;
-    engine::BatchOptions opt;
-    opt.threads = ro.threads;
-    opt.cache = &cache;
-    const std::vector<engine::Instance> batch(ro.repeat, in);
-    Timer timer;
-    const auto results = engine::solve_all(batch, opt);
-    const double ms = timer.millis();
-    r = results.front();
-    const auto s = cache.stats();
-    std::printf("# batch: %zu requests on %zu threads in %.2f ms "
-                "(cache hits=%llu misses=%llu)\n",
-                ro.repeat, ro.threads, ms,
-                static_cast<unsigned long long>(s.hits),
-                static_cast<unsigned long long>(s.misses));
+    api::Request req;
+    req.op = api::SolveRequest{std::move(spec)};
+    const api::Response resp = dispatcher.dispatch(req);
+    if (resp.code != api::ErrorCode::Ok) return report_error(resp);
+    print_solve(std::get<api::SolvePayload>(resp.payload), damage_col);
+    return 0;
   }
-  if (!r.ok) {
-    std::fprintf(stderr, "error: %s\n", r.error.c_str());
-    return 1;
+  api::BatchRequest batch;
+  batch.items.assign(ro.repeat, spec);
+  batch.threads = ro.threads;
+  api::Request req;
+  req.op = std::move(batch);
+  Timer timer;
+  const api::Response resp = dispatcher.dispatch(req);
+  const double ms = timer.millis();
+  if (resp.code != api::ErrorCode::Ok) return report_error(resp);
+  const auto& items = std::get<api::BatchPayload>(resp.payload).items;
+  const auto s = dispatcher.stats().cache;
+  std::printf("# batch: %zu requests on %zu threads in %.2f ms "
+              "(cache hits=%llu misses=%llu)\n",
+              ro.repeat, ro.threads, ms,
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses));
+  const auto& first = items.front();
+  if (first.code != api::ErrorCode::Ok) {
+    std::fprintf(stderr, "error: %s\n", first.error.c_str());
+    return api::exit_code(first.code);
   }
-  std::printf("# engine: %s\n", r.backend.c_str());
-  if (engine::is_front(in.problem))
-    print_front(t, r.front, damage_col);
-  else
-    print_opt(t, r.attack);
+  print_solve(first.solve, damage_col);
   return 0;
+}
+
+/// Dispatches an analysis request and prints its table.
+int run_analysis(api::Dispatcher& dispatcher, api::Request req) {
+  const api::Response resp = dispatcher.dispatch(req);
+  if (resp.code != api::ErrorCode::Ok) return report_error(resp);
+  std::fputs(std::get<api::AnalysisPayload>(resp.payload).table.c_str(),
+             stdout);
+  return 0;
+}
+
+bool parse_positive_size(const char* s, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || v == 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
-  try {
-    const auto parsed = parse_model_file(argv[1]);
-    const CdAt det{parsed.tree, parsed.cost, parsed.damage};
-    const CdpAt prob{parsed.tree, parsed.cost, parsed.damage, parsed.prob};
-    const std::string cmd = argv[2];
-    bool use_prob = false;
-    std::string engine_name;
-    RunOptions ro;
-    double bound = 0.0;
-    bool have_bound = false;
-    double step = 0.05;
-    std::vector<defense::Countermeasure> catalogue;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
-      if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
-        engine_name = argv[i + 1];
-      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-        ro.threads = std::strtoull(argv[i + 1], nullptr, 10);
-      if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc)
-        ro.repeat = std::strtoull(argv[i + 1], nullptr, 10);
-      if (std::strcmp(argv[i], "--bound") == 0 && i + 1 < argc) {
-        bound = std::atof(argv[i + 1]);
-        have_bound = true;
-      }
-      if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc)
-        step = std::atof(argv[i + 1]);
-      if (std::strcmp(argv[i], "--defense") == 0 && i + 1 < argc) {
-        std::string err;
-        const auto cm = analysis::parse_countermeasure(argv[i + 1], &err);
-        if (!cm) {
-          std::fprintf(stderr, "error: %s\n", err.c_str());
-          return 2;
-        }
-        catalogue.push_back(*cm);
-      }
-    }
-    if (ro.repeat == 0 || ro.threads == 0) return usage();
 
-    // Shared analysis knobs: scenario fan-outs run on --threads workers
-    // and reuse subtree fronts across scenarios via a local cache.
-    service::SubtreeCache subtree_cache;
-    analysis::Options aopt;
-    aopt.engine_name = engine_name;
-    aopt.batch.threads = ro.threads;
-    aopt.shared = &subtree_cache;
-    aopt.sensitivity_step = step;
+  // The model travels as text through the typed API (the dispatcher
+  // parses and classifies failures); info/dot parse locally below.
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open model file '%s'\n", argv[1]);
+    return 3;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string model_text = buffer.str();
 
-    if (cmd == "sweep") {
-      const std::vector<std::string> pos = positionals(argc, argv, 3);
-      if (pos.empty()) return usage();
-      const auto problem = service::parse_problem(pos[0]);
-      if (!problem) {
-        std::fprintf(stderr, "error: unknown problem '%s'\n",
-                     pos[0].c_str());
-        return 2;
-      }
-      std::vector<analysis::Axis> axes;
-      for (std::size_t i = 1; i < pos.size(); ++i) {
-        std::string err;
-        const auto axis = analysis::parse_axis(pos[i], &err);
-        if (!axis) {
-          std::fprintf(stderr, "error: %s\n", err.c_str());
-          return 2;
-        }
-        axes.push_back(*axis);
-      }
-      if (axes.empty()) return usage();
-      aopt.problem = *problem;
-      aopt.bound = bound;
-      const std::string table =
-          engine::is_probabilistic(*problem)
-              ? analysis::to_table(analysis::sweep(prob, axes, aopt))
-              : analysis::to_table(analysis::sweep(det, axes, aopt));
-      std::fputs(table.c_str(), stdout);
-      return 0;
+  const std::string cmd = argv[2];
+  bool use_prob = false;
+  std::string engine_name;
+  RunOptions ro;
+  double bound = 0.0;
+  bool have_bound = false;
+  double step = 0.0;
+  bool have_step = false;
+  std::vector<std::string> defenses;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+      engine_name = argv[i + 1];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_positive_size(argv[i + 1], &ro.threads)) return usage();
     }
-    if (cmd == "sensitivity") {
-      const std::string table =
-          use_prob ? analysis::to_table(analysis::sensitivity(prob, aopt))
-                   : analysis::to_table(analysis::sensitivity(det, aopt));
-      std::fputs(table.c_str(), stdout);
-      return 0;
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      if (!parse_positive_size(argv[i + 1], &ro.repeat)) return usage();
     }
-    if (cmd == "portfolio" && argc >= 4) {
-      char* end = nullptr;
-      const double defense_budget = std::strtod(argv[3], &end);
-      if (end == argv[3] || *end != '\0' || !(defense_budget >= 0.0)) {
-        std::fprintf(stderr,
-                     "error: portfolio takes a numeric defense budget, "
-                     "got '%s'\n", argv[3]);
-        return 2;
-      }
-      if (catalogue.empty()) {
-        std::fprintf(stderr,
-                     "error: portfolio needs at least one --defense "
-                     "<name>:<cost>:<bas>[+<bas>...]\n");
-        return 2;
-      }
-      aopt.bound = have_bound
-                       ? bound
-                       : std::numeric_limits<double>::infinity();
-      const std::string table =
-          use_prob ? analysis::to_table(analysis::portfolio(
-                         prob, catalogue, defense_budget, aopt))
-                   : analysis::to_table(analysis::portfolio(
-                         det, catalogue, defense_budget, aopt));
-      std::fputs(table.c_str(), stdout);
-      return 0;
+    if (std::strcmp(argv[i], "--bound") == 0 && i + 1 < argc) {
+      bound = std::atof(argv[i + 1]);
+      have_bound = true;
     }
+    if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
+      step = std::atof(argv[i + 1]);
+      have_step = true;
+    }
+    if (std::strcmp(argv[i], "--defense") == 0 && i + 1 < argc)
+      defenses.push_back(argv[i + 1]);
+  }
 
-    if (cmd == "info") {
+  // One dispatcher per invocation: the same facade the server runs on,
+  // with the analysis fan-outs sized by --threads.
+  api::Dispatcher::Options dopt;
+  dopt.service.batch.threads = ro.threads;
+  api::Dispatcher dispatcher(dopt);
+
+  const auto make_spec = [&](engine::Problem problem, double b,
+                             bool has_b) {
+    api::SolveSpec spec;
+    spec.problem = problem;
+    spec.bound = b;
+    spec.has_bound = has_b;
+    spec.engine = engine_name;
+    spec.model = model_text;
+    return spec;
+  };
+
+  if (cmd == "sweep") {
+    const std::vector<std::string> pos = positionals(argc, argv, 3);
+    if (pos.size() < 2) return usage();
+    const auto problem = api::parse_problem(pos[0]);
+    if (!problem) {
+      std::fprintf(stderr, "error: unknown problem '%s'\n", pos[0].c_str());
+      return 2;
+    }
+    api::AnalyzeSweepRequest r;
+    r.problem = *problem;
+    r.axes.assign(pos.begin() + 1, pos.end());
+    r.bound = bound;
+    r.has_bound = have_bound;
+    r.engine = engine_name;
+    r.model = model_text;
+    api::Request req;
+    req.op = std::move(r);
+    return run_analysis(dispatcher, std::move(req));
+  }
+  if (cmd == "sensitivity") {
+    api::AnalyzeSensitivityRequest r;
+    r.problem = use_prob ? engine::Problem::Cedpf : engine::Problem::Cdpf;
+    if (have_step) {
+      r.step = step;
+      r.has_step = true;
+    }
+    r.engine = engine_name;
+    r.model = model_text;
+    api::Request req;
+    req.op = std::move(r);
+    return run_analysis(dispatcher, std::move(req));
+  }
+  if (cmd == "portfolio" && argc >= 4) {
+    char* end = nullptr;
+    const double defense_budget = std::strtod(argv[3], &end);
+    if (end == argv[3] || *end != '\0' || !(defense_budget >= 0.0)) {
+      std::fprintf(stderr,
+                   "error: portfolio takes a numeric defense budget, "
+                   "got '%s'\n", argv[3]);
+      return 2;
+    }
+    api::AnalyzePortfolioRequest r;
+    r.problem = use_prob ? engine::Problem::Edgc : engine::Problem::Dgc;
+    r.defenses = defenses;
+    r.budget = defense_budget;
+    r.has_budget = true;
+    r.bound = bound;
+    r.has_bound = have_bound;
+    r.engine = engine_name;
+    r.model = model_text;
+    api::Request req;
+    req.op = std::move(r);
+    return run_analysis(dispatcher, std::move(req));
+  }
+
+  if (cmd == "info" || cmd == "dot") {
+    try {
+      const auto parsed = parse_model(model_text);
+      if (cmd == "dot") {
+        std::printf("%s", to_dot(parsed.tree, parsed.cost, parsed.damage,
+                                 parsed.prob).c_str());
+        return 0;
+      }
       std::printf("nodes: %zu (BASs: %zu), edges: %zu, shape: %s\n",
                   parsed.tree.node_count(), parsed.tree.bas_count(),
                   parsed.tree.edge_count(),
@@ -288,65 +331,49 @@ int main(int argc, char** argv) {
       std::printf("root: %s\n",
                   parsed.tree.name(parsed.tree.root()).c_str());
       return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 3;
     }
-    if (cmd == "engines") {
-      for (const auto* b : engine::default_registry().all()) {
-        const auto c = b->capabilities();
-        std::printf("%-12s %s, %s;", b->name(),
-                    c.exact ? "exact" : "approximate",
-                    c.fronts ? "fronts+single" : "single-objective only");
-        std::printf(" classes:%s%s%s%s", c.tree_det ? " tree-det" : "",
-                    c.dag_det ? " dag-det" : "", c.tree_prob ? " tree-prob" : "",
-                    c.dag_prob ? " dag-prob" : "");
-        if (c.additive_only) std::printf(" (additive models only)");
-        if (c.max_bas != engine::kNoCap)
-          std::printf(" (|B| <= %zu)", c.max_bas);
-        std::printf("\n");
-      }
-      return 0;
-    }
-    if (cmd == "cdpf")
-      return run(parsed.tree,
-                 engine::Instance::of(engine::Problem::Cdpf, det, 0.0,
-                                      engine_name),
-                 "damage", ro);
-    if (cmd == "cedpf")
-      return run(parsed.tree,
-                 engine::Instance::of(engine::Problem::Cedpf, prob, 0.0,
-                                      engine_name),
-                 "E[damage]", ro);
-    if (cmd == "dgc" && argc >= 4) {
-      const double budget = std::atof(argv[3]);
-      return use_prob
-                 ? run(parsed.tree,
-                       engine::Instance::of(engine::Problem::Edgc, prob,
-                                            budget, engine_name),
-                       "E[damage]", ro)
-                 : run(parsed.tree,
-                       engine::Instance::of(engine::Problem::Dgc, det,
-                                            budget, engine_name),
-                       "damage", ro);
-    }
-    if (cmd == "cgd" && argc >= 4) {
-      const double threshold = std::atof(argv[3]);
-      return use_prob
-                 ? run(parsed.tree,
-                       engine::Instance::of(engine::Problem::Cged, prob,
-                                            threshold, engine_name),
-                       "E[damage]", ro)
-                 : run(parsed.tree,
-                       engine::Instance::of(engine::Problem::Cgd, det,
-                                            threshold, engine_name),
-                       "damage", ro);
-    }
-    if (cmd == "dot") {
-      std::printf("%s", to_dot(parsed.tree, parsed.cost, parsed.damage,
-                               parsed.prob).c_str());
-      return 0;
-    }
-    return usage();
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
+  if (cmd == "engines") {
+    for (const auto* b : engine::default_registry().all()) {
+      const auto c = b->capabilities();
+      std::printf("%-12s %s, %s;", b->name(),
+                  c.exact ? "exact" : "approximate",
+                  c.fronts ? "fronts+single" : "single-objective only");
+      std::printf(" classes:%s%s%s%s", c.tree_det ? " tree-det" : "",
+                  c.dag_det ? " dag-det" : "", c.tree_prob ? " tree-prob" : "",
+                  c.dag_prob ? " dag-prob" : "");
+      if (c.additive_only) std::printf(" (additive models only)");
+      if (c.max_bas != engine::kNoCap)
+        std::printf(" (|B| <= %zu)", c.max_bas);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  if (cmd == "cdpf")
+    return run(dispatcher, make_spec(engine::Problem::Cdpf, 0.0, false),
+               "damage", ro);
+  if (cmd == "cedpf")
+    return run(dispatcher, make_spec(engine::Problem::Cedpf, 0.0, false),
+               "E[damage]", ro);
+  if (cmd == "dgc" && argc >= 4) {
+    const double budget = std::atof(argv[3]);
+    return run(dispatcher,
+               make_spec(use_prob ? engine::Problem::Edgc
+                                  : engine::Problem::Dgc,
+                         budget, true),
+               use_prob ? "E[damage]" : "damage", ro);
+  }
+  if (cmd == "cgd" && argc >= 4) {
+    const double threshold = std::atof(argv[3]);
+    return run(dispatcher,
+               make_spec(use_prob ? engine::Problem::Cged
+                                  : engine::Problem::Cgd,
+                         threshold, true),
+               use_prob ? "E[damage]" : "damage", ro);
+  }
+  return usage();
 }

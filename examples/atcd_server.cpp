@@ -1,17 +1,35 @@
-/// atcd_server — serves the line-oriented solve protocol
-/// (src/service/protocol.hpp) over stdin/stdout.
+/// atcd_server — serves the solve API over stdin/stdout in either of
+/// the two wire formats of src/api/:
+///
+///   * default: the legacy line protocol (src/service/protocol.hpp) —
+///     one command per line, model blocks terminated by `end`,
+///     key=value response blocks terminated by `done`.
+///   * --json: the v1 JSON envelope (src/api/json.hpp) — one request
+///     object per line (`{"v":1,"id":"7","op":"solve",...}`), one
+///     response object per line.  With --threads N > 1 requests are
+///     *pipelined*: workers dispatch them concurrently and responses
+///     come back as they complete, possibly out of order, matched by
+///     the client-supplied "id".
+///
+/// Both modes transcode onto the same api::Dispatcher, so a given
+/// operation behaves identically — same solver results, same caches,
+/// same `stats` counters — regardless of the wire format.  Either mode
+/// ends with a structured shutdown response (on `quit` and on EOF).
 ///
 /// Usage:
-///   atcd_server [--shards N] [--entries N] [--bytes N] [--no-cache]
+///   atcd_server [--json] [--timing] [--threads N]
+///               [--shards N] [--entries N] [--bytes N] [--no-cache]
 ///               [--subtree-entries N] [--subtree-bytes N]
-///               [--no-subtree-cache] [--threads N]
+///               [--no-subtree-cache]
 ///
-/// --threads caps the worker threads the scenario analyses (`analyze
-/// sweep|sensitivity|portfolio`) fan their derived solves out on; 0
-/// (default) = hardware concurrency.  `stats --json` emits the counters
-/// as one machine-readable json= line for bench harnesses.
+/// --threads caps the worker threads for the scenario-analysis
+/// fan-outs in both modes and additionally sizes the pipelined
+/// dispatch pool in --json mode; 0 (default) = hardware concurrency
+/// for analyses, synchronous dispatch for --json.  --timing adds
+/// per-response wall micros to --json responses (omitted by default so
+/// responses are byte-identical across runs and thread counts).
 ///
-/// One-shot example (try it interactively, or pipe a script in):
+/// Line-mode one-shot example (try it interactively, or pipe in):
 ///
 ///   solve cdpf
 ///   bas pick cost=1 damage=2
@@ -21,84 +39,88 @@
 ///   stats
 ///   quit
 ///
-/// Incremental-session example (open/edit/resolve/close):
+/// The same request in --json mode (the model block becomes a "model"
+/// string with \n escapes):
 ///
-///   open dgc bound=5
-///   bas pick cost=1 damage=2
-///   bas drill cost=4 damage=1
-///   or open = pick, drill damage=10
-///   end                      # -> session=1
-///   resolve 1
-///   edit 1 set-cost pick 3
-///   resolve 1                # recomputes only pick's root-path
-///   close 1
-///
-/// Every response is a block of key=value lines terminated by `done`, so
-/// shell scripts can drive it with a coprocess.  The caches are shared
-/// across the whole connection: resubmitting a model — even renamed or
-/// with permuted child lists — comes back with cache=hit, and distinct
-/// models sharing subtrees reuse each other's bottom-up fronts through
-/// the subtree cache (see `stats`' subtree_* counters).
+///   {"v":1,"id":"1","op":"solve","problem":"cdpf","model":"bas pick cost=1 damage=2\nbas drill cost=4 damage=1\nor open = pick, drill damage=10\n"}
+///   {"v":1,"id":"2","op":"stats"}
+///   {"v":1,"id":"3","op":"quit"}
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "api/server.hpp"
 #include "service/protocol.hpp"
 
 int main(int argc, char** argv) {
-  atcd::service::SolveService::Options opt;
+  atcd::api::Dispatcher::Options opt;
+  atcd::api::JsonServeOptions jopt;
+  bool json = false;
+  std::size_t threads = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
-      opt.cache.shards = std::strtoull(argv[++i], nullptr, 10);
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--timing") == 0)
+      jopt.timing = true;
+    else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+      opt.service.cache.shards = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc)
-      opt.cache.max_entries = std::strtoull(argv[++i], nullptr, 10);
+      opt.service.cache.max_entries = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc)
-      opt.cache.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+      opt.service.cache.max_bytes = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--no-cache") == 0)
-      opt.enable_cache = false;
+      opt.service.enable_cache = false;
     else if (std::strcmp(argv[i], "--subtree-entries") == 0 && i + 1 < argc)
-      opt.subtree.max_entries = std::strtoull(argv[++i], nullptr, 10);
+      opt.service.subtree.max_entries = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--subtree-bytes") == 0 && i + 1 < argc)
-      opt.subtree.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+      opt.service.subtree.max_bytes = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--no-subtree-cache") == 0)
-      opt.enable_subtree_cache = false;
+      opt.service.enable_subtree_cache = false;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      opt.batch.threads = std::strtoull(argv[++i], nullptr, 10);
+      threads = std::strtoull(argv[++i], nullptr, 10);
     else {
       std::fprintf(stderr,
-                   "usage: atcd_server [--shards N] [--entries N] "
-                   "[--bytes N] [--no-cache] [--subtree-entries N] "
-                   "[--subtree-bytes N] [--no-subtree-cache] "
-                   "[--threads N]\n"
-                   "Serves the solve protocol on stdin/stdout; see the "
-                   "README's \"Serving layer\", \"Incremental "
-                   "sessions\", and \"Analysis layer\" sections.\n");
+                   "usage: atcd_server [--json] [--timing] [--threads N] "
+                   "[--shards N] [--entries N] [--bytes N] [--no-cache] "
+                   "[--subtree-entries N] [--subtree-bytes N] "
+                   "[--no-subtree-cache]\n"
+                   "Serves the solve API on stdin/stdout: the legacy line "
+                   "protocol by default, the v1 JSON envelope with --json "
+                   "(pipelined when --threads > 1).  See the README's "
+                   "\"API\" section.\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
+  opt.service.batch.threads = threads;
+  jopt.threads = threads;
 
-  atcd::service::SolveService service(opt);
+  atcd::api::Dispatcher dispatcher(opt);
   std::fprintf(stderr,
-               "atcd_server: ready (cache %s, %zu shards, %zu entries, "
-               "%zu bytes)\n",
-               opt.enable_cache ? "on" : "off", opt.cache.shards,
-               opt.cache.max_entries, opt.cache.max_bytes);
-  atcd::service::SessionManager sessions;
+               "atcd_server: ready (%s mode, cache %s, %zu shards, "
+               "%zu entries, %zu bytes)\n",
+               json ? "json" : "line",
+               opt.service.enable_cache ? "on" : "off",
+               opt.service.cache.shards, opt.service.cache.max_entries,
+               opt.service.cache.max_bytes);
   const std::size_t n =
-      atcd::service::serve(std::cin, std::cout, service, &sessions);
-  const auto s = service.cache().stats();
-  const auto st = service.subtree_cache().stats();
+      json ? atcd::api::serve_json(std::cin, std::cout, dispatcher, jopt)
+           : atcd::service::serve(std::cin, std::cout, dispatcher);
+  const auto s = dispatcher.stats();
   std::fprintf(stderr,
                "atcd_server: session end after %zu solves "
-               "(hits=%llu misses=%llu evictions=%llu collisions=%llu; "
-               "subtree hits=%llu misses=%llu entries=%zu)\n",
-               n, static_cast<unsigned long long>(s.hits),
-               static_cast<unsigned long long>(s.misses),
-               static_cast<unsigned long long>(s.evictions),
-               static_cast<unsigned long long>(s.collisions),
-               static_cast<unsigned long long>(st.hits),
-               static_cast<unsigned long long>(st.misses), st.entries);
+               "(requests=%llu errors=%llu; cache hits=%llu misses=%llu "
+               "evictions=%llu collisions=%llu; subtree hits=%llu "
+               "misses=%llu entries=%zu)\n",
+               n, static_cast<unsigned long long>(s.api.requests),
+               static_cast<unsigned long long>(s.api.errors),
+               static_cast<unsigned long long>(s.cache.hits),
+               static_cast<unsigned long long>(s.cache.misses),
+               static_cast<unsigned long long>(s.cache.evictions),
+               static_cast<unsigned long long>(s.cache.collisions),
+               static_cast<unsigned long long>(s.subtree.hits),
+               static_cast<unsigned long long>(s.subtree.misses),
+               s.subtree.entries);
   return 0;
 }

@@ -1,0 +1,130 @@
+#include "api/api.hpp"
+
+namespace atcd::api {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::MalformedRequest: return "malformed_request";
+    case ErrorCode::UnsupportedVersion: return "unsupported_version";
+    case ErrorCode::UnknownOperation: return "unknown_operation";
+    case ErrorCode::InvalidArgument: return "invalid_argument";
+    case ErrorCode::ParseError: return "parse_error";
+    case ErrorCode::ModelError: return "model_error";
+    case ErrorCode::NoSuchSession: return "no_such_session";
+    case ErrorCode::Capacity: return "capacity";
+    case ErrorCode::SolverFailure: return "solver_failure";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<ErrorCode> parse_error_code(const std::string& name) {
+  for (ErrorCode c :
+       {ErrorCode::Ok, ErrorCode::MalformedRequest,
+        ErrorCode::UnsupportedVersion, ErrorCode::UnknownOperation,
+        ErrorCode::InvalidArgument, ErrorCode::ParseError,
+        ErrorCode::ModelError, ErrorCode::NoSuchSession, ErrorCode::Capacity,
+        ErrorCode::SolverFailure, ErrorCode::Internal})
+    if (name == to_string(c)) return c;
+  return std::nullopt;
+}
+
+int exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok:
+      return 0;
+    case ErrorCode::MalformedRequest:
+    case ErrorCode::UnsupportedVersion:
+    case ErrorCode::UnknownOperation:
+    case ErrorCode::InvalidArgument:
+    case ErrorCode::NoSuchSession:
+      return 2;
+    case ErrorCode::ParseError:
+    case ErrorCode::ModelError:
+      return 3;
+    case ErrorCode::Capacity:
+    case ErrorCode::SolverFailure:
+    case ErrorCode::Internal:
+      return 4;
+  }
+  return 4;
+}
+
+const char* to_string(EditOp op) {
+  switch (op) {
+    case EditOp::SetCost: return "set-cost";
+    case EditOp::SetProb: return "set-prob";
+    case EditOp::SetDamage: return "set-damage";
+    case EditOp::ToggleDefense: return "toggle-defense";
+    case EditOp::ReplaceSubtree: return "replace-subtree";
+  }
+  return "set-cost";
+}
+
+std::optional<EditOp> parse_edit_op(const std::string& name) {
+  for (EditOp op : {EditOp::SetCost, EditOp::SetProb, EditOp::SetDamage,
+                    EditOp::ToggleDefense, EditOp::ReplaceSubtree})
+    if (name == to_string(op)) return op;
+  return std::nullopt;
+}
+
+namespace {
+
+struct OpNameVisitor {
+  const char* operator()(const SolveRequest&) const { return "solve"; }
+  const char* operator()(const BatchRequest&) const { return "batch"; }
+  const char* operator()(const SessionOpenRequest&) const { return "open"; }
+  const char* operator()(const SessionEditRequest&) const { return "edit"; }
+  const char* operator()(const SessionResolveRequest&) const {
+    return "resolve";
+  }
+  const char* operator()(const SessionCloseRequest&) const { return "close"; }
+  const char* operator()(const AnalyzeSweepRequest&) const { return "sweep"; }
+  const char* operator()(const AnalyzeSensitivityRequest&) const {
+    return "sensitivity";
+  }
+  const char* operator()(const AnalyzePortfolioRequest&) const {
+    return "portfolio";
+  }
+  const char* operator()(const StatsRequest&) const { return "stats"; }
+  const char* operator()(const ShutdownRequest&) const { return "quit"; }
+};
+
+}  // namespace
+
+const char* op_name(const Operation& op) {
+  return std::visit(OpNameVisitor{}, op);
+}
+
+std::optional<engine::Problem> parse_problem(const std::string& name) {
+  using engine::Problem;
+  for (Problem p : {Problem::Cdpf, Problem::Dgc, Problem::Cgd, Problem::Cedpf,
+                    Problem::Edgc, Problem::Cged})
+    if (name == engine::to_string(p)) return p;
+  return std::nullopt;
+}
+
+std::size_t handled_increment(const Request& request,
+                              const Response& response) {
+  if (std::holds_alternative<SolveRequest>(request.op)) return 1;
+  if (const auto* b = std::get_if<BatchRequest>(&request.op))
+    return b->items.size();
+  if (std::holds_alternative<SessionResolveRequest>(request.op))
+    return response.code != ErrorCode::NoSuchSession ? 1 : 0;
+  if (std::holds_alternative<AnalyzeSweepRequest>(request.op) ||
+      std::holds_alternative<AnalyzeSensitivityRequest>(request.op) ||
+      std::holds_alternative<AnalyzePortfolioRequest>(request.op))
+    return response.code == ErrorCode::Ok ? 1 : 0;
+  return 0;
+}
+
+Response error_response(std::string id, ErrorCode code, std::string message) {
+  Response r;
+  r.id = std::move(id);
+  r.code = code;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace atcd::api

@@ -1,0 +1,432 @@
+#include "api/dispatcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "analysis/portfolio.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/sweep.hpp"
+#include "at/structure.hpp"
+#include "engine/registry.hpp"
+#include "service/timing.hpp"
+
+namespace atcd::api {
+namespace {
+
+/// Maps a library exception onto the closed taxonomy.  Order matters:
+/// the most specific classes first, the Error base last.
+ErrorCode classify(const std::exception& e) {
+  if (dynamic_cast<const ParseError*>(&e)) return ErrorCode::ParseError;
+  if (dynamic_cast<const ModelError*>(&e)) return ErrorCode::ModelError;
+  if (dynamic_cast<const CapacityError*>(&e)) return ErrorCode::Capacity;
+  if (dynamic_cast<const UnsupportedError*>(&e))
+    return ErrorCode::SolverFailure;
+  if (dynamic_cast<const SolverError*>(&e)) return ErrorCode::SolverFailure;
+  if (dynamic_cast<const Error*>(&e)) return ErrorCode::SolverFailure;
+  return ErrorCode::Internal;
+}
+
+/// Typed per-operation failure used inside the handlers; dispatch_op
+/// converts it into an error response.
+struct Failure {
+  ErrorCode code;
+  std::string message;
+};
+
+[[noreturn]] void raise(ErrorCode code, std::string message) {
+  throw Failure{code, std::move(message)};
+}
+
+SolvePayload payload_of(const service::Response& r) {
+  SolvePayload p;
+  p.problem = r.problem;
+  p.backend = r.result.backend;
+  p.cache = r.cache_hit ? "hit" : r.coalesced ? "coalesced" : "miss";
+  p.hash = r.model_hash;
+  p.is_front = engine::is_front(r.problem);
+  const AttackTree* tree =
+      r.det ? &r.det->tree : r.prob ? &r.prob->tree : nullptr;
+  const auto render = [&](const Attack& witness) {
+    return tree ? attack_to_string(*tree, witness) : witness.to_string();
+  };
+  if (p.is_front) {
+    p.points.reserve(r.result.front.size());
+    for (const FrontPoint& fp : r.result.front)
+      p.points.push_back(
+          {fp.value.cost, fp.value.damage, render(fp.witness)});
+  } else {
+    const OptAttack& a = r.result.attack;
+    p.feasible = a.feasible;
+    if (a.feasible) {
+      p.cost = a.cost;
+      p.damage = a.damage;
+      p.attack = render(a.witness);
+    }
+  }
+  return p;
+}
+
+/// Parses model text for \p problem into the matching model kind.
+/// Throws ParseError / ModelError.
+void parse_typed(engine::Problem problem, const std::string& text,
+                 std::shared_ptr<const CdAt>* det,
+                 std::shared_ptr<const CdpAt>* prob) {
+  ParsedModel parsed = parse_model(text);
+  if (engine::is_probabilistic(problem)) {
+    auto m = std::make_shared<CdpAt>();
+    m->tree = std::move(parsed.tree);
+    m->cost = std::move(parsed.cost);
+    m->damage = std::move(parsed.damage);
+    m->prob = std::move(parsed.prob);
+    m->validate();
+    *prob = std::move(m);
+  } else {
+    auto m = std::make_shared<CdAt>();
+    m->tree = std::move(parsed.tree);
+    m->cost = std::move(parsed.cost);
+    m->damage = std::move(parsed.damage);
+    m->validate();
+    *det = std::move(m);
+  }
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher() : Dispatcher(Options{}) {}
+
+Dispatcher::Dispatcher(Options options)
+    : owned_service_(
+          std::make_unique<service::SolveService>(std::move(options.service))),
+      owned_sessions_(std::make_unique<service::SessionManager>()),
+      service_(owned_service_.get()),
+      sessions_(owned_sessions_.get()) {}
+
+Dispatcher::Dispatcher(service::SolveService& service,
+                       service::SessionManager* sessions)
+    : service_(&service), sessions_(sessions) {
+  if (!sessions_) {
+    owned_sessions_ = std::make_unique<service::SessionManager>();
+    sessions_ = owned_sessions_.get();
+  }
+}
+
+DispatchCounters Dispatcher::counters() const {
+  DispatchCounters c;
+  c.requests = requests_.load();
+  c.solves = solves_.load();
+  c.batches = batches_.load();
+  c.session_opens = session_opens_.load();
+  c.session_edits = session_edits_.load();
+  c.session_resolves = session_resolves_.load();
+  c.session_closes = session_closes_.load();
+  c.analyses = analyses_.load();
+  c.errors = errors_.load();
+  return c;
+}
+
+StatsPayload Dispatcher::stats() const {
+  StatsPayload s;
+  s.cache = service_->cache().stats();
+  s.subtree = service_->subtree_cache().stats();
+  s.sessions = sessions_->size();
+  s.api = counters();
+  return s;
+}
+
+/// Checks an explicit engine name against the service's registry so a
+/// typo is an InvalidArgument, not a downstream solver failure.
+namespace {
+void check_engine(const service::SolveService& svc,
+                  const std::string& engine_name) {
+  if (engine_name.empty()) return;
+  const engine::Registry* reg = svc.options().batch.registry
+                                    ? svc.options().batch.registry
+                                    : &engine::default_registry();
+  if (!reg->find(engine_name))
+    raise(ErrorCode::InvalidArgument,
+          "unknown engine '" + engine_name + "' (see the engines listing)");
+}
+}  // namespace
+
+namespace {
+
+/// Semantic argument validation shared by every transport.  The wire
+/// codecs are stricter (they reject non-finite bounds outright); the
+/// dispatcher enforces the invariants that would otherwise produce
+/// garbage results, so CLI and programmatic api::Request callers
+/// cannot drift from the wire transports.  NaN is always rejected;
+/// +/-infinity stays legal for solve bounds (an unbounded budget is a
+/// meaningful DgC instance, and the cache simply declines such keys).
+void check_bound(double bound, bool has_bound) {
+  if (has_bound && std::isnan(bound))
+    raise(ErrorCode::InvalidArgument, "bad bound (must not be NaN)");
+}
+
+}  // namespace
+
+BatchPayload::Item Dispatcher::solve_item(const SolveSpec& spec) {
+  BatchPayload::Item item;
+  try {
+    check_engine(*service_, spec.engine);
+    check_bound(spec.bound, spec.has_bound);
+    service::Request sreq;
+    sreq.problem = spec.problem;
+    sreq.bound = spec.bound;
+    sreq.engine_name = spec.engine;
+    parse_typed(spec.problem, spec.model, &sreq.det, &sreq.prob);
+    const service::Response r = service_->handle(sreq);
+    if (!r.result.ok) {
+      item.code = ErrorCode::SolverFailure;
+      item.error = r.result.error;
+      return item;
+    }
+    item.solve = payload_of(r);
+  } catch (const Failure& f) {
+    item.code = f.code;
+    item.error = f.message;
+  } catch (const std::exception& e) {
+    item.code = classify(e);
+    item.error = e.what();
+  }
+  return item;
+}
+
+/// The visitor body of dispatch_op.  Handlers either return a Payload
+/// or throw Failure / a library exception; the caller turns both into
+/// typed error responses.
+struct OperationHandler {
+  Dispatcher& d;
+
+  Payload operator()(const SolveRequest& r) {
+    d.solves_.fetch_add(1);
+    BatchPayload::Item item = d.solve_item(r.spec);
+    if (item.code != ErrorCode::Ok) raise(item.code, std::move(item.error));
+    return std::move(item.solve);
+  }
+
+  Payload operator()(const BatchRequest& r) {
+    d.batches_.fetch_add(1);
+    d.solves_.fetch_add(r.items.size());
+    BatchPayload out;
+    out.items.resize(r.items.size());
+    const std::size_t n = r.items.size();
+    std::size_t threads =
+        r.threads ? r.threads : std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(1, std::min(threads, n));
+    if (threads <= 1) {
+      for (std::size_t i = 0; i < n; ++i)
+        out.items[i] = d.solve_item(r.items[i]);
+    } else {
+      std::atomic<std::size_t> next{0};
+      const auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+          out.items[i] = d.solve_item(r.items[i]);
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (auto& th : pool) th.join();
+    }
+    return out;
+  }
+
+  Payload operator()(const SessionOpenRequest& r) {
+    d.session_opens_.fetch_add(1);
+    check_engine(*d.service_, r.spec.engine);
+    check_bound(r.spec.bound, r.spec.has_bound);
+    service::Session::Options sopt;
+    sopt.problem = r.spec.problem;
+    sopt.bound = r.spec.bound;
+    sopt.engine_name = r.spec.engine;
+    sopt.batch = d.service_->options().batch;
+    sopt.shared = d.service_->shared_subtree_cache();
+    const std::uint64_t id = d.sessions_->open(
+        std::make_unique<service::Session>(r.spec.model, std::move(sopt)));
+    return SessionOpenedPayload{id};
+  }
+
+  Payload operator()(const SessionEditRequest& r) {
+    d.session_edits_.fetch_add(1);
+    const auto session = d.sessions_->find(r.session);
+    if (!session)
+      raise(ErrorCode::NoSuchSession,
+            "no session " + std::to_string(r.session));
+    std::string err;
+    switch (r.op) {
+      case EditOp::SetCost: err = session->set_cost(r.target, r.value); break;
+      case EditOp::SetProb: err = session->set_prob(r.target, r.value); break;
+      case EditOp::SetDamage:
+        err = session->set_damage(r.target, r.value);
+        break;
+      case EditOp::ToggleDefense:
+        err = session->toggle_defense(r.target);
+        break;
+      case EditOp::ReplaceSubtree:
+        err = session->replace_subtree(r.target, r.model);
+        break;
+    }
+    if (!err.empty()) raise(ErrorCode::InvalidArgument, std::move(err));
+    return EditAppliedPayload{};
+  }
+
+  Payload operator()(const SessionResolveRequest& r) {
+    d.session_resolves_.fetch_add(1);
+    d.solves_.fetch_add(1);
+    const auto session = d.sessions_->find(r.session);
+    if (!session)
+      raise(ErrorCode::NoSuchSession,
+            "no session " + std::to_string(r.session));
+    const service::Response resp = session->resolve();
+    if (!resp.result.ok)
+      raise(ErrorCode::SolverFailure, resp.result.error);
+    return payload_of(resp);
+  }
+
+  Payload operator()(const SessionCloseRequest& r) {
+    d.session_closes_.fetch_add(1);
+    if (!d.sessions_->close(r.session))
+      raise(ErrorCode::NoSuchSession,
+            "no session " + std::to_string(r.session));
+    return SessionClosedPayload{};
+  }
+
+  /// Shared analysis knobs.  aopt.batch.cache is the stats-drift fix:
+  /// analysis fan-outs consult and feed the same result cache the solve
+  /// path serves from, so `stats` reflects every protocol path.
+  analysis::Options analysis_options(engine::Problem problem, double bound,
+                                     const std::string& engine_name) {
+    check_engine(*d.service_, engine_name);
+    analysis::Options aopt;
+    aopt.problem = problem;
+    aopt.bound = bound;
+    aopt.engine_name = engine_name;
+    aopt.batch = d.service_->options().batch;
+    if (d.service_->options().enable_cache)
+      aopt.batch.cache = &d.service_->cache();
+    aopt.shared = d.service_->shared_subtree_cache();
+    return aopt;
+  }
+
+  Payload operator()(const AnalyzeSweepRequest& r) {
+    d.analyses_.fetch_add(1);
+    if (r.axes.empty())
+      raise(ErrorCode::InvalidArgument,
+            "analyze sweep needs at least one axis=<spec>");
+    check_bound(r.bound, r.has_bound);
+    std::vector<analysis::Axis> axes;
+    for (const std::string& spec : r.axes) {
+      std::string err;
+      const auto axis = analysis::parse_axis(spec, &err);
+      if (!axis) raise(ErrorCode::InvalidArgument, std::move(err));
+      axes.push_back(*axis);
+    }
+    const analysis::Options aopt =
+        analysis_options(r.problem, r.has_bound ? r.bound : 0.0, r.engine);
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+    parse_typed(r.problem, r.model, &det, &prob);
+    const std::string table =
+        det ? analysis::to_table(analysis::sweep(*det, axes, aopt))
+            : analysis::to_table(analysis::sweep(*prob, axes, aopt));
+    return AnalysisPayload{"sweep", table};
+  }
+
+  Payload operator()(const AnalyzeSensitivityRequest& r) {
+    d.analyses_.fetch_add(1);
+    if (!engine::is_front(r.problem))
+      raise(ErrorCode::InvalidArgument,
+            "analyze sensitivity takes a front problem (cdpf or cedpf)");
+    if (r.has_step && !(std::isfinite(r.step) && r.step > 0.0))
+      raise(ErrorCode::InvalidArgument, "bad step (must be > 0)");
+    analysis::Options aopt = analysis_options(r.problem, 0.0, r.engine);
+    if (r.has_step) aopt.sensitivity_step = r.step;
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+    parse_typed(r.problem, r.model, &det, &prob);
+    const std::string table =
+        det ? analysis::to_table(analysis::sensitivity(*det, aopt))
+            : analysis::to_table(analysis::sensitivity(*prob, aopt));
+    return AnalysisPayload{"sensitivity", table};
+  }
+
+  Payload operator()(const AnalyzePortfolioRequest& r) {
+    d.analyses_.fetch_add(1);
+    if (r.problem != engine::Problem::Dgc &&
+        r.problem != engine::Problem::Edgc)
+      raise(ErrorCode::InvalidArgument, "analyze portfolio takes dgc or edgc");
+    if (r.defenses.empty())
+      raise(ErrorCode::InvalidArgument,
+            "analyze portfolio needs at least one "
+            "defense=<name>:<cost>:<bas>");
+    // A +infinity budget equals an absent one (unbounded defender);
+    // NaN or negative budgets are rejected, never silently clamped.
+    if (r.has_budget && !(r.budget >= 0.0))
+      raise(ErrorCode::InvalidArgument, "bad budget (must be >= 0)");
+    check_bound(r.bound, r.has_bound);
+    std::vector<defense::Countermeasure> catalogue;
+    for (const std::string& spec : r.defenses) {
+      std::string err;
+      const auto cm = analysis::parse_countermeasure(spec, &err);
+      if (!cm) raise(ErrorCode::InvalidArgument, std::move(err));
+      catalogue.push_back(*cm);
+    }
+    const double budget =
+        r.has_budget ? r.budget : std::numeric_limits<double>::infinity();
+    // An unbounded attacker is the portfolio default; the clamp to the
+    // hardening scale happens inside portfolio().
+    const double bound =
+        r.has_bound ? r.bound : std::numeric_limits<double>::infinity();
+    const analysis::Options aopt =
+        analysis_options(r.problem, bound, r.engine);
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+    parse_typed(r.problem, r.model, &det, &prob);
+    const std::string table =
+        det ? analysis::to_table(
+                  analysis::portfolio(*det, catalogue, budget, aopt))
+            : analysis::to_table(
+                  analysis::portfolio(*prob, catalogue, budget, aopt));
+    return AnalysisPayload{"portfolio", table};
+  }
+
+  Payload operator()(const StatsRequest&) { return d.stats(); }
+
+  Payload operator()(const ShutdownRequest&) {
+    // The serving loop fills in its per-connection handled count.
+    return ShutdownPayload{0};
+  }
+};
+
+Response Dispatcher::dispatch_op(const Request& request) {
+  Response resp;
+  resp.id = request.id;
+  try {
+    OperationHandler handler{*this};
+    resp.payload = std::visit(handler, request.op);
+  } catch (const Failure& f) {
+    resp.code = f.code;
+    resp.error = f.message;
+  } catch (const std::exception& e) {
+    resp.code = classify(e);
+    resp.error = e.what();
+  } catch (...) {
+    resp.code = ErrorCode::Internal;
+    resp.error = "unknown exception";
+  }
+  return resp;
+}
+
+Response Dispatcher::dispatch(const Request& request) {
+  const auto t0 = service::detail::Clock::now();
+  requests_.fetch_add(1);
+  Response resp = dispatch_op(request);
+  if (resp.code != ErrorCode::Ok) errors_.fetch_add(1);
+  resp.micros = service::detail::micros_since(t0);
+  return resp;
+}
+
+}  // namespace atcd::api

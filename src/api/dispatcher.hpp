@@ -1,0 +1,84 @@
+#pragma once
+/// \file dispatcher.hpp
+/// api::Dispatcher — the single execution facade behind every transport.
+///
+/// The dispatcher owns (or borrows) the SolveService, the
+/// SessionManager, and the analysis wiring, and executes exactly the
+/// typed operations of api/api.hpp.  The legacy line protocol
+/// (api/line.hpp via service/protocol.cpp), the v1 JSON transport
+/// (api/json.hpp + api/server.hpp), and the CLI all transcode into
+/// api::Request and call dispatch(), so an operation behaves
+/// identically no matter how it arrived — same solver results, same
+/// error taxonomy, same counters.
+///
+/// dispatch() is thread-safe and never throws: every failure comes back
+/// as a typed ErrorCode response.  Exceptions are classified
+/// (ParseError/ModelError/CapacityError/SolverError...) instead of
+/// stringified into free-form ok=false messages.
+///
+/// Stats: the dispatcher is the one source of truth.  Its per-operation
+/// counters cover every path — including the analyses, whose derived
+/// solves also run against the service's result cache here (the old
+/// protocol bypassed it, so `stats` drifted from the work actually
+/// done).
+
+#include <atomic>
+#include <memory>
+
+#include "api/api.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+
+namespace atcd::api {
+
+class Dispatcher {
+ public:
+  struct Options {
+    service::SolveService::Options service;
+  };
+
+  /// Owning constructors: the dispatcher builds its own service and
+  /// session manager from the options.
+  Dispatcher();
+  explicit Dispatcher(Options options);
+
+  /// Borrowing constructor: wraps an existing service (and optionally a
+  /// shared session manager — null gives the dispatcher a private one).
+  /// Used by the legacy serve() signature so existing call sites keep
+  /// their SolveService ownership; the op counters live per dispatcher.
+  explicit Dispatcher(service::SolveService& service,
+                      service::SessionManager* sessions = nullptr);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Executes one request.  Thread-safe; never throws.  The response
+  /// echoes the request id and carries wall micros spent inside.
+  Response dispatch(const Request& request);
+
+  /// Unified serving counters (cache + subtree + sessions + dispatcher
+  /// ops) — what the `stats` operation reports.
+  StatsPayload stats() const;
+
+  DispatchCounters counters() const;
+
+  service::SolveService& service() { return *service_; }
+  service::SessionManager& sessions() { return *sessions_; }
+
+ private:
+  friend struct OperationHandler;
+
+  Response dispatch_op(const Request& request);
+  BatchPayload::Item solve_item(const SolveSpec& spec);
+
+  std::unique_ptr<service::SolveService> owned_service_;
+  std::unique_ptr<service::SessionManager> owned_sessions_;
+  service::SolveService* service_ = nullptr;
+  service::SessionManager* sessions_ = nullptr;
+
+  std::atomic<std::uint64_t> requests_{0}, solves_{0}, batches_{0},
+      session_opens_{0}, session_edits_{0}, session_resolves_{0},
+      session_closes_{0}, analyses_{0}, errors_{0};
+};
+
+}  // namespace atcd::api

@@ -1,0 +1,95 @@
+#pragma once
+/// \file json.hpp
+/// The v1 JSON wire codec of the typed API (api/api.hpp).
+///
+/// Hand-rolled on purpose: the repo takes no dependencies, and the
+/// envelope is small enough that a strict, minimal parser beats a
+/// vendored library.  One request or response per line of text:
+///
+///   {"v":1,"id":"7","op":"solve","problem":"cdpf","model":"bas a ..."}
+///   {"v":1,"id":"7","code":"ok","kind":"front","engine":"bottom-up",...}
+///
+/// Encoding is canonical — fixed member order, absent optional fields
+/// omitted, analysis::format_num for doubles — so
+/// encode(decode(encode(x))) == encode(x) byte-for-byte; the nightly CI
+/// round-trip property pins this over random requests.  Decoding is
+/// strict: unknown members, wrong types, a missing/foreign "v", or
+/// trailing bytes produce a typed ErrorCode instead of a guess, and the
+/// recursion depth is capped so garbage can never blow the stack.
+///
+/// The generic json::Value layer is exposed for tests and for the stats
+/// payload's nested counter objects.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace atcd::api::json {
+
+/// A parsed JSON document.  Objects keep member order (encoding is
+/// order-sensitive); numbers are doubles (the wire format has no other
+/// kind — session ids stay well under 2^53).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> items;                              ///< Array
+  std::vector<std::pair<std::string, Value>> members;    ///< Object
+
+  const Value* find(const std::string& key) const;
+};
+
+/// Strict parse of one JSON document (no trailing bytes).  Returns
+/// false and sets \p error on malformed input.
+bool parse(const std::string& text, Value* out, std::string* error);
+
+/// Compact canonical rendering (no whitespace, members in stored order,
+/// doubles via analysis::format_num, minimal string escapes).
+std::string dump(const Value& value);
+
+/// The canonical number rendering dump() uses (format_num; non-finite
+/// values become "null" so they surface as typed decode errors instead
+/// of silently changing meaning on the wire).
+std::string dump_number(double value);
+
+/// The canonical string rendering dump() uses (quotes + escapes).
+std::string dump_string(const std::string& value);
+
+}  // namespace atcd::api::json
+
+namespace atcd::api {
+
+/// Outcome of decoding a request or response line.
+template <typename T>
+struct Decoded {
+  ErrorCode code = ErrorCode::Ok;
+  std::string error;  ///< set when code != Ok
+  T value;            ///< valid when code == Ok; on a payload-level
+                      ///< failure value.id still carries the envelope id
+                      ///< when one was readable, so the error response
+                      ///< can be matched by the client
+};
+
+/// Canonical one-line JSON encoding of a request.
+std::string encode_request(const Request& request);
+
+/// Decodes one request line.  Envelope failures (bad JSON, missing
+/// "v"/"op") yield MalformedRequest/UnsupportedVersion/UnknownOperation;
+/// payload failures yield InvalidArgument with the offending field
+/// named.
+Decoded<Request> decode_request(const std::string& text);
+
+/// Canonical one-line JSON encoding of a response.  `with_micros`
+/// appends the wall-time member; the server omits it by default so
+/// responses are byte-identical across runs and thread counts.
+std::string encode_response(const Response& response, bool with_micros);
+
+/// Decodes one response line (used by tests and programmatic clients).
+Decoded<Response> decode_response(const std::string& text);
+
+}  // namespace atcd::api

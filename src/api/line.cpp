@@ -1,0 +1,532 @@
+#include "api/line.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace atcd::api {
+
+namespace detail {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::trim;
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Error messages travel on one line; fold any embedded newlines.
+std::string one_line(std::string s) {
+  for (auto pos = s.find('\n'); pos != std::string::npos;
+       pos = s.find('\n', pos))
+    s.replace(pos, 1, "; ");
+  return s;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string micros_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+bool parse_value(const std::string& tok, double* value) {
+  std::size_t consumed = 0;
+  try {
+    *value = std::stod(tok, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == tok.size() && std::isfinite(*value);
+}
+
+bool parse_session_id(const std::string& tok, std::uint64_t* id) {
+  if (tok.empty()) return false;
+  std::size_t consumed = 0;
+  try {
+    *id = std::stoull(tok, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == tok.size();
+}
+
+/// Reads lines up to the `end` terminator into \p model_text.  Returns
+/// false when the stream ends first.
+bool read_model_block(std::istream& in, std::string* model_text) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    // The terminator may carry a trailing comment ('#' starts a comment
+    // everywhere in the protocol), so strip it before testing.
+    std::string stripped = raw;
+    if (const auto h = stripped.find('#'); h != std::string::npos)
+      stripped.erase(h);
+    if (trim(stripped) == "end") return true;
+    *model_text += raw;
+    *model_text += '\n';
+  }
+  return false;
+}
+
+LineRequest fail(ErrorCode code, std::string message) {
+  LineRequest r;
+  r.code = code;
+  r.error = std::move(message);
+  return r;
+}
+
+LineRequest unterminated() {
+  return fail(ErrorCode::MalformedRequest,
+              "unterminated model block (missing 'end' line)");
+}
+
+/// Parsed `solve`/`open` header; `error` set when malformed.
+struct SolveHeader {
+  std::string error;
+  SolveSpec spec;
+};
+
+SolveHeader parse_solve_header(const std::vector<std::string>& tok) {
+  SolveHeader h;
+  if (tok.size() < 2) {
+    h.error = tok[0] + " requires a problem name "
+              "(cdpf|dgc|cgd|cedpf|edgc|cged)";
+    return h;
+  }
+  const auto problem = parse_problem(tok[1]);
+  if (!problem) {
+    h.error = "unknown problem '" + tok[1] +
+              "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)";
+    return h;
+  }
+  h.spec.problem = *problem;
+  for (std::size_t i = 2; i < tok.size(); ++i) {
+    if (tok[i].rfind("bound=", 0) == 0) {
+      // Strict numeric parse shared with the edit values: full
+      // consumption (no trailing junk) and finite.
+      if (!parse_value(tok[i].substr(6), &h.spec.bound)) {
+        h.error = "bad bound '" + tok[i] + "' (must be finite)";
+        return h;
+      }
+      h.spec.has_bound = true;
+    } else if (tok[i].rfind("engine=", 0) == 0) {
+      h.spec.engine = tok[i].substr(7);
+    } else {
+      h.error = "unknown " + tok[0] + " argument '" + tok[i] +
+                "' (expected bound=<num> or engine=<name>)";
+      return h;
+    }
+  }
+  return h;
+}
+
+/// Transcodes an `analyze` line (model block already consumed into
+/// \p model_text).
+LineRequest transcode_analyze(const std::vector<std::string>& tok,
+                              std::string model_text) {
+  if (tok.size() < 3)
+    return fail(ErrorCode::InvalidArgument,
+                "analyze takes: (sweep|sensitivity|portfolio) <problem> ...");
+  const std::string& what = tok[1];
+  if (what != "sweep" && what != "sensitivity" && what != "portfolio")
+    return fail(ErrorCode::InvalidArgument,
+                "unknown analysis '" + what +
+                    "' (expected sweep, sensitivity, or portfolio)");
+  const auto problem = parse_problem(tok[2]);
+  if (!problem)
+    return fail(ErrorCode::InvalidArgument,
+                "unknown problem '" + tok[2] +
+                    "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)");
+
+  std::vector<std::string> axes, defenses;
+  std::string engine_name;
+  double bound = 0.0, budget = 0.0, step = 0.0;
+  bool has_bound = false, has_budget = false, has_step = false;
+  for (std::size_t i = 3; i < tok.size(); ++i) {
+    if (tok[i].rfind("axis=", 0) == 0) {
+      axes.push_back(tok[i].substr(5));
+    } else if (tok[i].rfind("defense=", 0) == 0) {
+      defenses.push_back(tok[i].substr(8));
+    } else if (tok[i].rfind("budget=", 0) == 0) {
+      if (what != "portfolio")
+        return fail(ErrorCode::InvalidArgument,
+                    "budget= only applies to analyze portfolio");
+      if (!parse_value(tok[i].substr(7), &budget) || budget < 0.0)
+        return fail(ErrorCode::InvalidArgument,
+                    "bad budget '" + tok[i] + "' (must be >= 0)");
+      has_budget = true;
+    } else if (tok[i].rfind("bound=", 0) == 0) {
+      if (what == "sensitivity")
+        return fail(ErrorCode::InvalidArgument,
+                    "bound= does not apply to analyze sensitivity "
+                    "(the front problems ignore it)");
+      if (!parse_value(tok[i].substr(6), &bound))
+        return fail(ErrorCode::InvalidArgument,
+                    "bad bound '" + tok[i] + "' (must be finite)");
+      has_bound = true;
+    } else if (tok[i].rfind("step=", 0) == 0) {
+      if (what != "sensitivity")
+        return fail(ErrorCode::InvalidArgument,
+                    "step= only applies to analyze sensitivity");
+      if (!parse_value(tok[i].substr(5), &step) || step <= 0.0)
+        return fail(ErrorCode::InvalidArgument,
+                    "bad step '" + tok[i] + "' (must be > 0)");
+      has_step = true;
+    } else if (tok[i].rfind("engine=", 0) == 0) {
+      engine_name = tok[i].substr(7);
+    } else {
+      return fail(ErrorCode::InvalidArgument,
+                  "unknown analyze argument '" + tok[i] + "'");
+    }
+  }
+  if (what != "sweep" && !axes.empty())
+    return fail(ErrorCode::InvalidArgument,
+                "axis= only applies to analyze sweep");
+  if (what != "portfolio" && !defenses.empty())
+    return fail(ErrorCode::InvalidArgument,
+                "defense= only applies to analyze portfolio");
+
+  LineRequest out;
+  if (what == "sweep") {
+    AnalyzeSweepRequest r;
+    r.problem = *problem;
+    r.axes = std::move(axes);
+    r.bound = bound;
+    r.has_bound = has_bound;
+    r.engine = std::move(engine_name);
+    r.model = std::move(model_text);
+    out.request.op = std::move(r);
+  } else if (what == "sensitivity") {
+    AnalyzeSensitivityRequest r;
+    r.problem = *problem;
+    if (has_step) {
+      r.step = step;
+      r.has_step = true;
+    }
+    r.engine = std::move(engine_name);
+    r.model = std::move(model_text);
+    out.request.op = std::move(r);
+  } else {
+    AnalyzePortfolioRequest r;
+    r.problem = *problem;
+    r.defenses = std::move(defenses);
+    if (has_budget) {
+      r.budget = budget;
+      r.has_budget = true;
+    }
+    r.bound = bound;
+    r.has_bound = has_bound;
+    r.engine = std::move(engine_name);
+    r.model = std::move(model_text);
+    out.request.op = std::move(r);
+  }
+  return out;
+}
+
+/// Transcodes an `edit` line (replace-subtree block already consumed
+/// into \p subtree_text by the caller).
+LineRequest transcode_edit(const std::vector<std::string>& tok,
+                           std::string subtree_text) {
+  std::uint64_t id = 0;
+  if (tok.size() < 3 || !parse_session_id(tok[1], &id))
+    return fail(ErrorCode::InvalidArgument,
+                "edit takes: <session-id> <op> ...");
+  const std::string& op = tok[2];
+  SessionEditRequest r;
+  r.session = id;
+  if (op == "replace-subtree") {
+    if (tok.size() != 4)
+      return fail(ErrorCode::InvalidArgument,
+                  "edit replace-subtree takes: <node>");
+    r.op = EditOp::ReplaceSubtree;
+    r.target = tok[3];
+    r.model = std::move(subtree_text);
+  } else if (op == "toggle-defense") {
+    if (tok.size() != 4)
+      return fail(ErrorCode::InvalidArgument,
+                  "edit toggle-defense takes: <bas>");
+    r.op = EditOp::ToggleDefense;
+    r.target = tok[3];
+  } else if (op == "set-cost" || op == "set-prob" || op == "set-damage") {
+    if (tok.size() != 5)
+      return fail(ErrorCode::InvalidArgument,
+                  "edit " + op + " takes: <name> <value>");
+    if (!parse_value(tok[4], &r.value))
+      return fail(ErrorCode::InvalidArgument,
+                  "edit " + op + ": bad value '" + tok[4] + "'");
+    r.op = op == "set-cost" ? EditOp::SetCost
+           : op == "set-prob" ? EditOp::SetProb
+                              : EditOp::SetDamage;
+    r.target = tok[3];
+  } else {
+    return fail(ErrorCode::InvalidArgument,
+                "unknown edit op '" + op +
+                    "' (expected set-cost, set-prob, set-damage, "
+                    "toggle-defense, or replace-subtree)");
+  }
+  LineRequest out;
+  out.request.op = std::move(r);
+  return out;
+}
+
+}  // namespace
+
+LineRequest read_line_request(const std::string& line, std::istream& in) {
+  const std::vector<std::string> tok = split_ws(line);
+
+  if (tok[0] == "quit" || tok[0] == "exit") {
+    LineRequest out;
+    out.request.op = ShutdownRequest{};
+    return out;
+  }
+
+  if (tok[0] == "stats") {
+    LineRequest out;
+    out.request.op = StatsRequest{};
+    out.stats_json = tok.size() >= 2 && tok[1] == "--json";
+    return out;
+  }
+
+  if (tok[0] == "analyze") {
+    // Like solve/open, an analyze line is always followed by a model
+    // block, consumed even when the header is bad (desync guard).
+    std::string model_text;
+    if (!read_model_block(in, &model_text)) return unterminated();
+    return transcode_analyze(tok, std::move(model_text));
+  }
+
+  if (tok[0] == "solve" || tok[0] == "open") {
+    // Header problems are collected, not reported yet: the client
+    // sends a model block after every solve/open line, so the block
+    // must be consumed either way or the stream desyncs (model lines
+    // would be re-parsed as commands).
+    SolveHeader header = parse_solve_header(tok);
+    std::string model_text;
+    const bool terminated = read_model_block(in, &model_text);
+    if (!header.error.empty())
+      return fail(ErrorCode::InvalidArgument, std::move(header.error));
+    if (!terminated) return unterminated();
+    header.spec.model = std::move(model_text);
+    LineRequest out;
+    if (tok[0] == "solve")
+      out.request.op = SolveRequest{std::move(header.spec)};
+    else
+      out.request.op = SessionOpenRequest{std::move(header.spec)};
+    return out;
+  }
+
+  if (tok[0] == "edit") {
+    // A replace-subtree edit is followed by a model block, which must
+    // be consumed even when the header or session id is bad — also
+    // check the op's shifted position (a forgotten session id moves
+    // it), or the block's model lines would be re-parsed as commands
+    // and desync the stream.  Only the op positions are checked:
+    // "replace-subtree" is a legal *node name*, so an operand match
+    // (e.g. `edit 1 set-cost replace-subtree 3`) must not eat a block.
+    const bool has_block =
+        (tok.size() >= 2 && tok[1] == "replace-subtree") ||
+        (tok.size() >= 3 && tok[2] == "replace-subtree");
+    std::string subtree_text;
+    if (has_block && !read_model_block(in, &subtree_text))
+      return unterminated();
+    return transcode_edit(tok, std::move(subtree_text));
+  }
+
+  if (tok[0] == "resolve" || tok[0] == "close") {
+    std::uint64_t id = 0;
+    if (tok.size() != 2 || !parse_session_id(tok[1], &id))
+      return fail(ErrorCode::InvalidArgument,
+                  tok[0] + " takes: <session-id>");
+    LineRequest out;
+    if (tok[0] == "resolve")
+      out.request.op = SessionResolveRequest{id};
+    else
+      out.request.op = SessionCloseRequest{id};
+    return out;
+  }
+
+  return fail(ErrorCode::UnknownOperation,
+              "unknown command '" + tok[0] +
+                  "' (expected solve, open, edit, resolve, close, "
+                  "analyze, stats, or quit)");
+}
+
+namespace {
+
+std::string error_block(const std::string& message) {
+  return "ok=false\nerror=" + one_line(message) + "\ndone\n";
+}
+
+std::string format_solve_block(const SolvePayload& p, double micros) {
+  std::ostringstream out;
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(p.hash));
+  out << "ok=true\n"
+      << "engine=" << p.backend << '\n'
+      << "cache=" << p.cache << '\n'
+      << "hash=" << hash << '\n'
+      << "micros=" << micros_str(micros) << '\n';
+  if (p.is_front) {
+    out << "kind=front\n"
+        << "points=" << p.points.size() << '\n';
+    for (std::size_t i = 0; i < p.points.size(); ++i)
+      out << "point." << i << '=' << num(p.points[i].cost) << ' '
+          << num(p.points[i].damage) << ' ' << p.points[i].attack << '\n';
+  } else {
+    out << "kind=attack\n"
+        << "feasible=" << (p.feasible ? "true" : "false") << '\n';
+    if (p.feasible)
+      out << "cost=" << num(p.cost) << '\n'
+          << "damage=" << num(p.damage) << '\n'
+          << "attack=" << p.attack << '\n';
+  }
+  out << "done\n";
+  return out.str();
+}
+
+/// Wraps an analysis table as a response block: the table rides along
+/// verbatim, one row.<i>= line per table line, so clients get exactly
+/// the byte-stable rendering the library produces.
+std::string format_analysis_block(const AnalysisPayload& p, double micros) {
+  std::ostringstream out;
+  out << "ok=true\nkind=" << p.kind << "\nmicros=" << micros_str(micros)
+      << '\n';
+  std::size_t rows = 0, start = 0;
+  std::ostringstream body;
+  while (start < p.table.size()) {
+    std::size_t nl = p.table.find('\n', start);
+    if (nl == std::string::npos) nl = p.table.size();
+    body << "row." << rows++ << '=' << p.table.substr(start, nl - start)
+         << '\n';
+    start = nl + 1;
+  }
+  out << "rows=" << rows << '\n' << body.str() << "done\n";
+  return out.str();
+}
+
+template <typename Counters>
+void append_cache_counters(std::ostringstream& out, const char* prefix,
+                           const Counters& c) {
+  out << prefix << "hits=" << c.hits << '\n'
+      << prefix << "misses=" << c.misses << '\n'
+      << prefix << "insertions=" << c.insertions << '\n'
+      << prefix << "evictions=" << c.evictions << '\n'
+      << prefix << "collisions=" << c.collisions << '\n'
+      << prefix << "entries=" << c.entries << '\n'
+      << prefix << "bytes=" << c.bytes << '\n';
+}
+
+std::string format_stats_block(const StatsPayload& s) {
+  std::ostringstream out;
+  out << "ok=true\n";
+  append_cache_counters(out, "", s.cache);
+  append_cache_counters(out, "subtree_", s.subtree);
+  out << "sessions=" << s.sessions << '\n'
+      << "api_requests=" << s.api.requests << '\n'
+      << "api_solves=" << s.api.solves << '\n'
+      << "api_batches=" << s.api.batches << '\n'
+      << "api_session_opens=" << s.api.session_opens << '\n'
+      << "api_session_edits=" << s.api.session_edits << '\n'
+      << "api_session_resolves=" << s.api.session_resolves << '\n'
+      << "api_session_closes=" << s.api.session_closes << '\n'
+      << "api_analyses=" << s.api.analyses << '\n'
+      << "api_errors=" << s.api.errors << '\n'
+      << "done\n";
+  return out.str();
+}
+
+struct LineFormatter {
+  double micros;
+
+  std::string operator()(const std::monostate&) const {
+    return "ok=true\ndone\n";
+  }
+  std::string operator()(const SolvePayload& p) const {
+    return format_solve_block(p, micros);
+  }
+  std::string operator()(const BatchPayload& p) const {
+    // Not reachable over the line protocol (it has no batch command);
+    // render a minimal block so a programmatic caller still gets a
+    // terminated response.
+    std::ostringstream out;
+    out << "ok=true\nkind=batch\nitems=" << p.items.size() << "\ndone\n";
+    return out.str();
+  }
+  std::string operator()(const SessionOpenedPayload& p) const {
+    std::ostringstream out;
+    out << "ok=true\nsession=" << p.session << "\ndone\n";
+    return out.str();
+  }
+  std::string operator()(const EditAppliedPayload&) const {
+    return "ok=true\ndone\n";
+  }
+  std::string operator()(const SessionClosedPayload&) const {
+    return "ok=true\ndone\n";
+  }
+  std::string operator()(const AnalysisPayload& p) const {
+    return format_analysis_block(p, micros);
+  }
+  std::string operator()(const StatsPayload& p) const {
+    return format_stats_block(p);
+  }
+  std::string operator()(const ShutdownPayload& p) const {
+    std::ostringstream out;
+    out << "ok=true\nkind=shutdown\nhandled=" << p.handled << "\ndone\n";
+    return out.str();
+  }
+};
+
+template <typename Counters>
+void append_json_counters(std::ostringstream& out, const Counters& c) {
+  out << "{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+      << ",\"insertions\":" << c.insertions << ",\"evictions\":"
+      << c.evictions << ",\"collisions\":" << c.collisions
+      << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes << '}';
+}
+
+}  // namespace
+
+std::string format_line(const Response& response) {
+  if (response.code != ErrorCode::Ok) return error_block(response.error);
+  return std::visit(LineFormatter{response.micros}, response.payload);
+}
+
+std::string format_stats_json_line(const StatsPayload& s) {
+  std::ostringstream out;
+  out << "ok=true\njson={\"cache\":";
+  append_json_counters(out, s.cache);
+  out << ",\"subtree\":";
+  append_json_counters(out, s.subtree);
+  out << ",\"sessions\":" << s.sessions << ",\"api\":{\"requests\":"
+      << s.api.requests << ",\"solves\":" << s.api.solves
+      << ",\"batches\":" << s.api.batches << ",\"session_opens\":"
+      << s.api.session_opens << ",\"session_edits\":" << s.api.session_edits
+      << ",\"session_resolves\":" << s.api.session_resolves
+      << ",\"session_closes\":" << s.api.session_closes << ",\"analyses\":"
+      << s.api.analyses << ",\"errors\":" << s.api.errors << "}}\ndone\n";
+  return out.str();
+}
+
+}  // namespace atcd::api

@@ -1,0 +1,57 @@
+#pragma once
+/// \file line.hpp
+/// Legacy line-protocol transcoder.
+///
+/// The original line-oriented protocol (service/protocol.hpp) predates
+/// the typed API; it stays supported, but it is now a *codec*: each
+/// command line (plus any model block) transcodes into an api::Request,
+/// and each api::Response renders back into the familiar key=value
+/// block terminated by `done`.  service/protocol.cpp is a thin loop
+/// over these two functions and api::Dispatcher — the line protocol and
+/// the JSON envelope can never diverge in behavior, only in syntax.
+///
+/// Parsing preserves the historical error messages and the desync
+/// guard: a `solve`/`open`/`analyze` line (and a `replace-subtree`
+/// edit) is always followed by a model block, which is consumed even
+/// when the header is invalid so the stream never desyncs.
+
+#include <iosfwd>
+#include <string>
+
+#include "api/api.hpp"
+
+namespace atcd::api::detail {
+
+/// Strips leading/trailing spaces, tabs, and CRs — shared by the line
+/// transcoder and both serving loops.
+std::string trim(const std::string& s);
+
+}  // namespace atcd::api::detail
+
+namespace atcd::api {
+
+/// One transcoded line-protocol request.
+struct LineRequest {
+  Request request;                 ///< valid when code == Ok
+  ErrorCode code = ErrorCode::Ok;  ///< typed parse failure otherwise
+  std::string error;               ///< message for the error block
+  /// `stats --json`: a line-format detail (render the stats payload as
+  /// one json= line), not part of the typed operation.
+  bool stats_json = false;
+};
+
+/// Transcodes one command line into a typed request, consuming a model
+/// block from \p in when the command carries one.  \p line must be
+/// trimmed, comment-stripped, and non-empty.
+LineRequest read_line_request(const std::string& line, std::istream& in);
+
+/// Renders a response as the legacy key=value block (`ok=...` ...
+/// `done`).  Solve payloads render exactly as the historical
+/// format_response(); errors as `ok=false` / `error=` blocks.
+std::string format_line(const Response& response);
+
+/// Renders the stats payload as the single machine-readable `json=`
+/// line of `stats --json` (stable key order).
+std::string format_stats_json_line(const StatsPayload& stats);
+
+}  // namespace atcd::api

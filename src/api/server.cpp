@@ -1,0 +1,107 @@
+#include "api/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "api/json.hpp"
+#include "api/line.hpp"
+
+namespace atcd::api {
+
+std::size_t serve_json(std::istream& in, std::ostream& out,
+                       Dispatcher& dispatcher,
+                       const JsonServeOptions& options) {
+  std::mutex out_mu;
+  std::atomic<std::size_t> handled{0};
+
+  const auto emit = [&](const Response& resp) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << encode_response(resp, options.timing) << '\n';
+    out.flush();
+  };
+
+  const auto process = [&](const Request& req) {
+    const Response resp = dispatcher.dispatch(req);
+    handled.fetch_add(handled_increment(req, resp));
+    emit(resp);
+  };
+
+  // Pipelining: the reader enqueues, workers dispatch and complete out
+  // of order.  Responses interleave by completion; clients match them
+  // by id.
+  const std::size_t workers = options.threads > 1 ? options.threads : 0;
+  std::deque<Request> queue;
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  bool closed = false;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    pool.emplace_back([&] {
+      while (true) {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [&] { return closed || !queue.empty(); });
+        if (queue.empty()) return;  // closed and drained
+        Request req = std::move(queue.front());
+        queue.pop_front();
+        lock.unlock();
+        process(req);
+      }
+    });
+
+  std::string quit_id;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = detail::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    Decoded<Request> dec = decode_request(line);
+    if (dec.code != ErrorCode::Ok) {
+      // Malformed input never crashes and never goes silent: a typed
+      // error response, carrying the envelope id when one was readable.
+      emit(error_response(dec.value.id, dec.code, dec.error));
+      continue;
+    }
+    if (std::holds_alternative<ShutdownRequest>(dec.value.op)) {
+      quit_id = dec.value.id;
+      break;
+    }
+    if (workers) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        queue.push_back(std::move(dec.value));
+      }
+      queue_cv.notify_one();
+    } else {
+      process(dec.value);
+    }
+  }
+
+  if (workers) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      closed = true;
+    }
+    queue_cv.notify_all();
+    for (auto& th : pool) th.join();
+  }
+
+  // Structured shutdown — on quit *and* on EOF — after every in-flight
+  // request has drained, so the last line a client reads is always the
+  // shutdown response.
+  Request quit;
+  quit.id = quit_id;
+  quit.op = ShutdownRequest{};
+  Response resp = dispatcher.dispatch(quit);
+  if (auto* p = std::get_if<ShutdownPayload>(&resp.payload))
+    p->handled = handled.load();
+  emit(resp);
+  return handled.load();
+}
+
+}  // namespace atcd::api

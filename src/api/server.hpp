@@ -1,0 +1,50 @@
+#pragma once
+/// \file server.hpp
+/// JSON-lines serving loop over the dispatcher.
+///
+/// One request per input line in the v1 envelope
+/// (`{"v":1,"id":...,"op":...}`), one response per output line.  With
+/// `threads > 1` requests are *pipelined*: a pool of workers dispatches
+/// them concurrently and responses are written as they complete —
+/// possibly out of order — which is why the envelope carries
+/// client-supplied request ids.  Responses to *distinct* requests are
+/// byte-independent of the thread count (timing is omitted unless
+/// `timing` is set), so sorting them by id yields byte-identical
+/// output for any `threads` value; tests/test_api.cpp pins this.  The
+/// one scheduling-dependent byte is the "cache" member of *identical*
+/// concurrent requests: whether the second of two equal solves reads
+/// "hit" or "coalesced" depends on whether it arrived before or after
+/// the first completed — the payload values are identical either way.
+///
+/// The loop ends on EOF or on a `{"op":"quit"}` request; either way the
+/// last line written is a structured shutdown response (kind=shutdown,
+/// echoing the quit's id when there was one) after all in-flight
+/// requests have drained — no silent exits.
+///
+/// Blank lines and lines starting with '#' are skipped, so the same
+/// script files that drive the line protocol can carry JSON sessions.
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "api/dispatcher.hpp"
+
+namespace atcd::api {
+
+struct JsonServeOptions {
+  /// Worker threads dispatching requests concurrently; 0 or 1 serves
+  /// synchronously in arrival order.
+  std::size_t threads = 0;
+  /// Include per-response wall micros.  Off by default so responses
+  /// are byte-identical across runs and thread counts.
+  bool timing = false;
+};
+
+/// Serves JSON-envelope requests from \p in to \p out until EOF or
+/// `quit`.  Returns the number of solve/resolve/analyze requests
+/// handled (same accounting as the line-protocol serve()).
+std::size_t serve_json(std::istream& in, std::ostream& out,
+                       Dispatcher& dispatcher,
+                       const JsonServeOptions& options = {});
+
+}  // namespace atcd::api

@@ -1,405 +1,20 @@
 #include "service/protocol.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <istream>
-#include <limits>
 #include <ostream>
-#include <sstream>
-#include <vector>
 
-#include "analysis/portfolio.hpp"
-#include "analysis/sensitivity.hpp"
-#include "analysis/sweep.hpp"
-#include "at/structure.hpp"
-#include "service/timing.hpp"
+#include "api/line.hpp"
 
 namespace atcd::service {
-namespace {
 
-std::string trim(const std::string& s) {
-  const auto b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return {};
-  const auto e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-std::vector<std::string> split_ws(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string tok;
-  while (in >> tok) out.push_back(tok);
-  return out;
-}
-
-/// Error messages travel on one line; fold any embedded newlines.
-std::string one_line(std::string s) {
-  for (auto pos = s.find('\n'); pos != std::string::npos;
-       pos = s.find('\n', pos))
-    s.replace(pos, 1, "; ");
-  return s;
-}
-
-std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-std::string micros_str(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f", v);
-  return buf;
-}
-
-std::string error_block(const std::string& message) {
-  return "ok=false\nerror=" + one_line(message) + "\ndone\n";
-}
-
-const AttackTree* tree_of(const Response& r) {
-  if (r.det) return &r.det->tree;
-  if (r.prob) return &r.prob->tree;
-  return nullptr;
-}
-
-}  // namespace
+using api::detail::trim;
 
 std::optional<engine::Problem> parse_problem(const std::string& name) {
-  using engine::Problem;
-  for (Problem p : {Problem::Cdpf, Problem::Dgc, Problem::Cgd, Problem::Cedpf,
-                    Problem::Edgc, Problem::Cged})
-    if (name == engine::to_string(p)) return p;
-  return std::nullopt;
+  return api::parse_problem(name);
 }
 
-std::string format_response(const Response& r) {
-  if (!r.result.ok) return error_block(r.result.error);
-  std::ostringstream out;
-  char hash[17];
-  std::snprintf(hash, sizeof hash, "%016llx",
-                static_cast<unsigned long long>(r.model_hash));
-  out << "ok=true\n"
-      << "engine=" << r.result.backend << '\n'
-      << "cache=" << (r.cache_hit ? "hit" : r.coalesced ? "coalesced" : "miss")
-      << '\n'
-      << "hash=" << hash << '\n'
-      << "micros=" << micros_str(r.micros) << '\n';
-  const AttackTree* tree = tree_of(r);
-  if (engine::is_front(r.problem)) {
-    out << "kind=front\n"
-        << "points=" << r.result.front.size() << '\n';
-    for (std::size_t i = 0; i < r.result.front.size(); ++i) {
-      const FrontPoint& p = r.result.front[i];
-      out << "point." << i << '=' << num(p.value.cost) << ' '
-          << num(p.value.damage) << ' '
-          << (tree ? attack_to_string(*tree, p.witness) : p.witness.to_string())
-          << '\n';
-    }
-  } else {
-    const OptAttack& a = r.result.attack;
-    out << "kind=attack\n"
-        << "feasible=" << (a.feasible ? "true" : "false") << '\n';
-    if (a.feasible)
-      out << "cost=" << num(a.cost) << '\n'
-          << "damage=" << num(a.damage) << '\n'
-          << "attack="
-          << (tree ? attack_to_string(*tree, a.witness) : a.witness.to_string())
-          << '\n';
-  }
-  out << "done\n";
-  return out.str();
-}
-
-std::string format_stats_json(const ResultCache::Stats& s,
-                              const SubtreeCache::Stats& sub,
-                              std::size_t sessions) {
-  const auto counters = [](const auto& c) {
-    std::ostringstream out;
-    out << "{\"hits\":" << c.hits << ",\"misses\":" << c.misses
-        << ",\"insertions\":" << c.insertions << ",\"evictions\":"
-        << c.evictions << ",\"collisions\":" << c.collisions
-        << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes << '}';
-    return out.str();
-  };
-  std::ostringstream out;
-  out << "ok=true\njson={\"cache\":" << counters(s) << ",\"subtree\":"
-      << counters(sub) << ",\"sessions\":" << sessions << "}\ndone\n";
-  return out.str();
-}
-
-std::string format_stats(const ResultCache::Stats& s,
-                         const SubtreeCache::Stats& sub,
-                         std::size_t sessions) {
-  std::ostringstream out;
-  out << "ok=true\n"
-      << "hits=" << s.hits << '\n'
-      << "misses=" << s.misses << '\n'
-      << "insertions=" << s.insertions << '\n'
-      << "evictions=" << s.evictions << '\n'
-      << "collisions=" << s.collisions << '\n'
-      << "entries=" << s.entries << '\n'
-      << "bytes=" << s.bytes << '\n'
-      << "subtree_hits=" << sub.hits << '\n'
-      << "subtree_misses=" << sub.misses << '\n'
-      << "subtree_insertions=" << sub.insertions << '\n'
-      << "subtree_evictions=" << sub.evictions << '\n'
-      << "subtree_collisions=" << sub.collisions << '\n'
-      << "subtree_entries=" << sub.entries << '\n'
-      << "subtree_bytes=" << sub.bytes << '\n'
-      << "sessions=" << sessions << '\n'
-      << "done\n";
-  return out.str();
-}
-
-namespace {
-
-bool parse_value(const std::string& tok, double* value) {
-  std::size_t consumed = 0;
-  try {
-    *value = std::stod(tok, &consumed);
-  } catch (const std::exception&) {
-    return false;
-  }
-  return consumed == tok.size() && std::isfinite(*value);
-}
-
-/// Parsed `solve`/`open` header; `error` set when malformed.
-struct SolveHeader {
-  std::string error;
-  std::optional<engine::Problem> problem;
-  double bound = 0.0;
-  std::string engine_name;
-};
-
-SolveHeader parse_solve_header(const std::vector<std::string>& tok) {
-  SolveHeader h;
-  if (tok.size() < 2) {
-    h.error = tok[0] + " requires a problem name "
-              "(cdpf|dgc|cgd|cedpf|edgc|cged)";
-    return h;
-  }
-  if (!(h.problem = parse_problem(tok[1]))) {
-    h.error = "unknown problem '" + tok[1] +
-              "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)";
-    return h;
-  }
-  for (std::size_t i = 2; i < tok.size(); ++i) {
-    if (tok[i].rfind("bound=", 0) == 0) {
-      // Strict numeric parse shared with the edit values: full
-      // consumption (no trailing junk) and finite.
-      if (!parse_value(tok[i].substr(6), &h.bound)) {
-        h.error = "bad bound '" + tok[i] + "' (must be finite)";
-        return h;
-      }
-    } else if (tok[i].rfind("engine=", 0) == 0) {
-      h.engine_name = tok[i].substr(7);
-    } else {
-      h.error = "unknown " + tok[0] + " argument '" + tok[i] +
-                "' (expected bound=<num> or engine=<name>)";
-      return h;
-    }
-  }
-  return h;
-}
-
-/// Reads lines up to the `end` terminator into \p model_text.  Returns
-/// false when the stream ends first.
-bool read_model_block(std::istream& in, std::string* model_text) {
-  std::string raw;
-  while (std::getline(in, raw)) {
-    // The terminator may carry a trailing comment ('#' starts a comment
-    // everywhere in the protocol), so strip it before testing.
-    std::string stripped = raw;
-    if (const auto h = stripped.find('#'); h != std::string::npos)
-      stripped.erase(h);
-    if (trim(stripped) == "end") return true;
-    *model_text += raw;
-    *model_text += '\n';
-  }
-  return false;
-}
-
-bool parse_session_id(const std::string& tok, std::uint64_t* id) {
-  if (tok.empty()) return false;
-  std::size_t consumed = 0;
-  try {
-    *id = std::stoull(tok, &consumed);
-  } catch (const std::exception&) {
-    return false;
-  }
-  return consumed == tok.size();
-}
-
-/// Applies one `edit` command (tokens after the session id).  The
-/// replace-subtree model block has already been consumed into
-/// \p subtree_text by the caller.
-std::string apply_edit(Session& session, const std::vector<std::string>& tok,
-                       const std::string& subtree_text) {
-  const std::string& op = tok[2];
-  if (op == "replace-subtree") {
-    if (tok.size() != 4) return "edit replace-subtree takes: <node>";
-    return session.replace_subtree(tok[3], subtree_text);
-  }
-  if (op == "toggle-defense") {
-    if (tok.size() != 4) return "edit toggle-defense takes: <bas>";
-    return session.toggle_defense(tok[3]);
-  }
-  if (op == "set-cost" || op == "set-prob" || op == "set-damage") {
-    if (tok.size() != 5) return "edit " + op + " takes: <name> <value>";
-    double value = 0.0;
-    if (!parse_value(tok[4], &value))
-      return "edit " + op + ": bad value '" + tok[4] + "'";
-    if (op == "set-cost") return session.set_cost(tok[3], value);
-    if (op == "set-prob") return session.set_prob(tok[3], value);
-    return session.set_damage(tok[3], value);
-  }
-  return "unknown edit op '" + op +
-         "' (expected set-cost, set-prob, set-damage, toggle-defense, or "
-         "replace-subtree)";
-}
-
-/// Wraps an analysis table as a response block: the table rides along
-/// verbatim, one row.<i>= line per table line, so clients get exactly
-/// the byte-stable rendering the library produces.
-std::string analysis_block(const char* kind, const std::string& table,
-                           double micros) {
-  std::ostringstream out;
-  out << "ok=true\nkind=" << kind << "\nmicros=" << micros_str(micros)
-      << '\n';
-  std::size_t rows = 0, start = 0;
-  std::ostringstream body;
-  while (start < table.size()) {
-    std::size_t nl = table.find('\n', start);
-    if (nl == std::string::npos) nl = table.size();
-    body << "row." << rows++ << '=' << table.substr(start, nl - start)
-         << '\n';
-    start = nl + 1;
-  }
-  out << "rows=" << rows << '\n' << body.str() << "done\n";
-  return out.str();
-}
-
-/// Handles one `analyze` command (model block already consumed).  Sets
-/// \p ran when an analysis actually executed (for the serve() counter).
-std::string handle_analyze(const std::vector<std::string>& tok,
-                           const std::string& model_text,
-                           SolveService& service, bool* ran) {
-  if (tok.size() < 3)
-    return error_block(
-        "analyze takes: (sweep|sensitivity|portfolio) <problem> ...");
-  const std::string& what = tok[1];
-  if (what != "sweep" && what != "sensitivity" && what != "portfolio")
-    return error_block("unknown analysis '" + what +
-                       "' (expected sweep, sensitivity, or portfolio)");
-  const auto problem = parse_problem(tok[2]);
-  if (!problem)
-    return error_block("unknown problem '" + tok[2] +
-                       "' (expected cdpf|dgc|cgd|cedpf|edgc|cged)");
-
-  analysis::Options aopt;
-  aopt.problem = *problem;
-  aopt.engine_name.clear();
-  aopt.batch = service.options().batch;
-  aopt.shared = service.shared_subtree_cache();
-  std::vector<analysis::Axis> axes;
-  std::vector<defense::Countermeasure> catalogue;
-  double defense_budget = std::numeric_limits<double>::infinity();
-  bool have_bound = false;
-  for (std::size_t i = 3; i < tok.size(); ++i) {
-    std::string err;
-    if (tok[i].rfind("axis=", 0) == 0) {
-      const auto axis = analysis::parse_axis(tok[i].substr(5), &err);
-      if (!axis) return error_block(err);
-      axes.push_back(*axis);
-    } else if (tok[i].rfind("defense=", 0) == 0) {
-      const auto cm = analysis::parse_countermeasure(tok[i].substr(8), &err);
-      if (!cm) return error_block(err);
-      catalogue.push_back(*cm);
-    } else if (tok[i].rfind("budget=", 0) == 0) {
-      if (what != "portfolio")
-        return error_block("budget= only applies to analyze portfolio");
-      if (!parse_value(tok[i].substr(7), &defense_budget) ||
-          defense_budget < 0.0)
-        return error_block("bad budget '" + tok[i] + "' (must be >= 0)");
-    } else if (tok[i].rfind("bound=", 0) == 0) {
-      if (what == "sensitivity")
-        return error_block("bound= does not apply to analyze sensitivity "
-                           "(the front problems ignore it)");
-      if (!parse_value(tok[i].substr(6), &aopt.bound))
-        return error_block("bad bound '" + tok[i] + "' (must be finite)");
-      have_bound = true;
-    } else if (tok[i].rfind("step=", 0) == 0) {
-      if (what != "sensitivity")
-        return error_block("step= only applies to analyze sensitivity");
-      if (!parse_value(tok[i].substr(5), &aopt.sensitivity_step) ||
-          aopt.sensitivity_step <= 0.0)
-        return error_block("bad step '" + tok[i] + "' (must be > 0)");
-    } else if (tok[i].rfind("engine=", 0) == 0) {
-      aopt.engine_name = tok[i].substr(7);
-    } else {
-      return error_block("unknown analyze argument '" + tok[i] + "'");
-    }
-  }
-  if (what == "sweep" && axes.empty())
-    return error_block("analyze sweep needs at least one axis=<spec>");
-  if (what != "sweep" && !axes.empty())
-    return error_block("axis= only applies to analyze sweep");
-  if (what == "sensitivity" && !engine::is_front(*problem))
-    return error_block("analyze sensitivity takes a front problem "
-                       "(cdpf or cedpf)");
-  if (what == "portfolio" &&
-      (*problem != engine::Problem::Dgc && *problem != engine::Problem::Edgc))
-    return error_block("analyze portfolio takes dgc or edgc");
-  if (what == "portfolio" && catalogue.empty())
-    return error_block(
-        "analyze portfolio needs at least one defense=<name>:<cost>:<bas>");
-  if (what != "portfolio" && !catalogue.empty())
-    return error_block("defense= only applies to analyze portfolio");
-  // An unbounded attacker is the portfolio default; the clamp to the
-  // hardening scale happens inside portfolio().
-  if (what == "portfolio" && !have_bound)
-    aopt.bound = std::numeric_limits<double>::infinity();
-
-  try {
-    const auto t0 = detail::Clock::now();
-    ParsedModel parsed = parse_model(model_text);
-    std::string table;
-    if (engine::is_probabilistic(*problem)) {
-      const CdpAt m{std::move(parsed.tree), std::move(parsed.cost),
-                    std::move(parsed.damage), std::move(parsed.prob)};
-      m.validate();
-      if (what == "sweep")
-        table = analysis::to_table(analysis::sweep(m, axes, aopt));
-      else if (what == "sensitivity")
-        table = analysis::to_table(analysis::sensitivity(m, aopt));
-      else
-        table = analysis::to_table(
-            analysis::portfolio(m, catalogue, defense_budget, aopt));
-    } else {
-      const CdAt m{std::move(parsed.tree), std::move(parsed.cost),
-                   std::move(parsed.damage)};
-      m.validate();
-      if (what == "sweep")
-        table = analysis::to_table(analysis::sweep(m, axes, aopt));
-      else if (what == "sensitivity")
-        table = analysis::to_table(analysis::sensitivity(m, aopt));
-      else
-        table = analysis::to_table(
-            analysis::portfolio(m, catalogue, defense_budget, aopt));
-    }
-    *ran = true;
-    return analysis_block(what.c_str(), table, detail::micros_since(t0));
-  } catch (const std::exception& e) {
-    return error_block(e.what());
-  }
-}
-
-}  // namespace
-
-std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
-                  SessionManager* sessions) {
-  SessionManager local_sessions;
-  SessionManager& mgr = sessions ? *sessions : local_sessions;
+std::size_t serve(std::istream& in, std::ostream& out,
+                  api::Dispatcher& dispatcher) {
   std::size_t handled = 0;
   std::string raw;
   while (std::getline(in, raw)) {
@@ -407,144 +22,42 @@ std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
     if (const auto h = line.find('#'); h != std::string::npos)
       line = trim(line.substr(0, h));
     if (line.empty()) continue;
-    const std::vector<std::string> tok = split_ws(line);
 
-    if (tok[0] == "quit" || tok[0] == "exit") break;
-
-    if (tok[0] == "stats") {
-      const bool json = tok.size() >= 2 && tok[1] == "--json";
-      out << (json ? format_stats_json(service.cache().stats(),
-                                       service.subtree_cache().stats(),
-                                       mgr.size())
-                   : format_stats(service.cache().stats(),
-                                  service.subtree_cache().stats(),
-                                  mgr.size()));
+    api::LineRequest lr = api::read_line_request(line, in);
+    if (lr.code != api::ErrorCode::Ok) {
+      out << api::format_line(api::error_response({}, lr.code, lr.error));
       out.flush();
       continue;
     }
+    if (std::holds_alternative<api::ShutdownRequest>(lr.request.op)) break;
 
-    if (tok[0] == "analyze") {
-      // Like solve/open, an analyze line is always followed by a model
-      // block, consumed even when the header is bad (desync guard).
-      std::string model_text;
-      const bool terminated = read_model_block(in, &model_text);
-      bool ran = false;
-      out << (terminated
-                  ? handle_analyze(tok, model_text, service, &ran)
-                  : error_block(
-                        "unterminated model block (missing 'end' line)"));
-      out.flush();
-      if (ran) ++handled;
-      continue;
+    const api::Response resp = dispatcher.dispatch(lr.request);
+    handled += api::handled_increment(lr.request, resp);
+    if (lr.stats_json && resp.code == api::ErrorCode::Ok) {
+      out << api::format_stats_json_line(
+          std::get<api::StatsPayload>(resp.payload));
+    } else {
+      out << api::format_line(resp);
     }
-
-    if (tok[0] == "solve" || tok[0] == "open") {
-      // Header problems are collected, not reported yet: the client
-      // sends a model block after every solve/open line, so the block
-      // must be consumed either way or the stream desyncs (model lines
-      // would be re-parsed as commands).
-      SolveHeader header = parse_solve_header(tok);
-      std::string model_text;
-      const bool terminated = read_model_block(in, &model_text);
-      if (!header.error.empty()) {
-        out << error_block(header.error);
-        out.flush();
-        continue;
-      }
-      if (!terminated) {
-        out << error_block("unterminated model block (missing 'end' line)");
-        out.flush();
-        continue;
-      }
-      if (tok[0] == "solve") {
-        const Response r = service.handle(
-            Request::of_text(*header.problem, std::move(model_text),
-                             header.bound, std::move(header.engine_name)));
-        out << format_response(r);
-        out.flush();
-        ++handled;
-        continue;
-      }
-      // open: build an incremental session over the service's engine
-      // configuration, sharing the service-wide subtree cache.
-      Session::Options sopt;
-      sopt.problem = *header.problem;
-      sopt.bound = header.bound;
-      sopt.engine_name = std::move(header.engine_name);
-      sopt.batch = service.options().batch;
-      sopt.shared = service.shared_subtree_cache();
-      try {
-        const std::uint64_t id = mgr.open(
-            std::make_unique<Session>(model_text, std::move(sopt)));
-        out << "ok=true\nsession=" << id << "\ndone\n";
-      } catch (const std::exception& e) {
-        out << error_block(e.what());
-      }
-      out.flush();
-      continue;
-    }
-
-    if (tok[0] == "edit") {
-      // A replace-subtree edit is followed by a model block, which must
-      // be consumed even when the header or session id is bad — also
-      // check the op's shifted position (a forgotten session id moves
-      // it), or the block's model lines would be re-parsed as commands
-      // and desync the stream.  Only the op positions are checked:
-      // "replace-subtree" is a legal *node name*, so an operand match
-      // (e.g. `edit 1 set-cost replace-subtree 3`) must not eat a block.
-      const bool has_block =
-          (tok.size() >= 2 && tok[1] == "replace-subtree") ||
-          (tok.size() >= 3 && tok[2] == "replace-subtree");
-      std::string subtree_text;
-      bool terminated = true;
-      if (has_block) terminated = read_model_block(in, &subtree_text);
-      std::uint64_t id = 0;
-      std::string err;
-      if (tok.size() < 3 || !parse_session_id(tok[1], &id)) {
-        err = "edit takes: <session-id> <op> ...";
-      } else if (!terminated) {
-        err = "unterminated model block (missing 'end' line)";
-      } else if (const auto session = mgr.find(id); !session) {
-        err = "no session " + tok[1];
-      } else {
-        err = apply_edit(*session, tok, subtree_text);
-      }
-      out << (err.empty() ? "ok=true\ndone\n" : error_block(err));
-      out.flush();
-      continue;
-    }
-
-    if (tok[0] == "resolve" || tok[0] == "close") {
-      std::uint64_t id = 0;
-      if (tok.size() != 2 || !parse_session_id(tok[1], &id)) {
-        out << error_block(tok[0] + " takes: <session-id>");
-        out.flush();
-        continue;
-      }
-      if (tok[0] == "close") {
-        out << (mgr.close(id) ? "ok=true\ndone\n"
-                              : error_block("no session " + tok[1]));
-        out.flush();
-        continue;
-      }
-      const auto session = mgr.find(id);
-      if (!session) {
-        out << error_block("no session " + tok[1]);
-        out.flush();
-        continue;
-      }
-      out << format_response(session->resolve());
-      out.flush();
-      ++handled;
-      continue;
-    }
-
-    out << error_block("unknown command '" + tok[0] +
-                       "' (expected solve, open, edit, resolve, close, "
-                       "analyze, stats, or quit)");
     out.flush();
   }
+
+  // Structured shutdown block on `quit` *and* on EOF — the session
+  // never ends silently.
+  api::Request shutdown;
+  shutdown.op = api::ShutdownRequest{};
+  api::Response resp = dispatcher.dispatch(shutdown);
+  if (auto* p = std::get_if<api::ShutdownPayload>(&resp.payload))
+    p->handled = handled;
+  out << api::format_line(resp);
+  out.flush();
   return handled;
+}
+
+std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
+                  SessionManager* sessions) {
+  api::Dispatcher dispatcher(service, sessions);
+  return serve(in, out, dispatcher);
 }
 
 }  // namespace atcd::service

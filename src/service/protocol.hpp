@@ -1,6 +1,13 @@
 #pragma once
 /// \file protocol.hpp
-/// Line-oriented request/response protocol over the solve service.
+/// Line-oriented request/response protocol over the solve service —
+/// legacy but fully supported.
+///
+/// Since the api/ refactor this file is a *thin adapter*: every command
+/// line transcodes into a typed api::Request (api/line.hpp) and runs
+/// through the same api::Dispatcher as the v1 JSON envelope
+/// (api/json.hpp, api/server.hpp), so the two transports cannot drift.
+/// The wire syntax below is unchanged.
 ///
 /// Requests (one command per line; '#' starts a comment outside model
 /// blocks too):
@@ -34,44 +41,30 @@
 ///   <model lines>
 ///   end
 ///
-///   stats [--json]   # result-cache + subtree-cache counters; --json
-///                    # emits them as one machine-readable json= line
+///   stats [--json]   # unified counters (caches, sessions, api_* op
+///                    # counts); --json emits one machine-readable
+///                    # json= line
 ///   quit             # end the session
 ///
-/// <problem> is one of cdpf, dgc, cgd, cedpf, edgc, cged.  The model
-/// block between the `solve`/`open`/`analyze` line (or a
-/// `replace-subtree` edit) and the `end` line is the textual model
-/// format of at/parser.hpp verbatim.  `open` answers `session=<sid>`;
-/// edits answer plain ok=true/ok=false blocks; `resolve` answers like
-/// `solve`.
-///
-/// `analyze` runs the scenario analyses of src/analysis/ over the model
-/// block: `sweep` grids 1-2 axes (axis spec
-/// <attr>:<node>:<lo>:<hi>:<steps> with <attr> in cost|prob|damage, or
-/// defense:<bas>) through an incremental session; `sensitivity`
-/// (cdpf/cedpf only) ranks every leaf parameter by its front impact;
-/// `portfolio` (dgc/edgc only) optimizes the defense subset (spec
-/// <name>:<cost>:<bas>[+<bas>...]) under the defender budget= — bound=
-/// is the attacker budget, unbounded when omitted.  Responses carry the
-/// analysis table verbatim, one row.<i>= line per table line.
-///
-/// Responses are stable key=value lines terminated by a single `done`
-/// line.  Successful solves:
+/// <problem> is one of cdpf, dgc, cgd, cedpf, edgc, cged.  Responses
+/// are stable key=value lines terminated by a single `done` line;
+/// failures are `ok=false` / `error=<one line>` / `done` blocks (the
+/// typed api::ErrorCode taxonomy is a JSON-envelope feature — the line
+/// protocol keeps its historical shape).  The session always ends with
+/// a structured shutdown block
 ///
 ///   ok=true
-///   engine=<backend>  cache=hit|miss|coalesced  hash=<16 hex digits>
-///   micros=<float>
-///   kind=front  points=<n>  point.<i>=<cost> <damage> {<bas, ...>}
-///     — or —
-///   kind=attack  feasible=true|false  cost=... damage=... attack={...}
+///   kind=shutdown
+///   handled=<n>
 ///   done
 ///
-/// Failures: ok=false, error=<single-line message>, done.
+/// whether it ended by `quit` or by EOF.
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "api/dispatcher.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -80,34 +73,21 @@ namespace atcd::service {
 /// Parses a protocol problem name (as printed by engine::to_string).
 std::optional<engine::Problem> parse_problem(const std::string& name);
 
-/// Renders one response as the key=value block described above.
-std::string format_response(const Response& response);
-
-/// Renders the stats response block: result-cache counters,
-/// subtree-cache counters (subtree_ prefix), and the number of open
-/// sessions.
-std::string format_stats(const ResultCache::Stats& stats,
-                         const SubtreeCache::Stats& subtree,
-                         std::size_t sessions);
-
-/// Renders the same counters as a single `json=` line (stable key
-/// order), so bench harnesses and dashboards parse them without
-/// scraping the key=value block.
-std::string format_stats_json(const ResultCache::Stats& stats,
-                              const SubtreeCache::Stats& subtree,
-                              std::size_t sessions);
-
-/// Serves requests from \p in to \p out until EOF or `quit`.  Protocol
+/// Serves line-protocol requests from \p in to \p out until EOF or
+/// `quit`, dispatching every command through \p dispatcher.  Protocol
 /// errors (unknown command, bad solve header, unterminated model block)
 /// produce ok=false responses; the session keeps going.  A `solve`,
 /// `open`, or `analyze` line (and a `replace-subtree` edit) is always
 /// followed by a model block, which is consumed even when the header is
 /// invalid — one response block per request, so clients never desync.
 /// Returns the number of solve/resolve/analyze requests handled.
-///
-/// \p sessions holds this connection's incremental sessions; pass a
-/// shared manager to share sessions across connections, or null to give
-/// the connection a private manager (sessions die with it).
+std::size_t serve(std::istream& in, std::ostream& out,
+                  api::Dispatcher& dispatcher);
+
+/// Legacy form: wraps \p service (and \p sessions, or a private manager
+/// when null) in a borrowing dispatcher for this call.  Existing call
+/// sites keep working; new code should hold a Dispatcher so the api_*
+/// counters survive across connections.
 std::size_t serve(std::istream& in, std::ostream& out, SolveService& service,
                   SessionManager* sessions = nullptr);
 

@@ -1,0 +1,946 @@
+/// Tests for the versioned typed API facade (src/api/): the JSON wire
+/// codec (round-trip byte-stability, strict malformed-input handling),
+/// the legacy line-protocol transcoder, line/JSON behavioral parity
+/// through the shared dispatcher, pipelined out-of-order serving with
+/// request ids, the unified stats counters, the structured shutdown
+/// responses, and the CLI exit-code mapping.
+///
+/// The round-trip property and the malformed tables scale with
+/// ATCD_FUZZ_ITERS (default 60; CI's nightly job raises it).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/json.hpp"
+#include "api/line.hpp"
+#include "api/server.hpp"
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace atcd {
+namespace {
+
+using namespace atcd::api;
+
+std::size_t fuzz_iters() {
+  if (const char* env = std::getenv("ATCD_FUZZ_ITERS"))
+    return std::strtoull(env, nullptr, 10);
+  return 60;
+}
+
+const char* kDetModel =
+    "bas a cost=1 damage=2\n"
+    "bas b cost=4 damage=1\n"
+    "or r = a, b damage=10\n";
+
+const char* kProbModel =
+    "bas a cost=1 damage=2 prob=0.5\n"
+    "bas b cost=4 damage=1 prob=0.25\n"
+    "or r = a, b damage=10\n";
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON value layer.
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":true,"
+                          "\"d\":null},\"e\":\"x\\ny\"}",
+                          &v, &err))
+      << err;
+  ASSERT_EQ(v.kind, json::Value::Kind::Object);
+  const json::Value* a = v.find("a");
+  ASSERT_TRUE(a && a->kind == json::Value::Kind::Array);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_EQ(a->items[1].number, 2.5);
+  EXPECT_EQ(a->items[2].number, -300.0);
+  const json::Value* e = v.find("e");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->string, "x\ny");
+  // dump() is canonical and reparseable.
+  const std::string dumped = json::dump(v);
+  json::Value v2;
+  ASSERT_TRUE(json::parse(dumped, &v2, &err)) << err;
+  EXPECT_EQ(json::dump(v2), dumped);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  json::Value v;
+  v.kind = json::Value::Kind::String;
+  v.string = "quote\" back\\ nl\n tab\t ctl\x01 utf\xC3\xA9";
+  const std::string dumped = json::dump(v);
+  json::Value v2;
+  std::string err;
+  ASSERT_TRUE(json::parse(dumped, &v2, &err)) << err;
+  EXPECT_EQ(v2.string, v.string);
+  EXPECT_EQ(json::dump(v2), dumped);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",          "{",           "[1,2",        "{\"a\":}",
+      "nullx",     "tru",         "01x",         "\"unterminated",
+      "\"\\u12\"", "\"\\ud800\"", "{\"a\":1,}",  "[1 2]",
+      "{\"a\" 1}", "1 2",         "\"a\"junk",   "{\"a\":1}}",
+  };
+  for (const char* text : bad) {
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(text, &v, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+  // Depth cap: garbage nesting cannot blow the stack.
+  std::string deep(512, '[');
+  json::Value v;
+  std::string err;
+  EXPECT_FALSE(json::parse(deep, &v, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, WireStringsRoundTrip) {
+  for (ErrorCode c :
+       {ErrorCode::Ok, ErrorCode::MalformedRequest,
+        ErrorCode::UnsupportedVersion, ErrorCode::UnknownOperation,
+        ErrorCode::InvalidArgument, ErrorCode::ParseError,
+        ErrorCode::ModelError, ErrorCode::NoSuchSession, ErrorCode::Capacity,
+        ErrorCode::SolverFailure, ErrorCode::Internal}) {
+    const auto back = parse_error_code(to_string(c));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(parse_error_code("nope").has_value());
+}
+
+TEST(ErrorTaxonomy, ExitCodesAreDeterministic) {
+  EXPECT_EQ(exit_code(ErrorCode::Ok), 0);
+  // Usage-class failures exit 2.
+  EXPECT_EQ(exit_code(ErrorCode::MalformedRequest), 2);
+  EXPECT_EQ(exit_code(ErrorCode::UnknownOperation), 2);
+  EXPECT_EQ(exit_code(ErrorCode::InvalidArgument), 2);
+  EXPECT_EQ(exit_code(ErrorCode::NoSuchSession), 2);
+  // Model-class failures exit 3.
+  EXPECT_EQ(exit_code(ErrorCode::ParseError), 3);
+  EXPECT_EQ(exit_code(ErrorCode::ModelError), 3);
+  // Solver-class failures exit 4.
+  EXPECT_EQ(exit_code(ErrorCode::SolverFailure), 4);
+  EXPECT_EQ(exit_code(ErrorCode::Capacity), 4);
+  EXPECT_EQ(exit_code(ErrorCode::Internal), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Request round-trip property: encode -> decode -> encode is
+// byte-stable over random requests (the nightly CI check).
+// ---------------------------------------------------------------------------
+
+std::string random_text(Rng& rng, std::size_t max_len) {
+  static const char* pool[] = {"a", "b",  "Z", "0",  "_",  " ",  ":",
+                               "\n", "\t", "\"", "\\", "{",  "}",
+                               "\xC3\xA9" /* é */, "\xE2\x82\xAC" /* € */,
+                               "\x01", "\x1f"};
+  std::string out;
+  const std::size_t len = rng.below(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i)
+    out += pool[rng.below(sizeof pool / sizeof pool[0])];
+  return out;
+}
+
+double random_double(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: return 0.0;
+    case 1: return static_cast<double>(rng.range(-1000, 1000));
+    case 2: return rng.uniform(-10.0, 10.0);
+    case 3: return rng.uniform() * 1e-9;
+    default: return rng.uniform() * 1e12;
+  }
+}
+
+engine::Problem random_problem(Rng& rng) {
+  const engine::Problem all[] = {engine::Problem::Cdpf, engine::Problem::Dgc,
+                                 engine::Problem::Cgd, engine::Problem::Cedpf,
+                                 engine::Problem::Edgc, engine::Problem::Cged};
+  return all[rng.below(6)];
+}
+
+SolveSpec random_spec(Rng& rng) {
+  SolveSpec s;
+  s.problem = random_problem(rng);
+  if (rng.chance(0.5)) {
+    s.bound = random_double(rng);
+    s.has_bound = true;
+  }
+  if (rng.chance(0.4)) s.engine = random_text(rng, 12);
+  s.model = random_text(rng, 64);
+  return s;
+}
+
+Request random_request(Rng& rng) {
+  Request req;
+  if (rng.chance(0.8)) req.id = random_text(rng, 16);
+  switch (rng.below(11)) {
+    case 0: req.op = SolveRequest{random_spec(rng)}; break;
+    case 1: {
+      BatchRequest b;
+      if (rng.chance(0.5)) b.threads = rng.below(16);
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) b.items.push_back(random_spec(rng));
+      req.op = std::move(b);
+      break;
+    }
+    case 2: req.op = SessionOpenRequest{random_spec(rng)}; break;
+    case 3: {
+      SessionEditRequest e;
+      e.session = rng.below(1u << 20);
+      e.op = static_cast<EditOp>(rng.below(5));
+      e.target = random_text(rng, 12);
+      if (e.op == EditOp::SetCost || e.op == EditOp::SetProb ||
+          e.op == EditOp::SetDamage)
+        e.value = random_double(rng);
+      if (e.op == EditOp::ReplaceSubtree) e.model = random_text(rng, 40);
+      req.op = std::move(e);
+      break;
+    }
+    case 4: req.op = SessionResolveRequest{rng.below(1u << 20)}; break;
+    case 5: req.op = SessionCloseRequest{rng.below(1u << 20)}; break;
+    case 6: {
+      AnalyzeSweepRequest a;
+      a.problem = random_problem(rng);
+      const std::size_t n = rng.below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        a.axes.push_back(random_text(rng, 20));
+      if (rng.chance(0.5)) {
+        a.bound = random_double(rng);
+        a.has_bound = true;
+      }
+      if (rng.chance(0.4)) a.engine = random_text(rng, 8);
+      a.model = random_text(rng, 64);
+      req.op = std::move(a);
+      break;
+    }
+    case 7: {
+      AnalyzeSensitivityRequest a;
+      a.problem = random_problem(rng);
+      if (rng.chance(0.5)) {
+        a.step = rng.uniform(1e-6, 10.0);
+        a.has_step = true;
+      }
+      if (rng.chance(0.4)) a.engine = random_text(rng, 8);
+      a.model = random_text(rng, 64);
+      req.op = std::move(a);
+      break;
+    }
+    case 8: {
+      AnalyzePortfolioRequest a;
+      a.problem = random_problem(rng);
+      const std::size_t n = rng.below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        a.defenses.push_back(random_text(rng, 20));
+      if (rng.chance(0.5)) {
+        a.budget = rng.uniform(0.0, 1e6);
+        a.has_budget = true;
+      }
+      if (rng.chance(0.5)) {
+        a.bound = random_double(rng);
+        a.has_bound = true;
+      }
+      if (rng.chance(0.4)) a.engine = random_text(rng, 8);
+      a.model = random_text(rng, 64);
+      req.op = std::move(a);
+      break;
+    }
+    case 9: req.op = StatsRequest{}; break;
+    default: req.op = ShutdownRequest{}; break;
+  }
+  return req;
+}
+
+TEST(JsonCodec, RequestRoundTripIsByteStable) {
+  Rng rng(20260729);
+  const std::size_t iters = fuzz_iters();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const Request req = random_request(rng);
+    const std::string once = encode_request(req);
+    const Decoded<Request> dec = decode_request(once);
+    ASSERT_EQ(dec.code, ErrorCode::Ok)
+        << "iter " << i << ": " << dec.error << "\n" << once;
+    EXPECT_EQ(dec.value.id, req.id);
+    EXPECT_EQ(dec.value.op.index(), req.op.index());
+    const std::string twice = encode_request(dec.value);
+    ASSERT_EQ(once, twice) << "iter " << i;
+  }
+}
+
+TEST(JsonCodec, NumericIdsAreAccepted) {
+  const Decoded<Request> dec =
+      decode_request("{\"v\":1,\"id\":42,\"op\":\"stats\"}");
+  ASSERT_EQ(dec.code, ErrorCode::Ok) << dec.error;
+  EXPECT_EQ(dec.value.id, "42");
+}
+
+// ---------------------------------------------------------------------------
+// Response round-trip through the codec.
+// ---------------------------------------------------------------------------
+
+TEST(JsonCodec, ResponseRoundTripIsByteStable) {
+  Dispatcher d;
+  std::vector<Request> reqs;
+  Request r;
+  r.id = "front";
+  r.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", kDetModel}};
+  reqs.push_back(r);
+  r.id = "attack";
+  r.op = SolveRequest{{engine::Problem::Dgc, 2.0, true, "", kDetModel}};
+  reqs.push_back(r);
+  r.id = "err";
+  r.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", "garbage!"}};
+  reqs.push_back(r);
+  r.id = "open";
+  r.op = SessionOpenRequest{{engine::Problem::Dgc, 5.0, true, "", kDetModel}};
+  reqs.push_back(r);
+  r.id = "edit";
+  r.op = SessionEditRequest{1, EditOp::SetCost, "a", 3.0, ""};
+  reqs.push_back(r);
+  r.id = "resolve";
+  r.op = SessionResolveRequest{1};
+  reqs.push_back(r);
+  r.id = "close";
+  r.op = SessionCloseRequest{1};
+  reqs.push_back(r);
+  r.id = "sweep";
+  {
+    AnalyzeSweepRequest a;
+    a.problem = engine::Problem::Dgc;
+    a.axes = {"cost:a:1:3:3"};
+    a.bound = 5.0;
+    a.has_bound = true;
+    a.model = kDetModel;
+    r.op = std::move(a);
+  }
+  reqs.push_back(r);
+  r.id = "batch";
+  {
+    BatchRequest b;
+    b.items.push_back({engine::Problem::Cdpf, 0.0, false, "", kDetModel});
+    b.items.push_back({engine::Problem::Cdpf, 0.0, false, "", "broken"});
+    r.op = std::move(b);
+  }
+  reqs.push_back(r);
+  r.id = "stats";
+  r.op = StatsRequest{};
+  reqs.push_back(r);
+
+  for (const Request& req : reqs) {
+    const Response resp = d.dispatch(req);
+    for (const bool with_micros : {false, true}) {
+      const std::string once = encode_response(resp, with_micros);
+      const Decoded<Response> dec = decode_response(once);
+      ASSERT_EQ(dec.code, ErrorCode::Ok)
+          << req.id << ": " << dec.error << "\n" << once;
+      EXPECT_EQ(dec.value.id, resp.id);
+      EXPECT_EQ(dec.value.code, resp.code);
+      const std::string twice = encode_response(dec.value, with_micros);
+      EXPECT_EQ(once, twice) << req.id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Line/JSON parity: every operation reachable over the legacy line
+// protocol round-trips through the v1 JSON envelope and produces the
+// identical solver result on a fresh dispatcher.
+// ---------------------------------------------------------------------------
+
+/// Transcodes a full line-protocol script into typed requests (stopping
+/// at quit), exactly as serve() would.
+std::vector<Request> transcode_script(const std::string& script) {
+  std::istringstream in(script);
+  std::vector<Request> out;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = trimmed(raw);
+    if (const auto h = line.find('#'); h != std::string::npos)
+      line = trimmed(line.substr(0, h));
+    if (line.empty()) continue;
+    const LineRequest lr = read_line_request(line, in);
+    EXPECT_EQ(lr.code, ErrorCode::Ok) << line << ": " << lr.error;
+    if (lr.code != ErrorCode::Ok) continue;
+    if (std::holds_alternative<ShutdownRequest>(lr.request.op)) break;
+    out.push_back(lr.request);
+  }
+  return out;
+}
+
+TEST(Parity, EveryLineOpIsJsonReachableWithIdenticalResults) {
+  const std::string model = kDetModel;
+  const std::string prob_model = kProbModel;
+  std::string script;
+  script += "solve cdpf\n" + model + "end\n";
+  script += "solve dgc bound=2 engine=enumerative\n" + model + "end\n";
+  script += "solve cedpf\n" + prob_model + "end\n";
+  script += "open dgc bound=5\n" + model + "end\n";
+  script += "edit 1 set-cost a 3\n";
+  script += "edit 1 toggle-defense b\n";
+  script += "resolve 1\n";
+  script += "edit 1 replace-subtree b\nbas b2 cost=2 damage=4\nend\n";
+  script += "resolve 1\n";
+  script += "close 1\n";
+  script += "analyze sweep dgc axis=cost:a:1:3:3 bound=5\n" + model + "end\n";
+  script += "analyze sensitivity cdpf step=0.1\n" + model + "end\n";
+  script +=
+      "analyze portfolio dgc defense=cam:1:a defense=lock:2:b budget=3 "
+      "bound=5\n" +
+      model + "end\n";
+  script += "stats\n";
+  script += "quit\n";
+
+  const std::vector<Request> line_reqs = transcode_script(script);
+  ASSERT_EQ(line_reqs.size(), 14u);
+
+  // Side A dispatches the line-transcoded requests; side B first pushes
+  // each request through the JSON envelope (encode -> decode) and then
+  // dispatches on its own fresh dispatcher.  Byte-identical responses
+  // (timing excluded) prove the envelope loses nothing.
+  Dispatcher line_side;
+  Dispatcher json_side;
+  for (std::size_t i = 0; i < line_reqs.size(); ++i) {
+    const Response a = line_side.dispatch(line_reqs[i]);
+    const Decoded<Request> dec = decode_request(encode_request(line_reqs[i]));
+    ASSERT_EQ(dec.code, ErrorCode::Ok) << dec.error;
+    const Response b = json_side.dispatch(dec.value);
+    EXPECT_EQ(encode_response(a, false), encode_response(b, false))
+        << "request " << i;
+    EXPECT_EQ(a.code, ErrorCode::Ok) << "request " << i << ": " << a.error;
+  }
+
+  // Spot-check substance: the first request really produced a front.
+  Dispatcher fresh;
+  const Response front = fresh.dispatch(line_reqs[0]);
+  ASSERT_TRUE(std::holds_alternative<SolvePayload>(front.payload));
+  EXPECT_GT(std::get<SolvePayload>(front.payload).points.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-request handling: every bad input yields a typed error,
+// never a crash or a silent drop, and the serving loops keep going.
+// ---------------------------------------------------------------------------
+
+TEST(Malformed, JsonRequestsGetTypedErrors) {
+  const struct {
+    const char* text;
+    ErrorCode expect;
+  } table[] = {
+      {"", ErrorCode::MalformedRequest},
+      {"{", ErrorCode::MalformedRequest},
+      {"null", ErrorCode::MalformedRequest},
+      {"[]", ErrorCode::MalformedRequest},
+      {"\"solve\"", ErrorCode::MalformedRequest},
+      {"{}", ErrorCode::MalformedRequest},
+      {"{\"op\":\"stats\"}", ErrorCode::MalformedRequest},
+      {"{\"v\":1}", ErrorCode::MalformedRequest},
+      {"{\"v\":\"1\",\"op\":\"stats\"}", ErrorCode::UnsupportedVersion},
+      {"{\"v\":2,\"op\":\"stats\"}", ErrorCode::UnsupportedVersion},
+      {"{\"v\":1,\"op\":\"frobnicate\"}", ErrorCode::UnknownOperation},
+      {"{\"v\":1,\"op\":\"solve\"}", ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"solve\",\"problem\":\"zzz\",\"model\":\"\"}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"solve\",\"problem\":\"cdpf\",\"model\":7}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"solve\",\"problem\":\"cdpf\",\"model\":\"\","
+       "\"bound\":\"x\"}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"solve\",\"problem\":\"cdpf\",\"model\":\"\","
+       "\"junk\":1}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"edit\",\"session\":-1,\"edit\":\"set-cost\","
+       "\"target\":\"a\",\"value\":1}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"edit\",\"session\":1,\"edit\":\"warp\","
+       "\"target\":\"a\"}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"edit\",\"session\":1,\"edit\":\"set-cost\","
+       "\"target\":\"a\"}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"edit\",\"session\":1,\"edit\":\"toggle-defense\","
+       "\"target\":\"a\",\"value\":3}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"resolve\"}", ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"sweep\",\"problem\":\"dgc\",\"model\":\"\"}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"sensitivity\",\"problem\":\"cdpf\","
+       "\"model\":\"\",\"step\":-1}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"portfolio\",\"problem\":\"dgc\",\"model\":\"\","
+       "\"defenses\":[1]}",
+       ErrorCode::InvalidArgument},
+      {"{\"v\":1,\"op\":\"quit\",\"id\":[1]}", ErrorCode::MalformedRequest},
+  };
+  for (const auto& row : table) {
+    const Decoded<Request> dec = decode_request(row.text);
+    EXPECT_EQ(dec.code, row.expect) << row.text << " -> " << dec.error;
+    EXPECT_NE(dec.code, ErrorCode::Ok) << row.text;
+  }
+}
+
+TEST(Malformed, DispatcherValidatesArgumentsOnEveryTransport) {
+  // The wire codecs reject these too, but CLI and programmatic
+  // api::Request callers reach the dispatcher directly — semantic
+  // argument validation must live behind every transport.
+  Dispatcher d;
+  Request r;
+  {
+    AnalyzeSensitivityRequest a;
+    a.problem = engine::Problem::Cdpf;
+    a.step = -1.0;
+    a.has_step = true;
+    a.model = kDetModel;
+    r.op = std::move(a);
+  }
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::InvalidArgument);
+  {
+    AnalyzePortfolioRequest a;
+    a.problem = engine::Problem::Dgc;
+    a.defenses = {"cam:1:a"};
+    a.budget = -3.0;
+    a.has_budget = true;
+    a.model = kDetModel;
+    r.op = std::move(a);
+  }
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::InvalidArgument);
+  r.op = SolveRequest{{engine::Problem::Dgc,
+                       std::numeric_limits<double>::quiet_NaN(), true, "",
+                       kDetModel}};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::InvalidArgument);
+  // An infinite solve bound stays legal: an unbounded DgC budget is a
+  // meaningful instance (the cache simply declines such keys).
+  r.op = SolveRequest{{engine::Problem::Dgc,
+                       std::numeric_limits<double>::infinity(), true, "",
+                       kDetModel}};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+}
+
+TEST(Malformed, NonFiniteNumbersNeverSilentlyReachTheWire) {
+  // encode_request renders a non-finite optional number as JSON null;
+  // the decoder then rejects the field with a typed error instead of
+  // the server silently optimizing under an inverted value.
+  AnalyzePortfolioRequest a;
+  a.problem = engine::Problem::Dgc;
+  a.defenses = {"cam:1:a"};
+  a.budget = std::numeric_limits<double>::infinity();
+  a.has_budget = true;
+  a.model = kDetModel;
+  Request r;
+  r.op = std::move(a);
+  const std::string wire = encode_request(r);
+  EXPECT_NE(wire.find("\"budget\":null"), std::string::npos) << wire;
+  const Decoded<Request> dec = decode_request(wire);
+  EXPECT_EQ(dec.code, ErrorCode::InvalidArgument);
+}
+
+TEST(Malformed, FuzzedJsonNeverCrashesTheDecoder) {
+  // Truncations and mutations of a valid request: every outcome must be
+  // a clean decode or a typed error — never a crash.
+  const std::string valid =
+      "{\"v\":1,\"id\":\"7\",\"op\":\"solve\",\"problem\":\"cdpf\","
+      "\"bound\":1.5,\"model\":\"bas a cost=1\\n\"}";
+  for (std::size_t cut = 0; cut < valid.size(); ++cut)
+    (void)decode_request(valid.substr(0, cut));
+  Rng rng(42);
+  const std::size_t iters = fuzz_iters();
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t k = 0; k < flips; ++k)
+      mutated[rng.below(mutated.size())] =
+          static_cast<char>(rng.below(256));
+    (void)decode_request(mutated);  // must not crash or throw
+  }
+  SUCCEED();
+}
+
+TEST(Malformed, JsonServeAnswersEveryLineAndKeepsGoing) {
+  Dispatcher d;
+  std::string script;
+  script += "{\n";  // malformed: multi-line JSON is not a request
+  script += "garbage\n";
+  script += "{\"v\":1,\"id\":\"bad\",\"op\":\"nope\"}\n";
+  script += "{\"v\":9,\"id\":\"ver\",\"op\":\"stats\"}\n";
+  // A valid request after the garbage still works.
+  Request solve;
+  solve.id = "ok1";
+  solve.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", kDetModel}};
+  script += encode_request(solve) + "\n";
+  // Model-level failures are typed, not crashes.
+  Request bad_model;
+  bad_model.id = "pe";
+  bad_model.op =
+      SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", "garbage!"}};
+  script += encode_request(bad_model) + "\n";
+  Request bad_decor;
+  bad_decor.id = "me";
+  bad_decor.op = SolveRequest{
+      {engine::Problem::Cdpf, 0.0, false, "", "bas a cost=-1 damage=2\n"}};
+  script += encode_request(bad_decor) + "\n";
+  script += "{\"v\":1,\"id\":\"q\",\"op\":\"quit\"}\n";
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  const std::size_t handled = serve_json(in, out, d);
+  EXPECT_EQ(handled, 3u);  // the three dispatched solves
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 8u);  // one response per input line + shutdown
+  std::map<std::string, ErrorCode> by_id;
+  for (const std::string& line : lines) {
+    const Decoded<Response> dec = decode_response(line);
+    ASSERT_EQ(dec.code, ErrorCode::Ok) << line;
+    by_id[dec.value.id] = dec.value.code;
+  }
+  EXPECT_EQ(by_id["bad"], ErrorCode::UnknownOperation);
+  EXPECT_EQ(by_id["ver"], ErrorCode::UnsupportedVersion);
+  EXPECT_EQ(by_id["ok1"], ErrorCode::Ok);
+  EXPECT_EQ(by_id["pe"], ErrorCode::ParseError);
+  EXPECT_EQ(by_id["me"], ErrorCode::ModelError);
+  EXPECT_EQ(by_id["q"], ErrorCode::Ok);  // the shutdown response
+  // The last line is the structured shutdown echoing the quit id.
+  const Decoded<Response> last = decode_response(lines.back());
+  ASSERT_TRUE(std::holds_alternative<ShutdownPayload>(last.value.payload));
+  EXPECT_EQ(last.value.id, "q");
+  EXPECT_EQ(std::get<ShutdownPayload>(last.value.payload).handled, 3u);
+}
+
+TEST(Malformed, LineServeAnswersEveryRequestAndKeepsGoing) {
+  service::SolveService svc;
+  std::istringstream in(
+      "frobnicate\n"
+      "solve\n"
+      "bas a cost=1\n"
+      "end\n"
+      "solve dgc bound=abc\n"
+      "bas a cost=1\n"
+      "end\n"
+      "edit nonsense\n"
+      "resolve xyz\n"
+      "analyze sweep dgc axis=zzz bound=1\n"
+      "bas a cost=1 damage=1\n"
+      "end\n"
+      "analyze portfolio cdpf defense=cam:1:a\n"
+      "bas a cost=1 damage=1\n"
+      "end\n"
+      "solve cdpf\n"  // still alive after all of the above
+      "bas a cost=1 damage=2\n"
+      "end\n"
+      "quit\n");
+  std::ostringstream out;
+  const std::size_t handled = service::serve(in, out, svc);
+  EXPECT_EQ(handled, 1u);
+  const std::string o = out.str();
+  EXPECT_NE(o.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(o.find("requires a problem name"), std::string::npos);
+  EXPECT_NE(o.find("bad bound 'bound=abc'"), std::string::npos);
+  EXPECT_NE(o.find("edit takes: <session-id> <op> ..."), std::string::npos);
+  EXPECT_NE(o.find("resolve takes: <session-id>"), std::string::npos);
+  EXPECT_NE(o.find("bad axis"), std::string::npos);
+  EXPECT_NE(o.find("analyze portfolio takes dgc or edgc"),
+            std::string::npos);
+  EXPECT_NE(o.find("kind=front"), std::string::npos);
+  EXPECT_NE(o.find("kind=shutdown\nhandled=1\n"), std::string::npos);
+  std::size_t dones = 0;
+  for (auto pos = o.find("done\n"); pos != std::string::npos;
+       pos = o.find("done\n", pos + 1))
+    ++dones;
+  EXPECT_EQ(dones, 9u);  // 7 errors + 1 solve + shutdown
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined serving: out-of-order completion matched by request id,
+// byte-identical across thread counts.
+// ---------------------------------------------------------------------------
+
+std::string pipelined_script(std::size_t n, std::vector<std::string>* ids) {
+  // Distinct models (distinct costs) so the responses are genuinely
+  // different and cache dispositions are deterministic (all misses).
+  std::vector<std::string> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.id = "req-" + std::to_string(i);
+    ids->push_back(r.id);
+    std::ostringstream model;
+    model << "bas a cost=" << (i + 1) << " damage=2\n"
+          << "bas b cost=4 damage=1\nor r = a, b damage=10\n";
+    r.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", model.str()}};
+    reqs.push_back(encode_request(r));
+  }
+  // Shuffle deterministically so arrival order != id order.
+  Rng rng(7);
+  for (std::size_t i = reqs.size(); i > 1; --i)
+    std::swap(reqs[i - 1], reqs[rng.below(i)]);
+  std::string script;
+  for (const std::string& r : reqs) script += r + "\n";
+  script += "{\"v\":1,\"id\":\"quit\",\"op\":\"quit\"}\n";
+  return script;
+}
+
+TEST(Pipelined, ResponsesMatchIdsAndAreThreadCountInvariant) {
+  const std::size_t n = 16;
+  std::vector<std::string> ids;
+  const std::string script = pipelined_script(n, &ids);
+
+  std::vector<std::vector<std::string>> sorted_runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    Dispatcher d;
+    std::istringstream in(script);
+    std::ostringstream out;
+    JsonServeOptions opt;
+    opt.threads = threads;
+    const std::size_t handled = serve_json(in, out, d, opt);
+    EXPECT_EQ(handled, n);
+
+    std::vector<std::string> lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), n + 1);
+    // The shutdown response is always last and echoes the quit id.
+    const Decoded<Response> last = decode_response(lines.back());
+    ASSERT_EQ(last.code, ErrorCode::Ok);
+    EXPECT_EQ(last.value.id, "quit");
+    ASSERT_TRUE(std::holds_alternative<ShutdownPayload>(last.value.payload));
+    lines.pop_back();
+
+    // Every id answered exactly once, every response ok.
+    std::map<std::string, std::size_t> seen;
+    for (const std::string& line : lines) {
+      const Decoded<Response> dec = decode_response(line);
+      ASSERT_EQ(dec.code, ErrorCode::Ok) << line;
+      EXPECT_EQ(dec.value.code, ErrorCode::Ok);
+      ++seen[dec.value.id];
+    }
+    for (const std::string& id : ids) EXPECT_EQ(seen[id], 1u) << id;
+
+    std::sort(lines.begin(), lines.end());
+    sorted_runs.push_back(std::move(lines));
+  }
+  // Sorted by id, the bytes are identical for every --threads setting.
+  EXPECT_EQ(sorted_runs[0], sorted_runs[1]);
+  EXPECT_EQ(sorted_runs[0], sorted_runs[2]);
+}
+
+TEST(Pipelined, ConcurrentMixedOpsAllAnswered) {
+  // Sessions, solves, analyses, stats and malformed lines interleaved
+  // under a worker pool — exercised under tsan in CI.
+  Dispatcher d;
+  std::string script;
+  Request r;
+  r.id = "open";
+  r.op = SessionOpenRequest{{engine::Problem::Dgc, 5.0, true, "", kDetModel}};
+  script += encode_request(r) + "\n";
+  for (int i = 0; i < 6; ++i) {
+    r.id = "s" + std::to_string(i);
+    std::ostringstream model;
+    model << "bas a cost=" << (i + 1) << " damage=2\nbas b cost=4 damage=1\n"
+          << "or r = a, b damage=10\n";
+    r.op = SolveRequest{{engine::Problem::Dgc, 3.0, true, "", model.str()}};
+    script += encode_request(r) + "\n";
+  }
+  r.id = "an";
+  {
+    AnalyzeSweepRequest a;
+    a.problem = engine::Problem::Dgc;
+    a.axes = {"cost:a:1:2:2"};
+    a.bound = 5.0;
+    a.has_bound = true;
+    a.model = kDetModel;
+    r.op = std::move(a);
+  }
+  script += encode_request(r) + "\n";
+  r.id = "st";
+  r.op = StatsRequest{};
+  script += encode_request(r) + "\n";
+  script += "not json\n";
+  script += "{\"v\":1,\"op\":\"quit\"}\n";
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  JsonServeOptions opt;
+  opt.threads = 4;
+  serve_json(in, out, d, opt);
+  const std::vector<std::string> lines = lines_of(out.str());
+  EXPECT_EQ(lines.size(), 11u);  // 9 requests + 1 malformed + shutdown
+  for (const std::string& line : lines)
+    EXPECT_EQ(decode_response(line).code, ErrorCode::Ok) << line;
+}
+
+// ---------------------------------------------------------------------------
+// Stats: one source of truth across every protocol path.
+// ---------------------------------------------------------------------------
+
+TEST(Stats, DispatcherCountersCoverEveryPath) {
+  Dispatcher d;
+  Request r;
+  r.op = SolveRequest{{engine::Problem::Dgc, 5.0, true, "", kDetModel}};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  r.op = SessionOpenRequest{{engine::Problem::Dgc, 5.0, true, "", kDetModel}};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  r.op = SessionEditRequest{1, EditOp::SetCost, "a", 2.0, ""};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  r.op = SessionResolveRequest{1};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  r.op = SessionCloseRequest{1};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  {
+    AnalyzePortfolioRequest a;
+    a.problem = engine::Problem::Dgc;
+    a.defenses = {"cam:1:a", "lock:2:b"};
+    a.budget = 3.0;
+    a.has_budget = true;
+    a.bound = 5.0;
+    a.has_bound = true;
+    a.model = kDetModel;
+    r.op = std::move(a);
+  }
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::Ok);
+  r.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", "broken"}};
+  EXPECT_EQ(d.dispatch(r).code, ErrorCode::ParseError);
+
+  const StatsPayload s = d.stats();
+  EXPECT_EQ(s.api.requests, 7u);
+  EXPECT_EQ(s.api.solves, 3u);  // solve + resolve + failed solve
+  EXPECT_EQ(s.api.session_opens, 1u);
+  EXPECT_EQ(s.api.session_edits, 1u);
+  EXPECT_EQ(s.api.session_resolves, 1u);
+  EXPECT_EQ(s.api.session_closes, 1u);
+  EXPECT_EQ(s.api.analyses, 1u);
+  EXPECT_EQ(s.api.errors, 1u);
+  // The drift fix: the portfolio's derived solves ran against the
+  // service result cache, so the cache counters reflect analysis work
+  // (the old protocol bypassed them entirely).
+  EXPECT_GT(s.cache.insertions, 1u);
+
+  // The same numbers surface over both wire formats.
+  r.op = StatsRequest{};
+  const Response resp = d.dispatch(r);
+  const std::string json_line = encode_response(resp, false);
+  const Decoded<Response> dec = decode_response(json_line);
+  ASSERT_EQ(dec.code, ErrorCode::Ok);
+  const auto& p = std::get<StatsPayload>(dec.value.payload);
+  EXPECT_EQ(p.api.requests, 8u);  // + the stats request itself
+  EXPECT_EQ(p.api.analyses, 1u);
+  const std::string line_block = format_line(resp);
+  EXPECT_NE(line_block.find("api_requests=8\n"), std::string::npos)
+      << line_block;
+  EXPECT_NE(line_block.find("api_analyses=1\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured shutdown in both modes, on quit and on EOF.
+// ---------------------------------------------------------------------------
+
+TEST(Shutdown, LineModeAnswersOnEofAndQuit) {
+  for (const bool with_quit : {false, true}) {
+    service::SolveService svc;
+    std::string script = "solve cdpf\n";
+    script += kDetModel;
+    script += "end\n";
+    if (with_quit) script += "quit\n";
+    std::istringstream in(script);
+    std::ostringstream out;
+    const std::size_t handled = service::serve(in, out, svc);
+    EXPECT_EQ(handled, 1u);
+    EXPECT_NE(out.str().find("ok=true\nkind=shutdown\nhandled=1\ndone\n"),
+              std::string::npos)
+        << out.str();
+  }
+}
+
+TEST(Shutdown, JsonModeAnswersOnEof) {
+  Dispatcher d;
+  Request r;
+  r.id = "x";
+  r.op = SolveRequest{{engine::Problem::Cdpf, 0.0, false, "", kDetModel}};
+  std::istringstream in(encode_request(r) + "\n");  // no quit: EOF ends it
+  std::ostringstream out;
+  serve_json(in, out, d);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const Decoded<Response> last = decode_response(lines.back());
+  ASSERT_EQ(last.code, ErrorCode::Ok);
+  EXPECT_TRUE(last.value.id.empty());  // EOF has no request id to echo
+  ASSERT_TRUE(std::holds_alternative<ShutdownPayload>(last.value.payload));
+  EXPECT_EQ(std::get<ShutdownPayload>(last.value.payload).handled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, ItemsAreIndexAlignedAndFailIndependently) {
+  Dispatcher d;
+  BatchRequest b;
+  b.threads = 4;
+  for (int i = 0; i < 5; ++i) {
+    std::ostringstream model;
+    model << "bas a cost=" << (i + 1) << " damage=2\nbas b cost=4 damage=1\n"
+          << "or r = a, b damage=10\n";
+    b.items.push_back(
+        {engine::Problem::Dgc, static_cast<double>(i + 1), true, "",
+         model.str()});
+  }
+  b.items.push_back({engine::Problem::Cdpf, 0.0, false, "", "broken"});
+  Request r;
+  r.op = std::move(b);
+  const Response resp = d.dispatch(r);
+  ASSERT_EQ(resp.code, ErrorCode::Ok);
+  const auto& items = std::get<BatchPayload>(resp.payload).items;
+  ASSERT_EQ(items.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(items[static_cast<std::size_t>(i)].code, ErrorCode::Ok);
+    // Item i solved its own model: budget i+1 affords exactly cost a.
+    EXPECT_TRUE(items[static_cast<std::size_t>(i)].solve.feasible);
+  }
+  EXPECT_EQ(items[5].code, ErrorCode::ParseError);
+
+  // Batch results are identical to one-by-one dispatch.
+  Dispatcher solo;
+  for (int i = 0; i < 5; ++i) {
+    Request one;
+    std::ostringstream model;
+    model << "bas a cost=" << (i + 1) << " damage=2\nbas b cost=4 damage=1\n"
+          << "or r = a, b damage=10\n";
+    one.op = SolveRequest{{engine::Problem::Dgc, static_cast<double>(i + 1),
+                           true, "", model.str()}};
+    const Response single = solo.dispatch(one);
+    ASSERT_EQ(single.code, ErrorCode::Ok);
+    Response as_item;
+    as_item.payload = items[static_cast<std::size_t>(i)].solve;
+    EXPECT_EQ(encode_response(as_item, false),
+              encode_response(single, false));
+  }
+}
+
+}  // namespace
+}  // namespace atcd

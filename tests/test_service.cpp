@@ -613,12 +613,15 @@ TEST(Protocol, SolveStatsAndErrorsOverOneSession) {
   EXPECT_NE(o.find("engine=enumerative\n"), std::string::npos);
   EXPECT_NE(o.find("unknown problem 'nope'"), std::string::npos);
   EXPECT_NE(o.find("hits=1\n"), std::string::npos);
+  // `quit` answers with a structured shutdown block, never a silent
+  // exit; handled = the three solves.
+  EXPECT_NE(o.find("kind=shutdown\nhandled=3\n"), std::string::npos);
   // Every response block is terminated.
   std::size_t dones = 0;
   for (auto pos = o.find("done\n"); pos != std::string::npos;
        pos = o.find("done\n", pos + 1))
     ++dones;
-  EXPECT_EQ(dones, 5u);  // 3 solves + 1 error + 1 stats
+  EXPECT_EQ(dones, 6u);  // 3 solves + 1 error + 1 stats + shutdown
 }
 
 TEST(Protocol, UnterminatedModelBlockIsAnError) {
@@ -675,7 +678,7 @@ TEST(Protocol, BadHeaderStillConsumesTheModelBlock) {
   for (auto pos = o.find("done\n"); pos != std::string::npos;
        pos = o.find("done\n", pos + 1))
     ++dones;
-  EXPECT_EQ(dones, 3u);  // exactly one response block per request
+  EXPECT_EQ(dones, 4u);  // one block per request + the shutdown block
 }
 
 }  // namespace

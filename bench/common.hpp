@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/timer.hpp"
@@ -64,6 +65,74 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Machine-readable bench output.  Every bench binary keeps its stable
+/// textual report for humans and additionally writes BENCH_<area>.json —
+/// one flat object per named row, numeric metrics only — so CI trend
+/// tracking and the checked-in baseline snapshots need no log scraping.
+///
+///   JsonReport report("arena_hotpath");
+///   report.add("depth12/dgc", {{"arena_us", 812.0}, {"speedup", 3.1}});
+///   report.write();   // ./BENCH_arena_hotpath.json (or --json <path>)
+class JsonReport {
+ public:
+  explicit JsonReport(std::string area) : area_(std::move(area)) {}
+
+  /// Appends one row.  Rows keep insertion order; metric keys too.
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({name, std::move(metrics)});
+  }
+
+  std::string default_path() const { return "BENCH_" + area_ + ".json"; }
+
+  /// Writes the report; empty \p path means default_path() in the
+  /// current directory.  Returns false (and says so on stderr) if the
+  /// file cannot be written — benches report, they don't abort.
+  bool write(const std::string& path = {}) const {
+    const std::string target = path.empty() ? default_path() : path;
+    std::FILE* f = std::fopen(target.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", target.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                 area_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
+      for (const auto& [k, v] : r.metrics) {
+        if (std::isfinite(v))
+          std::fprintf(f, ", \"%s\": %.10g", k.c_str(), v);
+        else
+          std::fprintf(f, ", \"%s\": null", k.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", target.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string area_;
+  std::vector<Row> rows_;
+};
+
+/// Canonical Stats -> JSON metrics rendering, shared by the benches.
+inline std::vector<std::pair<std::string, double>> stats_metrics(
+    const Stats& s) {
+  return {{"runs", static_cast<double>(s.n)},
+          {"min_s", s.min},
+          {"mean_s", s.mean},
+          {"max_s", s.max},
+          {"stddev_s", s.stddev}};
 }
 
 }  // namespace atcd::bench

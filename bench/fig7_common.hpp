@@ -91,23 +91,27 @@ inline Fig7Engine fig7_engine(const Fig7EngineSpec& spec,
   return e;
 }
 
-inline void run_fig7(const Fig7Options& opt,
-                     const std::vector<Fig7Engine>& engines);
+/// Per-engine overall timing statistics (the Fig. 7d table), returned so
+/// the bench mains can emit their BENCH_<area>.json reports.
+using Fig7Summary = std::vector<std::pair<std::string, Stats>>;
+
+inline Fig7Summary run_fig7(const Fig7Options& opt,
+                            const std::vector<Fig7Engine>& engines);
 
 /// Registry-resolved variant: the benches name their engine line-up and
 /// --engine <name> narrows the run to a single (possibly non-default)
 /// registered backend.
-inline void run_fig7(const Fig7Options& opt, engine::Problem problem,
-                     std::vector<Fig7EngineSpec> specs) {
+inline Fig7Summary run_fig7(const Fig7Options& opt, engine::Problem problem,
+                            std::vector<Fig7EngineSpec> specs) {
   if (!opt.engine.empty()) specs = {{opt.engine}};
   std::vector<Fig7Engine> engines;
   engines.reserve(specs.size());
   for (const auto& s : specs) engines.push_back(fig7_engine(s, problem));
-  run_fig7(opt, engines);
+  return run_fig7(opt, engines);
 }
 
-inline void run_fig7(const Fig7Options& opt,
-                     const std::vector<Fig7Engine>& engines) {
+inline Fig7Summary run_fig7(const Fig7Options& opt,
+                            const std::vector<Fig7Engine>& engines) {
   Rng rng(opt.seed);
   gen::SuiteOptions sopt;
   sopt.max_n = opt.max_n;
@@ -182,16 +186,20 @@ inline void run_fig7(const Fig7Options& opt,
   std::printf("\nOverall statistics (Fig. 7d):\n");
   std::printf("%-16s %8s %10s %10s %10s\n", "engine", "#runs", "min",
               "mean", "max");
+  Fig7Summary summary;
   for (const auto& eng : engines) {
     const auto it = overall.find(eng.name);
     if (it == overall.end() || it->second.empty()) {
       std::printf("%-16s %8s\n", eng.name.c_str(), "-");
+      summary.emplace_back(eng.name, Stats{});
       continue;
     }
     const auto s = stats_of(it->second);
     std::printf("%-16s %8zu %9.4fs %9.4fs %9.4fs\n", eng.name.c_str(), s.n,
                 s.min, s.mean, s.max);
+    summary.emplace_back(eng.name, s);
   }
+  return summary;
 }
 
 }  // namespace atcd::bench

@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
                "paper Sec. X-D, Fig. 7a (Enum/BU/BILP over 500 random "
                "treelike ATs)");
   const auto opt = fig7_options(argc, argv, /*treelike=*/true);
-  run_fig7(opt, engine::Problem::Cdpf,
-           {
-               {"enumerative", 20},  // paper: enumeration only for N < 30
-               {"bottom-up"},
-               {"bilp"},
-           });
+  const auto summary =
+      run_fig7(opt, engine::Problem::Cdpf,
+               {
+                   {"enumerative", 20},  // paper: enumeration only for N < 30
+                   {"bottom-up"},
+                   {"bilp"},
+               });
+  JsonReport report("fig7a");
+  for (const auto& [name, s] : summary) report.add(name, stats_metrics(s));
+  report.write(flag_value(argc, argv, "--json"));
   return 0;
 }

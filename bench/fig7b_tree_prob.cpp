@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
   print_header("Fig. 7b — Ttree, probabilistic CEDPF",
                "paper Sec. X-D, Fig. 7b (Enum/BU)");
   const auto opt = fig7_options(argc, argv, /*treelike=*/true);
-  run_fig7(opt, engine::Problem::Cedpf,
-           {
-               {"enumerative", 18},
-               {"bottom-up"},
-           });
+  const auto summary = run_fig7(opt, engine::Problem::Cedpf,
+                                {
+                                    {"enumerative", 18},
+                                    {"bottom-up"},
+                                });
+  JsonReport report("fig7b");
+  for (const auto& [name, s] : summary) report.add(name, stats_metrics(s));
+  report.write(flag_value(argc, argv, "--json"));
   return 0;
 }

@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
                "ATs)");
   auto opt = fig7_options(argc, argv, /*treelike=*/false);
   if (!has_flag(argc, argv, "--full")) opt.max_n = 50;
-  run_fig7(opt, engine::Problem::Cdpf,
-           {
-               {"enumerative", 20},
-               {"bilp"},
-           });
+  const auto summary = run_fig7(opt, engine::Problem::Cdpf,
+                                {
+                                    {"enumerative", 20},
+                                    {"bilp"},
+                                });
+  JsonReport report("fig7c");
+  for (const auto& [name, s] : summary) report.add(name, stats_metrics(s));
+  report.write(flag_value(argc, argv, "--json"));
   return 0;
 }

@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
 
   bool dgc_depth8_single_ok = false;
   double dgc_depth8_single_speedup = 0.0;
+  bench::JsonReport report("incremental_edits");
 
   for (const Case& c : cases) {
     std::printf("%-10s %6s %6s %14s %14s %9s\n", c.label, "depth", "edits",
@@ -171,6 +172,11 @@ int main(int argc, char** argv) {
         const double speedup = scratch_us / session_us;
         std::printf("%-10s %6d %6zu %14.1f %14.1f %8.1fx\n", "", depth, k,
                     scratch_us, session_us, speedup);
+        report.add(std::string(c.label) + "/depth" + std::to_string(depth) +
+                       "/edits" + std::to_string(k),
+                   {{"scratch_us", scratch_us},
+                    {"session_us", session_us},
+                    {"speedup", speedup}});
         if (c.problem == engine::Problem::Dgc && depth == 8 && k == 1) {
           dgc_depth8_single_ok = speedup >= 5.0;
           dgc_depth8_single_speedup = speedup;
@@ -184,5 +190,6 @@ int main(int argc, char** argv) {
       "headline: dgc depth-8 single-leaf-edit session re-solve is %.1fx "
       "the full re-solve (target >= 5x): %s\n",
       dgc_depth8_single_speedup, dgc_depth8_single_ok ? "PASS" : "FAIL");
+  report.write(bench::flag_value(argc, argv, "--json"));
   return dgc_depth8_single_ok ? 0 : 1;
 }

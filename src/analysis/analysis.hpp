@@ -90,12 +90,12 @@ struct Options {
   engine::BatchOptions batch;
   service::SubtreeCache* shared = nullptr;
   /// Hardening applied by Defense axes and portfolio selections.  The
-  /// cost factor is finite so every backend stays exact, and smaller
-  /// than the session default (1e9): portfolio enumeration routinely
-  /// solves hardened *DAG* models through the embedded BILP, whose
-  /// simplex loses conditioning once cost coefficients pass ~1e5.  1e4
-  /// still dwarfs every realistic attacker budget.
-  defense::HardeningSemantics hardening{1e4, 0.0};
+  /// cost factor is finite so every backend stays exact — including BILP
+  /// on hardened DAG models, whose simplex equilibrates rows and columns
+  /// (lp.cpp) and stays stable to factors of 1e9 and beyond.  1e6 dwarfs
+  /// every realistic attacker budget while keeping hardened-plus-base
+  /// cost sums well inside exact double range.
+  defense::HardeningSemantics hardening{1e6, 0.0};
   /// Sensitivity's relative finite-difference step: costs and damages
   /// are scaled by (1 + step), probabilities by 1 / (1 + step).
   double sensitivity_step = 0.05;

@@ -17,6 +17,10 @@ service::Session::Options session_options(const Options& opt) {
   s.batch = opt.batch;
   s.shared = opt.shared;
   s.hardening = opt.hardening;
+  // The sweep consumes only Response::result; skipping the per-point
+  // model snapshot keeps each grid edit O(depth) instead of forcing a
+  // copy-on-write model clone per point.
+  s.snapshots = false;
   return s;
 }
 

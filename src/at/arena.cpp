@@ -1,0 +1,185 @@
+#include "at/arena.hpp"
+
+namespace atcd {
+
+ArenaTree ArenaTree::of(const AttackTree& t) {
+  if (!t.finalized()) throw ModelError("arena: tree not finalized");
+  const std::uint32_t n = static_cast<std::uint32_t>(t.node_count());
+
+  ArenaTree a;
+  a.treelike_ = t.is_treelike();
+  a.bas_count_ = static_cast<std::uint32_t>(t.bas_count());
+  a.type_.reserve(n);
+  a.bas_index_.reserve(n);
+  a.subtree_size_.reserve(n);
+  a.orig_.reserve(n);
+  a.arena_of_.assign(n, ~std::uint32_t{0});
+
+  // Iterative DFS post-order from the root, children in original order.
+  // Each node is assigned its arena id when it *finishes* — children
+  // (and, on DAGs, every node already discovered) get smaller ids.
+  struct Frame {
+    NodeId v;
+    std::uint32_t next_child = 0;  // index into t.children(v)
+  };
+  std::vector<Frame> stack;
+  stack.push_back({t.root()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& cs = t.node(f.v).children;
+    if (f.next_child < cs.size()) {
+      const NodeId c = cs[f.next_child++];
+      // On DAGs a shared child is assigned once, at its first finish; an
+      // unfinished child can never be re-reached (that would be a cycle).
+      if (a.arena_of_[c] == ~std::uint32_t{0}) stack.push_back({c});
+      continue;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(a.orig_.size());
+    a.arena_of_[f.v] = id;
+    a.orig_.push_back(f.v);
+    const auto& node = t.node(f.v);
+    a.type_.push_back(node.type);
+    a.bas_index_.push_back(node.type == NodeType::BAS ? node.bas_index
+                                                      : ~std::uint32_t{0});
+    std::uint32_t sz = 1;
+    if (a.treelike_)
+      for (NodeId c : node.children) sz += a.subtree_size_[a.arena_of_[c]];
+    a.subtree_size_.push_back(sz);
+    stack.pop_back();
+  }
+
+  // CSR children: offsets first, then edges, both in arena order.
+  a.child_off_.assign(n + 1, 0);
+  for (std::uint32_t id = 0; id < n; ++id)
+    a.child_off_[id + 1] =
+        a.child_off_[id] +
+        static_cast<std::uint32_t>(t.node(a.orig_[id]).children.size());
+  a.child_.resize(a.child_off_[n]);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::uint32_t at = a.child_off_[id];
+    for (NodeId c : t.node(a.orig_[id]).children) a.child_[at++] = a.arena_of_[c];
+  }
+  return a;
+}
+
+ArenaModel ArenaModel::of(const AttackTree& t, const std::vector<double>& cost,
+                          const std::vector<double>& damage,
+                          const std::vector<double>* prob) {
+  ArenaModel m;
+  m.tree = ArenaTree::of(t);
+  const std::uint32_t n = m.tree.size();
+  m.cost.assign(n, 0.0);
+  m.damage.resize(n);
+  m.prob.assign(n, 1.0);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    m.damage[a] = damage[m.tree.orig_of(a)];
+    if (m.tree.is_bas(a)) {
+      const std::uint32_t b = m.tree.bas_index(a);
+      m.cost[a] = cost[b];
+      if (prob) m.prob[a] = (*prob)[b];
+    }
+  }
+  return m;
+}
+
+ArenaModel ArenaModel::of(const CdAt& m) {
+  m.validate();
+  return of(m.tree, m.cost, m.damage, nullptr);
+}
+
+ArenaModel ArenaModel::of(const CdpAt& m) {
+  m.validate();
+  return of(m.tree, m.cost, m.damage, &m.prob);
+}
+
+void arena_structure(const ArenaTree& t, const Attack& x,
+                     std::vector<char>* s) {
+  const std::uint32_t n = t.size();
+  s->resize(n);
+  char* sv = s->data();
+  const std::uint32_t* edges = t.child_edges().data();
+  const std::vector<std::uint32_t>& off = t.child_offsets();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    switch (t.type(a)) {
+      case NodeType::BAS:
+        sv[a] = x.test(t.bas_index(a)) ? 1 : 0;
+        break;
+      case NodeType::OR: {
+        char val = 0;
+        for (std::uint32_t e = off[a]; e < off[a + 1]; ++e) val |= sv[edges[e]];
+        sv[a] = val;
+        break;
+      }
+      case NodeType::AND: {
+        char val = 1;
+        for (std::uint32_t e = off[a]; e < off[a + 1]; ++e) val &= sv[edges[e]];
+        sv[a] = val;
+        break;
+      }
+    }
+  }
+}
+
+double arena_total_damage(const ArenaTree& t, const Attack& x,
+                          const std::vector<double>& damage_by_orig,
+                          std::vector<char>* s) {
+  arena_structure(t, x, s);
+  // Sum in original NodeId order: bit-identical to total_damage().
+  const char* sv = s->data();
+  double sum = 0.0;
+  for (NodeId v = 0; v < damage_by_orig.size(); ++v)
+    if (sv[t.arena_of(v)]) sum += damage_by_orig[v];
+  return sum;
+}
+
+void arena_probabilistic_structure(const ArenaModel& m, const Attack& x,
+                                   std::vector<double>* ps) {
+  const ArenaTree& t = m.tree;
+  if (!t.treelike())
+    throw UnsupportedError(
+        "arena_probabilistic_structure: per-node products are only exact on "
+        "treelike ATs; use the BDD engine for DAGs");
+  const std::uint32_t n = t.size();
+  ps->resize(n);
+  double* pv = ps->data();
+  const std::uint32_t* edges = t.child_edges().data();
+  const std::vector<std::uint32_t>& off = t.child_offsets();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    switch (t.type(a)) {
+      case NodeType::BAS:
+        pv[a] = x.test(t.bas_index(a)) ? m.prob[a] : 0.0;
+        break;
+      case NodeType::OR: {
+        // p ⋆ q = p + q - pq folded in child order — the association of
+        // probabilistic_structure() and the bottom-up engine, so all
+        // three paths agree to the last ulp.
+        double p = 0.0;
+        for (std::uint32_t e = off[a]; e < off[a + 1]; ++e) {
+          const double q = pv[edges[e]];
+          p = p + q - p * q;
+        }
+        pv[a] = p;
+        break;
+      }
+      case NodeType::AND: {
+        double p = 1.0;
+        for (std::uint32_t e = off[a]; e < off[a + 1]; ++e) p *= pv[edges[e]];
+        pv[a] = p;
+        break;
+      }
+    }
+  }
+}
+
+double arena_expected_damage(const ArenaModel& m, const Attack& x,
+                             const std::vector<double>& damage_by_orig,
+                             std::vector<double>* ps) {
+  arena_probabilistic_structure(m, x, ps);
+  const double* pv = ps->data();
+  double sum = 0.0;
+  for (NodeId v = 0; v < damage_by_orig.size(); ++v)
+    sum += pv[m.tree.arena_of(v)] * damage_by_orig[v];
+  return sum;
+}
+
+}  // namespace atcd

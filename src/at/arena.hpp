@@ -1,0 +1,147 @@
+#pragma once
+/// \file arena.hpp
+/// Flat arena mirror of a finalized AttackTree — the hot-path model
+/// representation.
+///
+/// AttackTree is built for construction and introspection: per-node
+/// std::vector children, heap-scattered Node records, name strings.  The
+/// solver inner loops (the bottom-up sweep, per-attack structure
+/// evaluation in the enumerative engine) only ever need types, child
+/// lists, and decoration values — so ArenaTree packs exactly those into
+/// contiguous structure-of-arrays columns:
+///
+///   * nodes are re-indexed 0..size()-1 in DFS *post-order* (children
+///     before parents, child order preserved).  Any bottom-up pass is a
+///     single forward array walk, no recursion.  On treelike models the
+///     post-order additionally makes every subtree a contiguous index
+///     range [v - subtree_size(v) + 1, v], which the arena sweep uses to
+///     skip memoized subtrees and to run its front stack discipline.
+///   * children are stored CSR-style: one shared edge array plus a
+///     per-node offset pair — one indirection, perfectly prefetchable.
+///   * per-node columns (type, BAS index, original NodeId) are separate
+///     flat arrays, so a pass that needs only types touches only types.
+///
+/// The arena is a *view by copy*: building one is O(|N|+|E|) and does not
+/// modify the AttackTree.  NodeId mappings (orig_of / arena_of) are kept
+/// in both directions so callers that speak original NodeIds — the
+/// SubtreeVisitor memo hooks, service::Session dirty-path tracking — keep
+/// working unchanged on top of arena-routed solves.
+///
+/// ArenaModel additionally carries the decoration columns of a CdAt /
+/// CdpAt re-indexed to arena order (cost and prob are per arena node,
+/// zero / one on gates), so the sweep reads all per-node data from
+/// adjacent arrays.
+
+#include <cstdint>
+#include <vector>
+
+#include "at/attack_tree.hpp"
+#include "core/cdat.hpp"
+
+namespace atcd {
+
+/// Flat, immutable, cache-friendly mirror of a finalized AttackTree.
+class ArenaTree {
+ public:
+  /// Builds the arena.  Throws ModelError if \p t is not finalized.
+  static ArenaTree of(const AttackTree& t);
+
+  /// Number of nodes (== t.node_count()).
+  std::uint32_t size() const { return static_cast<std::uint32_t>(type_.size()); }
+  std::uint32_t bas_count() const { return bas_count_; }
+  bool treelike() const { return treelike_; }
+
+  /// The root is always the last node in post-order.
+  std::uint32_t root() const { return size() - 1; }
+
+  NodeType type(std::uint32_t a) const { return type_[a]; }
+  bool is_bas(std::uint32_t a) const { return type_[a] == NodeType::BAS; }
+
+  /// Children of arena node \p a, in the original child order.
+  const std::uint32_t* child_begin(std::uint32_t a) const {
+    return child_.data() + child_off_[a];
+  }
+  const std::uint32_t* child_end(std::uint32_t a) const {
+    return child_.data() + child_off_[a + 1];
+  }
+  std::uint32_t child_count(std::uint32_t a) const {
+    return child_off_[a + 1] - child_off_[a];
+  }
+
+  /// Dense BAS index of arena node \p a (BAS nodes only; the same index
+  /// space as AttackTree::bas_index, so attacks translate 1:1).
+  std::uint32_t bas_index(std::uint32_t a) const { return bas_index_[a]; }
+
+  /// Original NodeId of arena node \p a and the inverse mapping.
+  NodeId orig_of(std::uint32_t a) const { return orig_[a]; }
+  std::uint32_t arena_of(NodeId v) const { return arena_of_[v]; }
+
+  /// Number of nodes in the subtree rooted at \p a.  On treelike models
+  /// the subtree occupies exactly [a - subtree_size(a) + 1, a]; on DAGs
+  /// it counts the nodes first *discovered* below a (used only for
+  /// traversal bookkeeping there).
+  std::uint32_t subtree_size(std::uint32_t a) const { return subtree_size_[a]; }
+
+  /// Raw columns, for kernels that stream whole arrays.
+  const std::vector<NodeType>& types() const { return type_; }
+  const std::vector<std::uint32_t>& child_offsets() const { return child_off_; }
+  const std::vector<std::uint32_t>& child_edges() const { return child_; }
+
+ private:
+  std::vector<NodeType> type_;          // per arena node
+  std::vector<std::uint32_t> child_off_;  // CSR offsets, size() + 1
+  std::vector<std::uint32_t> child_;      // CSR edges (arena ids)
+  std::vector<std::uint32_t> bas_index_;  // per arena node; ~0u on gates
+  std::vector<std::uint32_t> subtree_size_;
+  std::vector<NodeId> orig_;              // arena -> original NodeId
+  std::vector<std::uint32_t> arena_of_;   // original NodeId -> arena
+  std::uint32_t bas_count_ = 0;
+  bool treelike_ = false;
+};
+
+/// An ArenaTree plus decoration columns in arena order.  `cost` and
+/// `prob` are per *arena node* (0 / 1 on gates) so the sweep's BAS case
+/// reads cost, damage, and probability from adjacent flat arrays;
+/// `damage` is per arena node for all nodes.  `prob` is all-ones for
+/// deterministic models — the same p = 1 embedding the bottom-up core
+/// uses, so one sweep serves both settings.
+struct ArenaModel {
+  ArenaTree tree;
+  std::vector<double> cost;    ///< per arena node; 0 on gates
+  std::vector<double> damage;  ///< per arena node
+  std::vector<double> prob;    ///< per arena node; 1 on gates
+
+  /// Builds the arena model.  The model must validate().
+  static ArenaModel of(const CdAt& m);
+  static ArenaModel of(const CdpAt& m);
+  static ArenaModel of(const AttackTree& t, const std::vector<double>& cost,
+                       const std::vector<double>& damage,
+                       const std::vector<double>* prob);
+};
+
+/// Evaluates the structure function bottom-up over the arena into \p s
+/// (resized to tree.size(), indexed by *arena* id).  Equivalent to
+/// at/structure.hpp's evaluate_structure, as a linear CSR walk.
+void arena_structure(const ArenaTree& t, const Attack& x, std::vector<char>* s);
+
+/// d̂(x) with the damage sum taken in *original NodeId order* — the exact
+/// FP addition order of total_damage(), so arena-routed engines produce
+/// bit-identical values.  \p damage_by_orig is the CdAt's damage vector;
+/// \p s is scratch reused across calls.
+double arena_total_damage(const ArenaTree& t, const Attack& x,
+                          const std::vector<double>& damage_by_orig,
+                          std::vector<char>* s);
+
+/// PS(x, v) per arena node (treelike only — same precondition as
+/// probabilistic_structure), OR gates folded in child order with
+/// p ⋆ q = p + q - pq.  \p ps is scratch, resized to tree.size().
+void arena_probabilistic_structure(const ArenaModel& m, const Attack& x,
+                                   std::vector<double>* ps);
+
+/// d̂_E(x) with the sum taken in original NodeId order — bit-identical to
+/// expected_damage().  Treelike only.
+double arena_expected_damage(const ArenaModel& m, const Attack& x,
+                             const std::vector<double>& damage_by_orig,
+                             std::vector<double>* ps);
+
+}  // namespace atcd

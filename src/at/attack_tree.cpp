@@ -1,6 +1,7 @@
 #include "at/attack_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 namespace atcd {
@@ -135,6 +136,11 @@ void AttackTree::finalize() {
   treelike_ = std::all_of(nodes_.begin(), nodes_.end(), [](const Node& n) {
     return n.parents.size() <= 1;
   });
+
+  // Structure is immutable from here on; the id outlives copies (which
+  // keep it — they can never diverge structurally).
+  static std::atomic<std::uint64_t> next_structure_id{1};
+  structure_id_ = next_structure_id.fetch_add(1, std::memory_order_relaxed);
 
   finalized_ = true;
 }

@@ -116,6 +116,13 @@ class AttackTree {
   /// Number of edges.
   std::size_t edge_count() const { return edge_count_; }
 
+  /// Process-unique id of this tree's frozen structure, assigned by
+  /// finalize() (0 before).  Copies of a finalized tree share the id —
+  /// the structure can never diverge again — so it is a sound cache key
+  /// for structure-derived data (e.g. the arena mirror) across
+  /// copy-on-write model clones.
+  std::uint64_t structure_id() const { return structure_id_; }
+
  private:
   void require_not_finalized() const;
 
@@ -124,6 +131,7 @@ class AttackTree {
   std::vector<NodeId> topo_;
   NodeId root_ = kNoNode;
   std::size_t edge_count_ = 0;
+  std::uint64_t structure_id_ = 0;
   bool treelike_ = false;
   bool finalized_ = false;
 };

@@ -101,7 +101,12 @@ std::vector<AttrTriple> bottom_up_root_front(const AttackTree& tree,
     sanitized.visitor = nullptr;
     return Sweep{tree, cost, damage, prob, sanitized}.at(tree.root());
   }
-  return Sweep{tree, cost, damage, prob, opt}.at(tree.root());
+  // The ablation options only exist on the recursive sweep; everything
+  // else runs the arena/SoA stack machine (byte-identical results, see
+  // bottom_up_arena.cpp).
+  if (opt.pointer_path || opt.quadratic_prune || opt.ignore_activation)
+    return Sweep{tree, cost, damage, prob, opt}.at(tree.root());
+  return bottom_up_root_front_arena(tree, cost, damage, prob, opt);
 }
 
 }  // namespace detail

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "at/attack_tree.hpp"
+#include "pareto/front_soa.hpp"
 #include "pareto/triple.hpp"
 
 namespace atcd::detail {
@@ -35,10 +36,52 @@ namespace atcd::detail {
 class SubtreeVisitor {
  public:
   virtual ~SubtreeVisitor() = default;
-  /// Returns true and fills *out with node v's pruned front.
+  /// Returns true and fills *out with node v's pruned front.  *out may
+  /// still hold a previous lookup's content on entry (sweeps reuse the
+  /// buffer so warm re-solves stay allocation-free); implementations
+  /// must overwrite it (assign / clear-then-fill), never append.  On a
+  /// miss *out is left unspecified.
   virtual bool lookup(NodeId v, std::vector<AttrTriple>* out) = 0;
   /// Offers node v's computed pruned front for memoization.
   virtual void store(NodeId v, const std::vector<AttrTriple>& front) = 0;
+
+  // -- Optional fast paths (arena sweep).  Overrides must be observably
+  // identical to the lookup()/store() pair — same hit/miss decisions,
+  // same front values, same side effects (stats, promotions) — so that
+  // the two sweeps stay byte- and protocol-equivalent.  The defaults
+  // adapt via *scratch, which the caller owns and reuses across calls.
+
+  /// Zero-copy lookup: a pointer to node v's memoized front (valid until
+  /// the next call on this visitor), or null on a miss.
+  virtual const std::vector<AttrTriple>* lookup_ref(
+      NodeId v, std::vector<AttrTriple>* scratch) {
+    return lookup(v, scratch) ? scratch : nullptr;
+  }
+
+  /// Outcome of lookup_view(): kUnsupported means the visitor has no SoA
+  /// storage and the caller must fall back to lookup_ref()/lookup() —
+  /// only then, so hit/miss stats are counted exactly once.
+  enum class ViewResult { kUnsupported, kMiss, kHit };
+
+  /// SoA-native lookup: on a hit, fills *out with a view of node v's
+  /// memoized front (witness stride ceil(nbits / 64) words per row, nbits
+  /// being the host model's BAS count; valid until the next call on this
+  /// visitor).  Visitors that memoize in SoA form override this so an
+  /// arena-sweep hit is a straight column copy — no AoS materialization,
+  /// no per-triple pointer chasing.
+  virtual ViewResult lookup_view(NodeId /*v*/, TripleView* /*out*/) {
+    return ViewResult::kUnsupported;
+  }
+
+  /// SoA-side store: \p f holds exactly the front store() would receive,
+  /// as parallel columns with ceil(nbits / 64) witness words per row.
+  /// Implementations with their own storage convert straight into it,
+  /// skipping the intermediate AoS materialization.
+  virtual void store_soa(NodeId v, const TripleView& f, std::size_t nbits,
+                         std::vector<AttrTriple>* scratch) {
+    view_to_aos_into(f, nbits, scratch);
+    store(v, *scratch);
+  }
 };
 
 /// Options for the bottom-up sweep, mostly exercised by ablation benches.
@@ -48,6 +91,13 @@ struct BottomUpOptions {
   /// Ablation A1: drop the third triple coordinate when pruning
   /// (deliberately UNSOUND, reproduces the failure mode of Example 4).
   bool ignore_activation = false;
+  /// Forces the recursive pointer-chasing sweep over AoS fronts instead of
+  /// the arena/SoA stack machine (bottom_up_arena.cpp).  Both produce
+  /// byte-identical fronts; the flag exists as the baseline leg of the
+  /// arena-vs-pointer bench and the equivalence property test.  The
+  /// ablation flags above imply it (their code paths live only in the
+  /// pointer sweep).
+  bool pointer_path = false;
   /// Per-node memo consulted/populated by the sweep; ignored when the
   /// unsound ignore_activation ablation is active (its fronts must never
   /// leak into a cache).  The visitor must have been bound to the same
@@ -67,5 +117,16 @@ std::vector<AttrTriple> bottom_up_root_front(const AttackTree& tree,
                                              const std::vector<double>& damage,
                                              const std::vector<double>& prob,
                                              const BottomUpOptions& opt = {});
+
+/// The arena/SoA hot path behind bottom_up_root_front() (the default
+/// unless an option forces the pointer sweep): flattens the tree into a
+/// post-order arena and runs a non-recursive stack machine over SoA
+/// fronts.  Same preconditions, same result, byte for byte — including
+/// the SubtreeVisitor call protocol (pre-order lookup, post-order store,
+/// memo-hit subtrees never descended into).  bottom_up_arena.cpp.
+std::vector<AttrTriple> bottom_up_root_front_arena(
+    const AttackTree& tree, const std::vector<double>& cost,
+    const std::vector<double>& damage, const std::vector<double>& prob,
+    const BottomUpOptions& opt = {});
 
 }  // namespace atcd::detail

@@ -1,5 +1,7 @@
 #include "core/enumerative.hpp"
 
+#include "at/arena.hpp"
+
 namespace atcd {
 namespace {
 
@@ -25,6 +27,34 @@ void for_each_attack(const CdAt& m, Fn&& fn) {
   }
 }
 
+/// Per-attack d̂(x) over a flat arena built once per solve.  The damage
+/// sum runs in original NodeId order, so results are bit-identical to
+/// total_damage() — the 2^|B| structure evaluations just stop chasing
+/// Node pointers.
+struct DetEval {
+  ArenaTree at;
+  const std::vector<double>& damage;
+  std::vector<char> s;  // structure scratch, reused across attacks
+
+  explicit DetEval(const CdAt& m) : at(ArenaTree::of(m.tree)), damage(m.damage) {}
+  double operator()(const Attack& x) {
+    return arena_total_damage(at, x, damage, &s);
+  }
+};
+
+/// Per-attack d̂_E(x) over an arena model; treelike only (same
+/// UnsupportedError as expected_damage() on DAG input).
+struct ProbEval {
+  ArenaModel am;
+  const std::vector<double>& damage;
+  std::vector<double> ps;  // PS scratch, reused across attacks
+
+  explicit ProbEval(const CdpAt& m) : am(ArenaModel::of(m)), damage(m.damage) {}
+  double operator()(const Attack& x) {
+    return arena_expected_damage(am, x, damage, &ps);
+  }
+};
+
 }  // namespace
 
 Front2d cdpf_enumerative(const CdAt& m, std::size_t max_bas) {
@@ -32,8 +62,9 @@ Front2d cdpf_enumerative(const CdAt& m, std::size_t max_bas) {
   check_cap(m.tree, max_bas, "cdpf_enumerative");
   std::vector<FrontPoint> cands;
   cands.reserve(std::size_t{1} << m.tree.bas_count());
+  DetEval eval(m);
   for_each_attack(m, [&](Attack x, double c) {
-    const double d = total_damage(m, x);
+    const double d = eval(x);
     cands.push_back({CdPoint{c, d}, std::move(x)});
   });
   return Front2d::of_candidates(std::move(cands));
@@ -45,8 +76,9 @@ Front2d cedpf_enumerative(const CdpAt& m, std::size_t max_bas) {
   std::vector<FrontPoint> cands;
   cands.reserve(std::size_t{1} << m.tree.bas_count());
   const CdAt det = m.deterministic();
+  ProbEval eval(m);
   for_each_attack(det, [&](Attack x, double c) {
-    const double d = expected_damage(m, x);
+    const double d = eval(x);
     cands.push_back({CdPoint{c, d}, std::move(x)});
   });
   return Front2d::of_candidates(std::move(cands));
@@ -56,9 +88,10 @@ OptAttack dgc_enumerative(const CdAt& m, double budget, std::size_t max_bas) {
   m.validate();
   check_cap(m.tree, max_bas, "dgc_enumerative");
   OptAttack best;
+  DetEval eval(m);
   for_each_attack(m, [&](Attack x, double c) {
     if (c > budget) return;
-    const double d = total_damage(m, x);
+    const double d = eval(x);
     if (!best.feasible || d > best.damage ||
         (d == best.damage && c < best.cost)) {
       best = OptAttack{true, c, d, std::move(x)};
@@ -72,8 +105,9 @@ OptAttack cgd_enumerative(const CdAt& m, double threshold,
   m.validate();
   check_cap(m.tree, max_bas, "cgd_enumerative");
   OptAttack best;
+  DetEval eval(m);
   for_each_attack(m, [&](Attack x, double c) {
-    const double d = total_damage(m, x);
+    const double d = eval(x);
     if (d < threshold) return;
     if (!best.feasible || c < best.cost ||
         (c == best.cost && d > best.damage)) {
@@ -89,9 +123,10 @@ OptAttack edgc_enumerative(const CdpAt& m, double budget,
   check_cap(m.tree, max_bas, "edgc_enumerative");
   OptAttack best;
   const CdAt det = m.deterministic();
+  ProbEval eval(m);
   for_each_attack(det, [&](Attack x, double c) {
     if (c > budget) return;
-    const double d = expected_damage(m, x);
+    const double d = eval(x);
     if (!best.feasible || d > best.damage ||
         (d == best.damage && c < best.cost)) {
       best = OptAttack{true, c, d, std::move(x)};
@@ -106,8 +141,9 @@ OptAttack cged_enumerative(const CdpAt& m, double threshold,
   check_cap(m.tree, max_bas, "cged_enumerative");
   OptAttack best;
   const CdAt det = m.deterministic();
+  ProbEval eval(m);
   for_each_attack(det, [&](Attack x, double c) {
-    const double d = expected_damage(m, x);
+    const double d = eval(x);
     if (d < threshold) return;
     if (!best.feasible || c < best.cost ||
         (c == best.cost && d > best.damage)) {

@@ -176,6 +176,61 @@ LpResult solve(const LinearProgram& lp) {
     }
   }
 
+  // ---- Power-of-two equilibration. ----
+  // Models with hardened decorations (analysis/ multiplies BAS costs by
+  // factors up to ~1e9) put coefficients of wildly different magnitude
+  // into one tableau.  The pivoting tolerances here are absolute, so at
+  // that scale accumulated rounding noise (~1e9 * 1e-16) dwarfs kTol:
+  // phantom negative reduced costs keep the loop pivoting between noise
+  // vertices until the iteration limit.  Scaling rows and columns by
+  // powers of two is *exact* in binary floating point (mantissas are
+  // untouched), and the variable bound rows built above anchor every
+  // column near 1 — so a few alternating passes bring all row and column
+  // maxima into [0.5, 1) without introducing a single rounding error.
+  // The solution maps back as z_j = colscale_j * z'_j.
+  auto pow2_inv = [](double amax) {
+    if (amax <= 0.0 || !std::isfinite(amax)) return 1.0;
+    int e = 0;
+    std::frexp(amax, &e);
+    return std::ldexp(1.0, -e);  // amax * result in [0.5, 1)
+  };
+  std::vector<double> colscale(nv, 1.0);
+  for (int pass = 0; pass < 4; ++pass) {
+    bool changed = false;
+    for (auto& r : norm) {
+      double amax = 0.0;
+      for (double c : r.coeff) amax = std::max(amax, std::abs(c));
+      const double s = pow2_inv(amax);
+      if (s != 1.0) {
+        for (double& c : r.coeff) c *= s;
+        r.rhs *= s;
+        changed = true;
+      }
+    }
+    for (std::size_t j = 0; j < nv; ++j) {
+      double amax = 0.0;
+      for (const auto& r : norm) amax = std::max(amax, std::abs(r.coeff[j]));
+      const double s = pow2_inv(amax);
+      if (s != 1.0) {
+        for (auto& r : norm) r.coeff[j] *= s;
+        colscale[j] *= s;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Scaled phase-2 objective (the reported objective value is recomputed
+  // from the original coefficients at the end, so this only conditions
+  // the reduced-cost row).
+  std::vector<double> sobj(nv, 0.0);
+  double obj_amax = 0.0;
+  for (std::size_t j = 0; j < nv; ++j) {
+    sobj[j] = lp.objective_coeff(static_cast<int>(j)) * colscale[j];
+    obj_amax = std::max(obj_amax, std::abs(sobj[j]));
+  }
+  const double objscale = pow2_inv(obj_amax);
+  for (double& c : sobj) c *= objscale;
+
   const std::size_t m = norm.size();
   // Column layout: [structural | slacks/surpluses | artificials].
   std::size_t n_slack = 0, n_art = 0;
@@ -253,14 +308,13 @@ LpResult solve(const LinearProgram& lp) {
     }
   }
 
-  // ---- Phase 2: original objective over the shifted variables. ----
+  // ---- Phase 2: scaled objective over the shifted, scaled variables. ----
   t.obj.assign(n + 1, 0.0);
-  for (std::size_t j = 0; j < nv; ++j)
-    t.obj[j] = lp.objective_coeff(static_cast<int>(j));
+  for (std::size_t j = 0; j < nv; ++j) t.obj[j] = sobj[j];
   // Make reduced costs of basic variables zero.
   for (std::size_t i = 0; i < m; ++i) {
     const auto b = static_cast<std::size_t>(t.basis[i]);
-    const double cb = b < nv ? lp.objective_coeff(static_cast<int>(b)) : 0.0;
+    const double cb = b < nv ? sobj[b] : 0.0;
     if (cb != 0.0)
       for (std::size_t j = 0; j <= n; ++j) t.obj[j] -= cb * t.a[i][j];
   }
@@ -273,14 +327,14 @@ LpResult solve(const LinearProgram& lp) {
     return result;
   }
 
-  // Extract the solution and un-shift.
+  // Extract the solution, un-scale, and un-shift.
   std::vector<double> z(n, 0.0);
   for (std::size_t i = 0; i < m; ++i)
     z[static_cast<std::size_t>(t.basis[i])] = t.a[i][n];
   result.x.resize(nv);
   result.objective = 0.0;
   for (std::size_t j = 0; j < nv; ++j) {
-    result.x[j] = z[j] + lp.lower_bound(static_cast<int>(j));
+    result.x[j] = colscale[j] * z[j] + lp.lower_bound(static_cast<int>(j));
     result.objective += lp.objective_coeff(static_cast<int>(j)) * result.x[j];
   }
   result.status = LpStatus::Optimal;

@@ -6,16 +6,29 @@
 
 namespace atcd {
 
+namespace {
+
+/// The candidate order of the minimal sweep: (cost asc, damage desc).
+bool candidate_less(const FrontPoint& a, const FrontPoint& b) {
+  if (a.value.cost != b.value.cost) return a.value.cost < b.value.cost;
+  return a.value.damage > b.value.damage;
+}
+
+}  // namespace
+
 Front2d Front2d::of_candidates(std::vector<FrontPoint> candidates) {
   // Sort by (cost asc, damage desc); a left-to-right sweep keeping points
   // of strictly increasing damage then yields exactly the minimal,
-  // value-deduplicated elements.
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const FrontPoint& a, const FrontPoint& b) {
-                     if (a.value.cost != b.value.cost)
-                       return a.value.cost < b.value.cost;
-                     return a.value.damage > b.value.damage;
-                   });
+  // value-deduplicated elements.  Already-sorted input — the common case
+  // for merge/prune outputs, which keep their points in exactly this
+  // order — is detected in one linear pass and skips the sort.
+  if (!std::is_sorted(candidates.begin(), candidates.end(), candidate_less))
+    std::stable_sort(candidates.begin(), candidates.end(), candidate_less);
+  return of_candidates(std::move(candidates), assume_sorted);
+}
+
+Front2d Front2d::of_candidates(std::vector<FrontPoint> candidates,
+                               assume_sorted_t) {
   Front2d f;
   double best_damage = -1.0;
   for (auto& p : candidates) {

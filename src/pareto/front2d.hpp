@@ -20,6 +20,12 @@ struct FrontPoint {
   DynBitset witness;  ///< an attack x with (ĉ(x), d̂(x)) == value
 };
 
+/// Tag for Front2d::of_candidates overloads taking pre-sorted input.
+struct assume_sorted_t {
+  explicit assume_sorted_t() = default;
+};
+inline constexpr assume_sorted_t assume_sorted{};
+
 /// A cost-damage Pareto front, kept sorted by ascending cost (and hence,
 /// by minimality, strictly ascending damage).
 class Front2d {
@@ -28,8 +34,18 @@ class Front2d {
 
   /// Builds the front from arbitrary candidate points: keeps exactly the
   /// minimal elements of the poset, deduplicated by value (first witness
-  /// wins among value-equal candidates).
+  /// wins among value-equal candidates).  Input already sorted by
+  /// (cost asc, damage desc) — e.g. the projection of a pruned bottom-up
+  /// sweep, or a merge of sorted fronts — is detected in one linear pass
+  /// and skips the sort entirely.
   static Front2d of_candidates(std::vector<FrontPoint> candidates);
+
+  /// As above, but the caller vouches that \p candidates are already
+  /// sorted by (cost asc, damage desc): no check, no sort — the minimal
+  /// sweep runs directly.  The SoA merge/minkowski kernels and the
+  /// bottom-up projection use this.
+  static Front2d of_candidates(std::vector<FrontPoint> candidates,
+                               assume_sorted_t);
 
   const std::vector<FrontPoint>& points() const { return points_; }
   std::size_t size() const { return points_.size(); }

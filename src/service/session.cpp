@@ -26,26 +26,59 @@ double effective_cost(double base, bool defended,
 
 class Session::NodeMemoVisitor final : public atcd::detail::SubtreeVisitor {
  public:
-  explicit NodeMemoVisitor(Session& s) : s_(s) {}
+  explicit NodeMemoVisitor(Session& s)
+      : s_(s), nbits_(s.tree().bas_count()) {}
 
+  // AoS protocol (pointer sweep): converts at the memo boundary.  Same
+  // hit/miss decisions, values, and stats as the SoA fast paths below.
   bool lookup(NodeId v, std::vector<AttrTriple>* out) override {
     if (!s_.memo_valid_[v]) {
       ++s_.memo_stats_.misses;
       return false;
     }
     ++s_.memo_stats_.hits;
-    *out = s_.memo_front_[v];
+    view_to_aos_into(s_.memo_soa_[v].view(), nbits_, out);
     return true;
   }
 
   void store(NodeId v, const std::vector<AttrTriple>& front) override {
-    s_.memo_front_[v] = front;
+    s_.memo_soa_[v] = TripleBuf::from_aos(front, nbits_);
+    s_.memo_valid_[v] = 1;
+    ++s_.memo_stats_.stores;
+  }
+
+  // SoA fast paths (arena sweep): the memo IS SoA, so a hit hands out a
+  // view of the stored columns and a store is four column copies —
+  // no per-triple witness allocations, no pointer chasing.
+
+  ViewResult lookup_view(NodeId v, TripleView* out) override {
+    if (!s_.memo_valid_[v]) {
+      ++s_.memo_stats_.misses;
+      return ViewResult::kMiss;
+    }
+    ++s_.memo_stats_.hits;
+    *out = s_.memo_soa_[v].view();
+    return ViewResult::kHit;
+  }
+
+  void store_soa(NodeId v, const TripleView& f, std::size_t /*nbits*/,
+                 std::vector<AttrTriple>* /*scratch*/) override {
+    TripleBuf& b = s_.memo_soa_[v];
+    b.set_wpa(static_cast<std::uint32_t>((nbits_ + 63) / 64));
+    b.clear();
+    if (f.n > 0) {
+      b.cost.assign(f.cost, f.cost + f.n);
+      b.damage.assign(f.damage, f.damage + f.n);
+      b.act.assign(f.act, f.act + f.n);
+      b.wit.assign(f.wit, f.wit + f.n * b.wpa());
+    }
     s_.memo_valid_[v] = 1;
     ++s_.memo_stats_.stores;
   }
 
  private:
   Session& s_;
+  std::size_t nbits_;
 };
 
 /// engine::SubtreeMemo facade over the private memo, chainable with the
@@ -130,8 +163,10 @@ void Session::init(AttackTree tree, std::vector<double> cost,
   }
   const std::size_t n = this->tree().node_count();
   memo_valid_.assign(n, 0);
-  memo_front_.assign(n, {});
+  memo_soa_.assign(n, {});
   portion_valid_.assign(n, 0);
+  fp_hash_.assign(n, 0);
+  fp_valid_.assign(n, 0);
   hash_dirty_ = true;
 }
 
@@ -168,6 +203,7 @@ void Session::mark_dirty(NodeId v) {
     stack.pop_back();
     memo_valid_[u] = 0;
     portion_valid_[u] = 0;
+    fp_valid_[u] = 0;
     for (NodeId p : tree().parents(u))
       if (!dirty_seen_[p]) {
         dirty_seen_[p] = 1;
@@ -391,8 +427,10 @@ std::string Session::replace_subtree(const std::string& node,
   // subtrees by canonical hash instead.
   const std::size_t n = tree().node_count();
   memo_valid_.assign(n, 0);
-  memo_front_.assign(n, {});
+  memo_soa_.assign(n, {});
   portion_valid_.assign(n, 0);
+  fp_hash_.assign(n, 0);
+  fp_valid_.assign(n, 0);
   hash_dirty_ = true;
   ++edits_;
   return {};
@@ -411,11 +449,24 @@ Response Session::resolve_locked() {
   const auto t0 = detail::Clock::now();
   Response resp;
   resp.problem = options_.problem;
-  resp.det = det_;
-  resp.prob = prob_;
-  handed_out_ = true;
+  if (options_.snapshots) {
+    resp.det = det_;
+    resp.prob = prob_;
+    handed_out_ = true;
+  }
   if (hash_dirty_) {
-    hash_ = det_ ? model_fingerprint(*det_) : model_fingerprint(*prob_);
+    // Treelike models rehash only the edit-dirtied root-paths (the same
+    // O(depth) set the front memo recomputes); the value is identical to
+    // model_fingerprint()'s.
+    if (tree().is_treelike())
+      hash_ = det_ ? treelike_fingerprint_update(det_->tree, det_->cost,
+                                                 det_->damage, nullptr,
+                                                 &fp_hash_, &fp_valid_)
+                   : treelike_fingerprint_update(prob_->tree, prob_->cost,
+                                                 prob_->damage, &prob_->prob,
+                                                 &fp_hash_, &fp_valid_);
+    else
+      hash_ = det_ ? model_fingerprint(*det_) : model_fingerprint(*prob_);
     hash_dirty_ = false;
   }
   resp.model_hash = hash_;

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "defense/defense.hpp"
+#include "pareto/front_soa.hpp"
 #include "service/service.hpp"
 #include "service/subtree_cache.hpp"
 
@@ -76,6 +77,13 @@ class Session {
     /// including BILP on DAG models — stays numerically exact.  A
     /// defended zero-cost BAS is charged the bare factor.
     defense::HardeningSemantics hardening{1e9, 0.0};
+    /// When false, responses carry no model snapshot (Response::det /
+    /// Response::prob stay null).  Handing out a snapshot forces the
+    /// next edit to copy-on-write the whole model — O(#nodes), which
+    /// dwarfs the O(depth) incremental re-solve itself on edit-resolve
+    /// loops.  Drivers that only consume Response::result (the analysis
+    /// sweeps) turn this off and keep edits allocation-free.
+    bool snapshots = true;
   };
 
   /// Private-memo counters (the shared cache keeps its own stats).
@@ -179,8 +187,14 @@ class Session {
   std::vector<bool> defended_;
 
   // Private per-node memo; indexed by NodeId of the current tree.
+  // Fronts are kept in SoA form (per-node TripleBuf columns): the arena
+  // sweep's memo hits and stores are then contiguous column copies
+  // instead of per-triple heap walks — on a single-leaf-edit re-solve
+  // the memo boundary IS the hot path, every clean sibling of the dirty
+  // root-path enters through it.  The AoS lookup()/store() protocol
+  // converts at the boundary, so the pointer sweep sees identical bytes.
   std::vector<char> memo_valid_;
-  std::vector<std::vector<AttrTriple>> memo_front_;
+  std::vector<TripleBuf> memo_soa_;
   std::vector<char> dirty_seen_;  ///< scratch for mark_dirty's walk
   /// DAG fallback only: portion roots already swept into the shared
   /// cache and unedited since (cleared by mark_dirty like the memo), so
@@ -192,6 +206,12 @@ class Session {
 
   CanonHash hash_ = 0;       ///< fingerprint of the working model
   bool hash_dirty_ = true;
+  /// Incremental Merkle state for treelike models: per-node hashes plus
+  /// validity bits, invalidated along the same root-path walk as the
+  /// front memo, so a post-edit resolve rehashes O(depth) nodes instead
+  /// of the whole tree.
+  std::vector<std::uint64_t> fp_hash_;
+  std::vector<char> fp_valid_;
   std::uint64_t edits_ = 0;
   std::uint64_t resolves_ = 0;
 };

@@ -74,6 +74,38 @@ std::uint64_t treelike_fingerprint(const AttackTree& tree,
   return h[tree.root()];
 }
 
+std::uint64_t treelike_fingerprint_update(
+    const AttackTree& tree, const std::vector<double>& cost,
+    const std::vector<double>& damage, const std::vector<double>* prob,
+    std::vector<std::uint64_t>* node_hash, std::vector<char>* node_valid) {
+  if (!tree.finalized() || !tree.is_treelike()) return 0;
+  const std::size_t n = tree.node_count();
+  if (node_hash->size() != n || node_valid->size() != n) {
+    node_hash->assign(n, 0);
+    node_valid->assign(n, 0);
+  }
+  std::vector<std::uint64_t>& h = *node_hash;
+  std::vector<std::uint64_t> buf;
+  for (NodeId v : tree.topological_order()) {
+    if ((*node_valid)[v]) continue;
+    const auto& node = tree.node(v);
+    if (node.type == NodeType::BAS) {
+      h[v] = bas_hash(cost[node.bas_index], damage[v],
+                      prob ? (*prob)[node.bas_index] : 1.0);
+    } else {
+      buf.clear();
+      for (NodeId c : node.children) buf.push_back(h[c]);
+      std::sort(buf.begin(), buf.end());
+      std::uint64_t g =
+          gate_hash_seed(node.type, damage[v], node.children.size());
+      for (std::uint64_t ch : buf) g = mix64(g, ch);
+      h[v] = g;
+    }
+    (*node_valid)[v] = 1;
+  }
+  return h[tree.root()];
+}
+
 std::uint64_t model_fingerprint(const CdAt& m) {
   return m.tree.is_treelike()
              ? treelike_fingerprint(m.tree, m.cost, m.damage, nullptr)
@@ -439,6 +471,27 @@ class ChainVisitor final : public atcd::detail::SubtreeVisitor {
   void store(NodeId v, const std::vector<AttrTriple>& front) override {
     a_->store(v, front);
     b_->store(v, front);
+  }
+
+  // Fast paths forward so a zero-copy-capable primary (the session memo)
+  // keeps its advantage under a chained shared cache.  Behavior matches
+  // the lookup()/store() pair exactly, promotion included.
+
+  const std::vector<AttrTriple>* lookup_ref(
+      NodeId v, std::vector<AttrTriple>* scratch) override {
+    if (const auto* hit = a_->lookup_ref(v, scratch)) return hit;
+    if (b_->lookup(v, scratch)) {
+      a_->store(v, *scratch);
+      return scratch;
+    }
+    return nullptr;
+  }
+
+  void store_soa(NodeId v, const TripleView& f, std::size_t nbits,
+                 std::vector<AttrTriple>* scratch) override {
+    a_->store_soa(v, f, nbits, scratch);
+    view_to_aos_into(f, nbits, scratch);
+    b_->store(v, *scratch);
   }
 
  private:

@@ -62,6 +62,18 @@ std::uint64_t treelike_fingerprint(const AttackTree& tree,
                                    const std::vector<double>& damage,
                                    const std::vector<double>* prob);
 
+/// Incremental treelike_fingerprint(): \p node_hash / \p node_valid
+/// persist across calls (resized here on first use or structural
+/// change), and only nodes with a cleared validity bit are rehashed.
+/// The caller must clear the bit of every node whose decorations (or
+/// descendants) changed *and of all its ancestors* — exactly the
+/// root-path walk session edits already do for the front memo.  Returns
+/// the root hash, identical to treelike_fingerprint() on the same model.
+std::uint64_t treelike_fingerprint_update(
+    const AttackTree& tree, const std::vector<double>& cost,
+    const std::vector<double>& damage, const std::vector<double>* prob,
+    std::vector<std::uint64_t>* node_hash, std::vector<char>* node_valid);
+
 /// The model fingerprint used uniformly across the serving layer — by
 /// the result-cache key, one-shot responses, and session responses — so
 /// the protocol's hash= field identifies a model consistently no matter

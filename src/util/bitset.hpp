@@ -89,6 +89,14 @@ class DynBitset {
   /// Useful for enumerating all attacks of small models.
   static DynBitset from_mask(std::size_t nbits, std::uint64_t mask);
 
+  /// Word-level access for packed SoA storage (pareto/front_soa.hpp):
+  /// bit i lives at word i/64, bit i%64.  set_word() trusts the caller
+  /// to keep the padding bits above size() zero — word images obtained
+  /// from word() of an equal-capacity bitset always satisfy this.
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  void set_word(std::size_t w, std::uint64_t bits) { words_[w] = bits; }
+
   /// Hash suitable for unordered containers.
   std::size_t hash() const;
 

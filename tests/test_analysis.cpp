@@ -135,7 +135,7 @@ TEST(Analysis, ParsesCountermeasureSpecs) {
 // ---------------------------------------------------------------------------
 
 /// Applies one axis value to a plain model copy, mirroring the session
-/// edit semantics (defense: the analysis-default hardening {1e4, 0}).
+/// edit semantics (defense: the analysis-default hardening {1e6, 0}).
 template <class Model>
 void apply_axis(Model& m, const Axis& axis, double value) {
   const auto v = m.tree.find(axis.node);
@@ -154,7 +154,7 @@ void apply_axis(Model& m, const Axis& axis, double value) {
     case Attribute::Defense:
       if (value != 0.0) {
         double& c = m.cost[m.tree.bas_index(*v)];
-        c = c > 0.0 ? c * 1e4 : 1e4;
+        c = c > 0.0 ? c * 1e6 : 1e6;
         if constexpr (std::is_same_v<Model, CdpAt>)
           m.prob[m.tree.bas_index(*v)] = 0.0;
       }

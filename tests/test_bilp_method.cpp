@@ -91,6 +91,36 @@ TEST(BilpMethod, DgcCgdMatchEnumerationOnRandomDags) {
   }
 }
 
+// Regression: hardened models put cost coefficients of ~1e6..1e10 into
+// the BILP next to ±1 structure rows.  Before the simplex equilibrated
+// its tableau (lp.cpp), rounding noise at that scale swamped the
+// absolute pivot tolerances and these solves span until the iteration
+// limit — the analysis module capped its hardening factor at 1e4 to
+// dodge it.  The solves must now terminate and agree with enumeration.
+TEST(BilpMethod, SolvesHardenedDagModelsAtLargeCostFactors) {
+  Rng rng(44);
+  for (const double factor : {1e6, 1e9}) {
+    for (int it = 0; it < 3; ++it) {
+      auto m = atcd::testing::random_cdat(rng, 7, /*treelike=*/false);
+      // Harden every other BAS: cost scaled by the factor, exactly what
+      // defense::harden does with HardeningSemantics{factor, 0}.
+      double budget = 0.0;
+      for (std::size_t i = 0; i < m.cost.size(); ++i) {
+        if (i % 2 == 0) {
+          m.cost[i] = std::max(1.0, m.cost[i]) * factor;
+        } else {
+          budget += m.cost[i];
+        }
+      }
+      const auto a = dgc_bilp(m, budget);
+      const auto b = dgc_enumerative(m, budget);
+      ASSERT_EQ(a.feasible, b.feasible) << "factor " << factor;
+      EXPECT_NEAR(a.damage, b.damage, 1e-7)
+          << "factor " << factor << " iteration " << it;
+    }
+  }
+}
+
 TEST(BilpMethod, WitnessesSatisfyTheReportedValues) {
   const auto m = casestudies::make_dataserver();
   const auto f = cdpf_bilp(m);

@@ -66,6 +66,31 @@ TEST(Session, ResolveMatchesScratchAndEditsTakeEffect) {
   EXPECT_EQ(s.resolve_count(), 2u);
 }
 
+TEST(Session, SnapshotsOffReturnsNoModelButSameResults) {
+  Session with(kModel, opts(Problem::Cdpf));
+  Session::Options o = opts(Problem::Cdpf);
+  o.snapshots = false;
+  Session without(kModel, o);
+
+  const Response r1 = without.resolve();
+  ASSERT_TRUE(r1.result.ok) << r1.result.error;
+  EXPECT_EQ(r1.det, nullptr);
+  EXPECT_EQ(r1.prob, nullptr);
+  EXPECT_TRUE(fronts_equal(r1.result.front, with.resolve().result.front));
+
+  // Edit-resolve loops behave identically; only the snapshot is absent.
+  ASSERT_EQ(with.set_cost("pick", 6.0), "");
+  ASSERT_EQ(without.set_cost("pick", 6.0), "");
+  const Response r2 = without.resolve();
+  ASSERT_TRUE(r2.result.ok) << r2.result.error;
+  EXPECT_EQ(r2.det, nullptr);
+  EXPECT_TRUE(fronts_equal(r2.result.front, with.resolve().result.front));
+  EXPECT_EQ(r2.model_hash, with.resolve().model_hash);
+
+  // snapshot_det() still works on demand — only responses skip it.
+  EXPECT_NE(without.snapshot_det(), nullptr);
+}
+
 TEST(Session, EditErrorsLeaveTheSessionUntouched) {
   Session s(kModel, opts(Problem::Cdpf));
   const Response before = s.resolve();

@@ -13,7 +13,13 @@
 /// witness strings is facade work a raw SolveService caller would have
 /// to do themselves anyway).
 ///
+/// A second gate isolates the always-on observability cost: the same
+/// workload through two facades, one with Options::record_metrics off
+/// (no dispatch-level counter adds, histogram records, or slow-request
+/// check), FAILS when registry recording adds 2% or more.
+///
 /// Usage: bench_api_dispatch [--iters N] [--trials N] [--smoke]
+///                           [--json <path>]
 ///
 /// Runs in CI's nightly job; --smoke shrinks it for quick local runs.
 
@@ -110,6 +116,63 @@ Timing measure(service::SolveService& direct, api::Dispatcher& facade,
   return best;
 }
 
+/// Per-request micros for the same request through two facades (metrics
+/// recording on vs off).  The recording delta is tens of nanoseconds on
+/// a ~60us request, far below run-to-run scheduler/thermal noise, so a
+/// best-of-trials comparison of two long runs (as measure() does for
+/// the 5% facade gate) is too coarse for a 2% gate.  Instead each trial
+/// alternates short on/off blocks — drift hits both sides alike and
+/// cancels in the ratio — and the gate reads the *median* per-trial
+/// overhead, robust to the odd descheduled block.
+Timing measure_recording(api::Dispatcher& on, api::Dispatcher& off,
+                         const api::Request& areq, std::size_t iters,
+                         std::size_t trials) {
+  (void)on.dispatch(areq);
+  (void)off.dispatch(areq);
+  const auto run_block = [&](api::Dispatcher& d, std::size_t n) {
+    Timer timer;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto r = d.dispatch(areq);
+      if (r.code != api::ErrorCode::Ok) {
+        std::fprintf(stderr, "solve failed: %s\n", r.error.c_str());
+        std::exit(1);
+      }
+    }
+    return timer.seconds();
+  };
+  constexpr std::size_t kBlocks = 16;
+  const std::size_t block = std::max<std::size_t>(1, iters / kBlocks);
+  std::vector<double> overheads;
+  double best_on = 1e300, best_off = 1e300;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double on_s = 0.0, off_s = 0.0;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      // Swap which side goes first each block so any per-block warmup
+      // cost alternates sides too.
+      if ((t + b) % 2 == 0) {
+        off_s += run_block(off, block);
+        on_s += run_block(on, block);
+      } else {
+        on_s += run_block(on, block);
+        off_s += run_block(off, block);
+      }
+    }
+    overheads.push_back(on_s / off_s - 1.0);
+    const double per = 1e6 / static_cast<double>(block * kBlocks);
+    best_off = std::min(best_off, off_s * per);
+    best_on = std::min(best_on, on_s * per);
+  }
+  std::sort(overheads.begin(), overheads.end());
+  const double median = overheads[overheads.size() / 2];
+  Timing rec;
+  rec.direct_us = best_off;  // direct = recording off
+  // Report the on-side so that overhead() reproduces the median ratio
+  // the gate reads.
+  rec.facade_us = best_off * (1.0 + median);
+  (void)best_on;
+  return rec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,8 +223,41 @@ int main(int argc, char** argv) {
               "cdpf", cdpf.direct_us, cdpf.facade_us,
               100.0 * cdpf.overhead());
 
-  const bool ok = dgc.overhead() < 0.05;
+  // Observability gate: identical facades except dispatch-level
+  // recording; the delta is exactly the always-on instrument cost.
+  api::Dispatcher::Options rec_off;
+  rec_off.record_metrics = false;
+  api::Dispatcher recording_off(std::move(rec_off));
+  api::Dispatcher recording_on;
+  const Timing rec = measure_recording(recording_on, recording_off,
+                                       areq_dgc, iters, trials);
+  std::printf("%-8s %14.2f %14.2f %9.2f%%  (metrics recording off vs on)\n",
+              "obs", rec.direct_us, rec.facade_us, 100.0 * rec.overhead());
+
+  // Tail latencies as the serving stack itself recorded them.
+  obs::Histogram& h =
+      recording_on.metrics().histogram("atcd_api_request_micros");
+
+  bench::JsonReport report("api_dispatch");
+  report.add("dgc", {{"direct_us", dgc.direct_us},
+                     {"facade_us", dgc.facade_us},
+                     {"overhead", dgc.overhead()}});
+  report.add("cdpf", {{"direct_us", cdpf.direct_us},
+                      {"facade_us", cdpf.facade_us},
+                      {"overhead", cdpf.overhead()}});
+  report.add("metrics_recording",
+             {{"off_us", rec.direct_us},
+              {"on_us", rec.facade_us},
+              {"overhead", rec.overhead()},
+              {"p50_us", h.percentile(0.50)},
+              {"p99_us", h.percentile(0.99)}});
+  report.write(bench::flag_value(argc, argv, "--json"));
+
+  const bool facade_ok = dgc.overhead() < 0.05;
   std::printf("# gate: dgc facade overhead %.2f%% < 5%% : %s\n",
-              100.0 * dgc.overhead(), ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+              100.0 * dgc.overhead(), facade_ok ? "PASS" : "FAIL");
+  const bool obs_ok = rec.overhead() < 0.02;
+  std::printf("# gate: metrics recording overhead %.2f%% < 2%% : %s\n",
+              100.0 * rec.overhead(), obs_ok ? "PASS" : "FAIL");
+  return facade_ok && obs_ok ? 0 : 1;
 }

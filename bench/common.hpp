@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace atcd::bench {
@@ -40,6 +42,10 @@ double time_once(Fn&& fn) {
 
 struct Stats {
   double min = 0, mean = 0, max = 0, stddev = 0;
+  /// Latency digest in microseconds, from the same log-scale
+  /// obs::Histogram the serving stack records into (so bench tails and
+  /// production tails share bucket resolution).
+  double p50_us = 0, p95_us = 0, p99_us = 0;
   std::size_t n = 0;
 };
 
@@ -50,13 +56,20 @@ inline Stats stats_of(const std::vector<double>& xs) {
   s.min = *std::min_element(xs.begin(), xs.end());
   s.max = *std::max_element(xs.begin(), xs.end());
   double sum = 0;
-  for (double x : xs) sum += x;
+  obs::Histogram hist;
+  for (double x : xs) {
+    sum += x;
+    hist.record(static_cast<std::uint64_t>(std::max(0.0, x) * 1e6));
+  }
   s.mean = sum / static_cast<double>(xs.size());
   double var = 0;
   for (double x : xs) var += (x - s.mean) * (x - s.mean);
   s.stddev = xs.size() > 1
                  ? std::sqrt(var / static_cast<double>(xs.size() - 1))
                  : 0.0;
+  s.p50_us = hist.percentile(0.50);
+  s.p95_us = hist.percentile(0.95);
+  s.p99_us = hist.percentile(0.99);
   return s;
 }
 
@@ -132,7 +145,10 @@ inline std::vector<std::pair<std::string, double>> stats_metrics(
           {"min_s", s.min},
           {"mean_s", s.mean},
           {"max_s", s.max},
-          {"stddev_s", s.stddev}};
+          {"stddev_s", s.stddev},
+          {"p50_us", s.p50_us},
+          {"p95_us", s.p95_us},
+          {"p99_us", s.p99_us}};
 }
 
 }  // namespace atcd::bench

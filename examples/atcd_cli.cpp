@@ -90,24 +90,40 @@ int usage() {
                "  axis spec: <attr>:<node>:<lo>:<hi>:<steps> "
                "(attr: cost|prob|damage) or defense:<bas>\n"
                "  defense spec: <name>:<cost>:<bas>[+<bas>...]\n"
+               "  --metrics-dump   print the metrics registry "
+               "(Prometheus text) on stderr at exit\n"
                "exit codes: 0 ok, 2 usage, 3 model error, 4 solver "
                "failure\n");
   return 2;
 }
 
 /// Arguments not consumed by any --flag: skips every flag and, for the
-/// value-taking ones (all but --prob), its value.
+/// value-taking ones (all but the booleans --prob and --metrics-dump),
+/// its value.
 std::vector<std::string> positionals(int argc, char** argv, int from) {
   std::vector<std::string> out;
   for (int i = from; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
-      if (std::strcmp(argv[i], "--prob") != 0 && i + 1 < argc) ++i;
+      if (std::strcmp(argv[i], "--prob") != 0 &&
+          std::strcmp(argv[i], "--metrics-dump") != 0 && i + 1 < argc)
+        ++i;
       continue;
     }
     out.push_back(argv[i]);
   }
   return out;
 }
+
+/// --metrics-dump: renders the dispatcher's registry on stderr when the
+/// process exits, whatever path it takes — scoped so the exit code of
+/// every `return` above it is untouched.
+struct MetricsDump {
+  const api::Dispatcher* dispatcher = nullptr;
+  ~MetricsDump() {
+    if (dispatcher)
+      std::fputs(dispatcher->metrics_payload().text.c_str(), stderr);
+  }
+};
 
 /// Reports a failed response on stderr and maps its code to the
 /// deterministic exit code (2 usage / 3 model / 4 solver).
@@ -209,6 +225,7 @@ int main(int argc, char** argv) {
   const std::string model_text = buffer.str();
 
   const std::string cmd = argv[2];
+  bool metrics_dump = false;
   bool use_prob = false;
   std::string engine_name;
   RunOptions ro;
@@ -219,6 +236,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> defenses;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
+    if (std::strcmp(argv[i], "--metrics-dump") == 0) metrics_dump = true;
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
       engine_name = argv[i + 1];
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -244,6 +262,7 @@ int main(int argc, char** argv) {
   api::Dispatcher::Options dopt;
   dopt.service.batch.threads = ro.threads;
   api::Dispatcher dispatcher(dopt);
+  MetricsDump dump{metrics_dump ? &dispatcher : nullptr};
 
   const auto make_spec = [&](engine::Problem problem, double b,
                              bool has_b) {

@@ -17,10 +17,15 @@
 /// ends with a structured shutdown response (on `quit` and on EOF).
 ///
 /// Usage:
-///   atcd_server [--json] [--timing] [--threads N]
+///   atcd_server [--json] [--timing] [--threads N] [--slow-ms N]
 ///               [--shards N] [--entries N] [--bytes N] [--no-cache]
 ///               [--subtree-entries N] [--subtree-bytes N]
 ///               [--no-subtree-cache]
+///
+/// --slow-ms N logs any request slower than N milliseconds on stderr
+/// (one `atcd: slow request ...` line per offender).  The `metrics`
+/// operation (line mode: `metrics` / `metrics --json`) renders the
+/// full instrument registry at any time.
 ///
 /// --threads caps the worker threads for the scenario-analysis
 /// fan-outs in both modes and additionally sizes the pipelined
@@ -80,9 +85,12 @@ int main(int argc, char** argv) {
       opt.service.enable_subtree_cache = false;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       threads = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc)
+      opt.slow_request_micros = std::strtod(argv[++i], nullptr) * 1000.0;
     else {
       std::fprintf(stderr,
                    "usage: atcd_server [--json] [--timing] [--threads N] "
+                   "[--slow-ms N] "
                    "[--shards N] [--entries N] [--bytes N] [--no-cache] "
                    "[--subtree-entries N] [--subtree-bytes N] "
                    "[--no-subtree-cache]\n"

@@ -88,6 +88,7 @@ struct OpNameVisitor {
     return "portfolio";
   }
   const char* operator()(const StatsRequest&) const { return "stats"; }
+  const char* operator()(const MetricsRequest&) const { return "metrics"; }
   const char* operator()(const ShutdownRequest&) const { return "quit"; }
 };
 

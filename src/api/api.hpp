@@ -29,6 +29,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -174,6 +175,11 @@ struct AnalyzePortfolioRequest {
 /// Serving counters: result cache, subtree cache, sessions, dispatcher.
 struct StatsRequest {};
 
+/// Full metrics-registry exposition (obs/metrics.hpp): every instrument
+/// of the serving stack, rendered as canonical JSON and Prometheus-style
+/// text in one response.
+struct MetricsRequest {};
+
 /// Orderly end of a connection; the transport answers with a structured
 /// shutdown payload instead of going silent.
 struct ShutdownRequest {};
@@ -183,7 +189,7 @@ using Operation =
                  SessionEditRequest, SessionResolveRequest,
                  SessionCloseRequest, AnalyzeSweepRequest,
                  AnalyzeSensitivityRequest, AnalyzePortfolioRequest,
-                 StatsRequest, ShutdownRequest>;
+                 StatsRequest, MetricsRequest, ShutdownRequest>;
 
 /// Stable wire name of an operation ("solve", "batch", "open", ...).
 const char* op_name(const Operation& op);
@@ -198,6 +204,13 @@ struct Request {
   /// legal (the line protocol never sets one).
   std::string id;
   Operation op;
+  /// Opt-in per-request tracing (`"trace": true` on the JSON envelope):
+  /// the dispatcher activates a span context for this request and echoes
+  /// the recorded phase spans and hot-path facts as Response::trace.
+  /// Tracing never changes solve results; when false (the default) no
+  /// trace state exists and responses are byte-identical to an
+  /// untraced dispatcher's.
+  bool trace = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -264,11 +277,32 @@ struct DispatchCounters {
   std::uint64_t errors = 0;     ///< responses with code != Ok
 };
 
+/// Registry-histogram digest of dispatch latency, carried on the stats
+/// payload so `stats` alone answers "how slow are we" without a full
+/// metrics scrape.  Percentiles are the histogram's deterministic
+/// bucket-edge values (obs::Histogram::percentile).
+struct LatencySummary {
+  std::uint64_t count = 0;       ///< requests recorded
+  std::uint64_t sum_micros = 0;  ///< total recorded wall micros
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 struct StatsPayload {
   service::ResultCache::Stats cache;
   service::SubtreeCache::Stats subtree;
   std::size_t sessions = 0;
   DispatchCounters api;
+  LatencySummary latency;  ///< atcd_api_request_micros digest
+};
+
+/// The `metrics` op's result: the registry pre-rendered in both
+/// canonical forms (obs::Registry::to_json / to_prometheus), so every
+/// transport ships identical bytes.
+struct MetricsPayload {
+  std::string json;  ///< canonical JSON object
+  std::string text;  ///< Prometheus-style text exposition
 };
 
 struct ShutdownPayload {
@@ -281,7 +315,23 @@ using Payload =
     std::variant<std::monostate, SolvePayload, BatchPayload,
                  SessionOpenedPayload, EditAppliedPayload,
                  SessionClosedPayload, AnalysisPayload, StatsPayload,
-                 ShutdownPayload>;
+                 MetricsPayload, ShutdownPayload>;
+
+/// One recorded phase span (obs::Trace::Span, codec-friendly form).
+/// Spans are listed in open (pre-)order; depth reconstructs the nesting.
+struct TraceSpanPayload {
+  std::string name;
+  std::uint64_t depth = 0;
+  std::uint64_t start_us = 0;  ///< offset from dispatch start
+  std::uint64_t dur_us = 0;
+};
+
+/// The trace block echoed on a traced response: phase spans plus named
+/// hot-path tallies (memo/cache hits, nodes swept, max front width).
+struct TracePayload {
+  std::vector<TraceSpanPayload> spans;
+  std::vector<std::pair<std::string, std::uint64_t>> facts;
+};
 
 struct Response {
   std::string id;  ///< echoed Request::id
@@ -289,6 +339,9 @@ struct Response {
   std::string error;    ///< human-readable message when code != Ok
   double micros = 0.0;  ///< wall time inside dispatch()
   Payload payload;      ///< monostate when code != Ok
+  /// Present exactly when the request set Request::trace; emitted as a
+  /// structured `trace` object by the JSON codec.
+  std::optional<TracePayload> trace;
 };
 
 /// Convenience: an error response (payload stays monostate).

@@ -1,7 +1,9 @@
 #include "api/dispatcher.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <limits>
 #include <thread>
@@ -11,6 +13,7 @@
 #include "analysis/sweep.hpp"
 #include "at/structure.hpp"
 #include "engine/registry.hpp"
+#include "obs/trace.hpp"
 #include "service/timing.hpp"
 
 namespace atcd::api {
@@ -74,6 +77,9 @@ SolvePayload payload_of(const service::Response& r) {
 void parse_typed(engine::Problem problem, const std::string& text,
                  std::shared_ptr<const CdAt>* det,
                  std::shared_ptr<const CdpAt>* prob) {
+  // Same phase name as the service's own text-parse path: on the API
+  // route the dispatcher parses (to classify failures), not the service.
+  obs::SpanScope span("service.parse");
   ParsedModel parsed = parse_model(text);
   if (engine::is_probabilistic(problem)) {
     auto m = std::make_shared<CdpAt>();
@@ -95,35 +101,100 @@ void parse_typed(engine::Problem problem, const std::string& text,
 
 }  // namespace
 
+namespace {
+
+/// Wire names by Operation alternative index, for the per-op histogram
+/// names; must stay aligned with the variant (op_name() agrees).
+constexpr const char* kOpNames[] = {
+    "solve",  "batch",       "open",      "edit",  "resolve", "close",
+    "sweep",  "sensitivity", "portfolio", "stats", "metrics", "quit"};
+static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
+                  std::variant_size_v<Operation>,
+              "kOpNames must cover every Operation alternative");
+
+}  // namespace
+
 Dispatcher::Dispatcher() : Dispatcher(Options{}) {}
 
 Dispatcher::Dispatcher(Options options)
-    : owned_service_(
-          std::make_unique<service::SolveService>(std::move(options.service))),
-      owned_sessions_(std::make_unique<service::SessionManager>()),
-      service_(owned_service_.get()),
-      sessions_(owned_sessions_.get()) {}
+    : slow_request_micros_(options.slow_request_micros),
+      record_(options.record_metrics) {
+  if (options.metrics) {
+    metrics_ = options.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // One registry per stack: the service and both caches instrument the
+  // same home the dispatcher exposes through the `metrics` op.
+  options.service.metrics = metrics_;
+  owned_service_ =
+      std::make_unique<service::SolveService>(std::move(options.service));
+  owned_sessions_ = std::make_unique<service::SessionManager>();
+  service_ = owned_service_.get();
+  sessions_ = owned_sessions_.get();
+  init_instruments();
+}
 
 Dispatcher::Dispatcher(service::SolveService& service,
                        service::SessionManager* sessions)
-    : service_(&service), sessions_(sessions) {
+    : metrics_(&service.metrics()), service_(&service), sessions_(sessions) {
   if (!sessions_) {
     owned_sessions_ = std::make_unique<service::SessionManager>();
     sessions_ = owned_sessions_.get();
   }
+  init_instruments();
+}
+
+void Dispatcher::init_instruments() {
+  requests_ = &metrics_->counter("atcd_api_requests_total");
+  solves_ = &metrics_->counter("atcd_api_solves_total");
+  batches_ = &metrics_->counter("atcd_api_batches_total");
+  session_opens_ = &metrics_->counter("atcd_api_session_opens_total");
+  session_edits_ = &metrics_->counter("atcd_api_session_edits_total");
+  session_resolves_ = &metrics_->counter("atcd_api_session_resolves_total");
+  session_closes_ = &metrics_->counter("atcd_api_session_closes_total");
+  analyses_ = &metrics_->counter("atcd_api_analyses_total");
+  errors_ = &metrics_->counter("atcd_api_errors_total");
+  request_micros_ = &metrics_->histogram("atcd_api_request_micros");
+  for (std::size_t i = 0; i < op_micros_.size(); ++i)
+    op_micros_[i] = &metrics_->histogram(
+        std::string("atcd_api_request_micros_") + kOpNames[i]);
+}
+
+void Dispatcher::refresh_gauges() const {
+  const auto c = service_->cache().stats();
+  metrics_->gauge("atcd_result_cache_entries")
+      .set(static_cast<double>(c.entries));
+  metrics_->gauge("atcd_result_cache_bytes").set(static_cast<double>(c.bytes));
+  const auto sc = service_->subtree_cache().stats();
+  metrics_->gauge("atcd_subtree_cache_entries")
+      .set(static_cast<double>(sc.entries));
+  metrics_->gauge("atcd_subtree_cache_bytes")
+      .set(static_cast<double>(sc.bytes));
+  metrics_->gauge("atcd_sessions_active")
+      .set(static_cast<double>(sessions_->size()));
+}
+
+MetricsPayload Dispatcher::metrics_payload() const {
+  refresh_gauges();
+  MetricsPayload p;
+  p.json = metrics_->to_json();
+  p.text = metrics_->to_prometheus();
+  return p;
 }
 
 DispatchCounters Dispatcher::counters() const {
   DispatchCounters c;
-  c.requests = requests_.load();
-  c.solves = solves_.load();
-  c.batches = batches_.load();
-  c.session_opens = session_opens_.load();
-  c.session_edits = session_edits_.load();
-  c.session_resolves = session_resolves_.load();
-  c.session_closes = session_closes_.load();
-  c.analyses = analyses_.load();
-  c.errors = errors_.load();
+  c.requests = requests_->value();
+  c.solves = solves_->value();
+  c.batches = batches_->value();
+  c.session_opens = session_opens_->value();
+  c.session_edits = session_edits_->value();
+  c.session_resolves = session_resolves_->value();
+  c.session_closes = session_closes_->value();
+  c.analyses = analyses_->value();
+  c.errors = errors_->value();
   return c;
 }
 
@@ -133,6 +204,11 @@ StatsPayload Dispatcher::stats() const {
   s.subtree = service_->subtree_cache().stats();
   s.sessions = sessions_->size();
   s.api = counters();
+  s.latency.count = request_micros_->count();
+  s.latency.sum_micros = request_micros_->sum();
+  s.latency.p50 = request_micros_->percentile(0.50);
+  s.latency.p95 = request_micros_->percentile(0.95);
+  s.latency.p99 = request_micros_->percentile(0.99);
   return s;
 }
 
@@ -201,15 +277,15 @@ struct OperationHandler {
   Dispatcher& d;
 
   Payload operator()(const SolveRequest& r) {
-    d.solves_.fetch_add(1);
+    d.solves_->add(1);
     BatchPayload::Item item = d.solve_item(r.spec);
     if (item.code != ErrorCode::Ok) raise(item.code, std::move(item.error));
     return std::move(item.solve);
   }
 
   Payload operator()(const BatchRequest& r) {
-    d.batches_.fetch_add(1);
-    d.solves_.fetch_add(r.items.size());
+    d.batches_->add(1);
+    d.solves_->add(r.items.size());
     BatchPayload out;
     out.items.resize(r.items.size());
     const std::size_t n = r.items.size();
@@ -235,7 +311,7 @@ struct OperationHandler {
   }
 
   Payload operator()(const SessionOpenRequest& r) {
-    d.session_opens_.fetch_add(1);
+    d.session_opens_->add(1);
     check_engine(*d.service_, r.spec.engine);
     check_bound(r.spec.bound, r.spec.has_bound);
     service::Session::Options sopt;
@@ -244,13 +320,14 @@ struct OperationHandler {
     sopt.engine_name = r.spec.engine;
     sopt.batch = d.service_->options().batch;
     sopt.shared = d.service_->shared_subtree_cache();
+    sopt.metrics = d.metrics_;
     const std::uint64_t id = d.sessions_->open(
         std::make_unique<service::Session>(r.spec.model, std::move(sopt)));
     return SessionOpenedPayload{id};
   }
 
   Payload operator()(const SessionEditRequest& r) {
-    d.session_edits_.fetch_add(1);
+    d.session_edits_->add(1);
     const auto session = d.sessions_->find(r.session);
     if (!session)
       raise(ErrorCode::NoSuchSession,
@@ -274,8 +351,8 @@ struct OperationHandler {
   }
 
   Payload operator()(const SessionResolveRequest& r) {
-    d.session_resolves_.fetch_add(1);
-    d.solves_.fetch_add(1);
+    d.session_resolves_->add(1);
+    d.solves_->add(1);
     const auto session = d.sessions_->find(r.session);
     if (!session)
       raise(ErrorCode::NoSuchSession,
@@ -287,7 +364,7 @@ struct OperationHandler {
   }
 
   Payload operator()(const SessionCloseRequest& r) {
-    d.session_closes_.fetch_add(1);
+    d.session_closes_->add(1);
     if (!d.sessions_->close(r.session))
       raise(ErrorCode::NoSuchSession,
             "no session " + std::to_string(r.session));
@@ -312,7 +389,7 @@ struct OperationHandler {
   }
 
   Payload operator()(const AnalyzeSweepRequest& r) {
-    d.analyses_.fetch_add(1);
+    d.analyses_->add(1);
     if (r.axes.empty())
       raise(ErrorCode::InvalidArgument,
             "analyze sweep needs at least one axis=<spec>");
@@ -336,7 +413,7 @@ struct OperationHandler {
   }
 
   Payload operator()(const AnalyzeSensitivityRequest& r) {
-    d.analyses_.fetch_add(1);
+    d.analyses_->add(1);
     if (!engine::is_front(r.problem))
       raise(ErrorCode::InvalidArgument,
             "analyze sensitivity takes a front problem (cdpf or cedpf)");
@@ -354,7 +431,7 @@ struct OperationHandler {
   }
 
   Payload operator()(const AnalyzePortfolioRequest& r) {
-    d.analyses_.fetch_add(1);
+    d.analyses_->add(1);
     if (r.problem != engine::Problem::Dgc &&
         r.problem != engine::Problem::Edgc)
       raise(ErrorCode::InvalidArgument, "analyze portfolio takes dgc or edgc");
@@ -395,6 +472,8 @@ struct OperationHandler {
 
   Payload operator()(const StatsRequest&) { return d.stats(); }
 
+  Payload operator()(const MetricsRequest&) { return d.metrics_payload(); }
+
   Payload operator()(const ShutdownRequest&) {
     // The serving loop fills in its per-connection handled count.
     return ShutdownPayload{0};
@@ -422,10 +501,39 @@ Response Dispatcher::dispatch_op(const Request& request) {
 
 Response Dispatcher::dispatch(const Request& request) {
   const auto t0 = service::detail::Clock::now();
-  requests_.fetch_add(1);
-  Response resp = dispatch_op(request);
-  if (resp.code != ErrorCode::Ok) errors_.fetch_add(1);
+  if (record_) requests_->add(1);
+  Response resp;
+  if (request.trace) {
+    // Activate a span context for this request only; downstream layers
+    // record into it through the thread-local slot, so the untraced
+    // path stays untouched (and byte-identical) at any thread count.
+    obs::Trace trace;
+    {
+      obs::TraceActivation activation(&trace);
+      obs::SpanScope span("dispatch");
+      resp = dispatch_op(request);
+    }
+    TracePayload tp;
+    tp.spans.reserve(trace.spans().size());
+    for (const obs::Trace::Span& s : trace.spans())
+      tp.spans.push_back({s.name, s.depth, s.start_us, s.dur_us});
+    tp.facts = trace.facts();
+    resp.trace = std::move(tp);
+  } else {
+    resp = dispatch_op(request);
+  }
+  if (record_ && resp.code != ErrorCode::Ok) errors_->add(1);
   resp.micros = service::detail::micros_since(t0);
+  if (record_) {
+    const auto us = static_cast<std::uint64_t>(resp.micros);
+    request_micros_->record(us);
+    op_micros_[request.op.index()]->record(us);
+    if (slow_request_micros_ > 0.0 && resp.micros >= slow_request_micros_)
+      std::fprintf(stderr,
+                   "atcd: slow request op=%s id=%s code=%s micros=%.1f\n",
+                   op_name(request.op), request.id.c_str(),
+                   to_string(resp.code), resp.micros);
+  }
   return resp;
 }
 

@@ -21,11 +21,22 @@
 /// solves also run against the service's result cache here (the old
 /// protocol bypassed it, so `stats` drifted from the work actually
 /// done).
+///
+/// Observability: every dispatcher-assembled stack shares one
+/// obs::Registry (owned here unless Options::metrics injects one, or
+/// adopted from the service in the borrowing constructor).  The op
+/// counters and per-op latency histograms are registry instruments,
+/// resolved once at construction so the dispatch hot path never takes
+/// the registry lock; the `metrics` operation renders the registry, and
+/// `"trace": true` requests get a span context for the duration of the
+/// dispatch (see obs/trace.hpp).
 
-#include <atomic>
+#include <array>
 #include <memory>
+#include <variant>
 
 #include "api/api.hpp"
+#include "obs/metrics.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -35,6 +46,17 @@ class Dispatcher {
  public:
   struct Options {
     service::SolveService::Options service;
+    /// Shared instrument registry; null = the dispatcher owns one and
+    /// threads it through the service and both caches.
+    obs::Registry* metrics = nullptr;
+    /// When > 0, any request slower than this logs one line on stderr
+    /// (`atcd: slow request op=... id=... code=... micros=...`).
+    double slow_request_micros = 0.0;
+    /// Bench baseline knob: false disables only dispatch()-level
+    /// recording (request/error counters, latency histograms, the slow
+    /// check), isolating exactly the hot-path cost the api_dispatch
+    /// bench gates at < 2%.  Leave true everywhere else.
+    bool record_metrics = true;
   };
 
   /// Owning constructors: the dispatcher builds its own service and
@@ -62,23 +84,52 @@ class Dispatcher {
 
   DispatchCounters counters() const;
 
+  /// Renders the registry (refreshing the derived gauges first) — the
+  /// body of the `metrics` operation and of `--metrics-dump`.
+  MetricsPayload metrics_payload() const;
+
   service::SolveService& service() { return *service_; }
   service::SessionManager& sessions() { return *sessions_; }
+  /// The stack's shared instrument registry; never null.
+  obs::Registry& metrics() const { return *metrics_; }
 
  private:
   friend struct OperationHandler;
 
   Response dispatch_op(const Request& request);
   BatchPayload::Item solve_item(const SolveSpec& spec);
+  /// Resolves every instrument pointer out of metrics_ (construction
+  /// only; keeps dispatch() off the registry mutex).
+  void init_instruments();
+  /// Re-derives the exposition-time gauges (cache residency, open
+  /// sessions) from their sources of truth.
+  void refresh_gauges() const;
 
+  /// Declared before owned_service_: the owning constructor points the
+  /// service options at this registry before building the service.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
   std::unique_ptr<service::SolveService> owned_service_;
   std::unique_ptr<service::SessionManager> owned_sessions_;
   service::SolveService* service_ = nullptr;
   service::SessionManager* sessions_ = nullptr;
 
-  std::atomic<std::uint64_t> requests_{0}, solves_{0}, batches_{0},
-      session_opens_{0}, session_edits_{0}, session_resolves_{0},
-      session_closes_{0}, analyses_{0}, errors_{0};
+  double slow_request_micros_ = 0.0;
+  bool record_ = true;
+
+  // Registry instruments, resolved once by init_instruments().
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* solves_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* session_opens_ = nullptr;
+  obs::Counter* session_edits_ = nullptr;
+  obs::Counter* session_resolves_ = nullptr;
+  obs::Counter* session_closes_ = nullptr;
+  obs::Counter* analyses_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Histogram* request_micros_ = nullptr;  ///< all ops
+  /// Per-op latency, indexed by the Operation variant alternative.
+  std::array<obs::Histogram*, std::variant_size_v<Operation>> op_micros_{};
 };
 
 }  // namespace atcd::api

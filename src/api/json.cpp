@@ -1,5 +1,6 @@
 #include "api/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -477,6 +478,7 @@ struct RequestEncoder {
     o.str("model", r.model);
   }
   void operator()(const StatsRequest&) {}
+  void operator()(const MetricsRequest&) {}
   void operator()(const ShutdownRequest&) {}
 };
 
@@ -779,6 +781,10 @@ FieldError decode_operation(const std::string& op, Fields& f,
     *out = StatsRequest{};
     return {};
   }
+  if (op == "metrics") {
+    *out = MetricsRequest{};
+    return {};
+  }
   if (op == "quit") {
     *out = ShutdownRequest{};
     return {};
@@ -786,7 +792,7 @@ FieldError decode_operation(const std::string& op, Fields& f,
   return {ErrorCode::UnknownOperation,
           "unknown op '" + op +
               "' (expected solve, batch, open, edit, resolve, close, sweep, "
-              "sensitivity, portfolio, stats, or quit)"};
+              "sensitivity, portfolio, stats, metrics, or quit)"};
 }
 
 // ---------------------------------------------------------------------------
@@ -863,6 +869,7 @@ std::vector<std::string> table_rows(const std::string& table) {
 
 struct PayloadEncoder {
   Obj& o;
+  bool with_timing = false;
 
   void operator()(const std::monostate&) {}
   void operator()(const SolvePayload& p) { encode_solve_fields(&o, p); }
@@ -899,6 +906,24 @@ struct PayloadEncoder {
     o.raw("subtree", counter_obj(p.subtree));
     o.uint("sessions", p.sessions);
     o.raw("api", counter_obj(p.api));
+    // Wall-clock data, gated like the envelope's micros field: stats
+    // responses stay byte-deterministic when timing echo is off.
+    if (with_timing) {
+      Obj lat;
+      lat.uint("count", p.latency.count);
+      lat.uint("sum_micros", p.latency.sum_micros);
+      lat.num("p50", p.latency.p50);
+      lat.num("p95", p.latency.p95);
+      lat.num("p99", p.latency.p99);
+      o.raw("latency", lat.close());
+    }
+  }
+  void operator()(const MetricsPayload& p) {
+    o.str("kind", "metrics");
+    // `json` is already a canonical JSON object (Registry::to_json), so
+    // it embeds verbatim; the Prometheus text travels as a string.
+    o.raw("metrics", p.json);
+    o.str("text", p.text);
   }
   void operator()(const ShutdownPayload& p) {
     o.str("kind", "shutdown");
@@ -1029,6 +1054,7 @@ std::string encode_request(const Request& request) {
   o.uint("v", static_cast<std::uint64_t>(kVersion));
   if (!request.id.empty()) o.str("id", request.id);
   o.str("op", op_name(request.op));
+  if (request.trace) o.boolean("trace", true);
   RequestEncoder enc{o};
   std::visit(enc, request.op);
   return o.close();
@@ -1075,6 +1101,14 @@ Decoded<Request> decode_request(const std::string& text) {
                 "missing envelope field \"op\"");
 
   Fields fields(doc);
+  // Envelope-level opt-in, legal on every op (consumed before the
+  // leftover check so it never reads as an unknown field).
+  if (const Value* tr = fields.get("trace")) {
+    if (tr->kind != Value::Kind::Bool)
+      return fail(ErrorCode::MalformedRequest,
+                  "field \"trace\" must be a boolean");
+    out.value.trace = tr->boolean;
+  }
   FieldError err = decode_operation(op->string, fields, &out.value.op);
   if (!err.ok()) return fail(err.code, std::move(err.message));
   if (const std::string stray = fields.leftover(); !stray.empty())
@@ -1092,8 +1126,33 @@ std::string encode_response(const Response& response, bool with_micros) {
   if (response.code != ErrorCode::Ok) {
     o.str("error", response.error);
   } else {
-    PayloadEncoder enc{o};
+    PayloadEncoder enc{o, with_micros};
     std::visit(enc, response.payload);
+  }
+  if (response.trace) {
+    // Emitted on error responses too: a traced request that failed
+    // still shows where the time went.  Facts are sorted by name so the
+    // rendering is deterministic regardless of recording order.
+    std::string spans = "[";
+    for (std::size_t i = 0; i < response.trace->spans.size(); ++i) {
+      if (i) spans += ',';
+      const TraceSpanPayload& s = response.trace->spans[i];
+      Obj q;
+      q.str("name", s.name);
+      q.uint("depth", s.depth);
+      q.uint("start_us", s.start_us);
+      q.uint("dur_us", s.dur_us);
+      spans += q.close();
+    }
+    spans += ']';
+    auto facts = response.trace->facts;
+    std::sort(facts.begin(), facts.end());
+    Obj fo;
+    for (const auto& [name, v] : facts) fo.uint(name.c_str(), v);
+    Obj t;
+    t.raw("spans", spans);
+    t.raw("facts", fo.close());
+    o.raw("trace", t.close());
   }
   if (with_micros) o.num("micros", response.micros);
   return o.close();
@@ -1128,6 +1187,35 @@ Decoded<Response> decode_response(const std::string& text) {
   if (!ec) return fail("unknown code '" + code + "'");
   out.value.code = *ec;
   read_number(doc, "micros", &out.value.micros);
+
+  if (const Value* tr = doc.find("trace")) {
+    if (tr->kind != Value::Kind::Object) return fail("bad \"trace\"");
+    TracePayload tp;
+    if (const Value* spans = tr->find("spans")) {
+      if (spans->kind != Value::Kind::Array) return fail("bad trace spans");
+      for (const Value& sv : spans->items) {
+        if (sv.kind != Value::Kind::Object) return fail("bad trace span");
+        TraceSpanPayload sp;
+        if (!read_string(sv, "name", &sp.name) ||
+            !read_uint(sv, "depth", &sp.depth) ||
+            !read_uint(sv, "start_us", &sp.start_us) ||
+            !read_uint(sv, "dur_us", &sp.dur_us))
+          return fail("bad trace span");
+        tp.spans.push_back(std::move(sp));
+      }
+    }
+    if (const Value* facts = tr->find("facts")) {
+      if (facts->kind != Value::Kind::Object) return fail("bad trace facts");
+      for (const auto& [name, fv] : facts->members) {
+        if (fv.kind != Value::Kind::Number || fv.number < 0.0 ||
+            std::floor(fv.number) != fv.number ||
+            fv.number > 9.007199254740992e15)
+          return fail("bad trace fact");
+        tp.facts.emplace_back(name, static_cast<std::uint64_t>(fv.number));
+      }
+    }
+    out.value.trace = std::move(tp);
+  }
 
   if (out.value.code != ErrorCode::Ok) {
     read_string(doc, "error", &out.value.error);
@@ -1194,6 +1282,24 @@ Decoded<Response> decode_response(const std::string& text) {
     std::uint64_t sessions = 0;
     if (read_uint(doc, "sessions", &sessions)) p.sessions = sessions;
     decode_api_counters(doc, &p.api);
+    if (const Value* lat = doc.find("latency");
+        lat && lat->kind == Value::Kind::Object) {
+      read_uint(*lat, "count", &p.latency.count);
+      read_uint(*lat, "sum_micros", &p.latency.sum_micros);
+      read_number(*lat, "p50", &p.latency.p50);
+      read_number(*lat, "p95", &p.latency.p95);
+      read_number(*lat, "p99", &p.latency.p99);
+    }
+    out.value.payload = std::move(p);
+  } else if (kind == "metrics") {
+    MetricsPayload p;
+    const Value* m = doc.find("metrics");
+    if (!m || m->kind != Value::Kind::Object)
+      return fail("missing \"metrics\"");
+    // Re-dump the embedded registry object; both sides use the same
+    // canonical number rendering, so this is byte-stable.
+    p.json = json::dump(*m);
+    if (!read_string(doc, "text", &p.text)) return fail("missing \"text\"");
     out.value.payload = std::move(p);
   } else if (kind == "shutdown") {
     ShutdownPayload p;

@@ -308,6 +308,13 @@ LineRequest read_line_request(const std::string& line, std::istream& in) {
     return out;
   }
 
+  if (tok[0] == "metrics") {
+    LineRequest out;
+    out.request.op = MetricsRequest{};
+    out.metrics_json = tok.size() >= 2 && tok[1] == "--json";
+    return out;
+  }
+
   if (tok[0] == "analyze") {
     // Like solve/open, an analyze line is always followed by a model
     // block, consumed even when the header is bad (desync guard).
@@ -369,7 +376,7 @@ LineRequest read_line_request(const std::string& line, std::istream& in) {
   return fail(ErrorCode::UnknownOperation,
               "unknown command '" + tok[0] +
                   "' (expected solve, open, edit, resolve, close, "
-                  "analyze, stats, or quit)");
+                  "analyze, stats, metrics, or quit)");
 }
 
 namespace {
@@ -453,7 +460,32 @@ std::string format_stats_block(const StatsPayload& s) {
       << "api_session_closes=" << s.api.session_closes << '\n'
       << "api_analyses=" << s.api.analyses << '\n'
       << "api_errors=" << s.api.errors << '\n'
+      // Latency digest rides after the historical counters so old
+      // clients that scan for fixed keys keep working unchanged.
+      << "latency_count=" << s.latency.count << '\n'
+      << "latency_sum_micros=" << s.latency.sum_micros << '\n'
+      << "latency_p50=" << num(s.latency.p50) << '\n'
+      << "latency_p95=" << num(s.latency.p95) << '\n'
+      << "latency_p99=" << num(s.latency.p99) << '\n'
       << "done\n";
+  return out.str();
+}
+
+/// Prometheus text as numbered rows, mirroring the analysis blocks:
+/// clients get the exposition byte for byte, one row.<i>= per line.
+std::string format_metrics_block(const MetricsPayload& p) {
+  std::ostringstream out;
+  out << "ok=true\nkind=metrics\n";
+  std::size_t rows = 0, start = 0;
+  std::ostringstream body;
+  while (start < p.text.size()) {
+    std::size_t nl = p.text.find('\n', start);
+    if (nl == std::string::npos) nl = p.text.size();
+    body << "row." << rows++ << '=' << p.text.substr(start, nl - start)
+         << '\n';
+    start = nl + 1;
+  }
+  out << "rows=" << rows << '\n' << body.str() << "done\n";
   return out.str();
 }
 
@@ -491,6 +523,9 @@ struct LineFormatter {
   std::string operator()(const StatsPayload& p) const {
     return format_stats_block(p);
   }
+  std::string operator()(const MetricsPayload& p) const {
+    return format_metrics_block(p);
+  }
   std::string operator()(const ShutdownPayload& p) const {
     std::ostringstream out;
     out << "ok=true\nkind=shutdown\nhandled=" << p.handled << "\ndone\n";
@@ -525,8 +560,17 @@ std::string format_stats_json_line(const StatsPayload& s) {
       << s.api.session_opens << ",\"session_edits\":" << s.api.session_edits
       << ",\"session_resolves\":" << s.api.session_resolves
       << ",\"session_closes\":" << s.api.session_closes << ",\"analyses\":"
-      << s.api.analyses << ",\"errors\":" << s.api.errors << "}}\ndone\n";
+      << s.api.analyses << ",\"errors\":" << s.api.errors
+      << "},\"latency\":{\"count\":" << s.latency.count
+      << ",\"sum_micros\":" << s.latency.sum_micros << ",\"p50\":"
+      << num(s.latency.p50) << ",\"p95\":" << num(s.latency.p95)
+      << ",\"p99\":" << num(s.latency.p99) << "}}\ndone\n";
   return out.str();
+}
+
+std::string format_metrics_json_line(const MetricsPayload& p) {
+  // The registry JSON is already canonical; it ships verbatim.
+  return "ok=true\njson=" + p.json + "\ndone\n";
 }
 
 }  // namespace atcd::api

@@ -38,6 +38,9 @@ struct LineRequest {
   /// `stats --json`: a line-format detail (render the stats payload as
   /// one json= line), not part of the typed operation.
   bool stats_json = false;
+  /// `metrics --json`: render the registry JSON as one json= line
+  /// instead of the Prometheus text rows.
+  bool metrics_json = false;
 };
 
 /// Transcodes one command line into a typed request, consuming a model
@@ -53,5 +56,9 @@ std::string format_line(const Response& response);
 /// Renders the stats payload as the single machine-readable `json=`
 /// line of `stats --json` (stable key order).
 std::string format_stats_json_line(const StatsPayload& stats);
+
+/// Renders the metrics payload as the single machine-readable `json=`
+/// line of `metrics --json` (the registry's canonical JSON verbatim).
+std::string format_metrics_json_line(const MetricsPayload& metrics);
 
 }  // namespace atcd::api

@@ -27,6 +27,7 @@
 
 #include "at/arena.hpp"
 #include "core/bottom_up_core.hpp"
+#include "obs/trace.hpp"
 #include "pareto/front_soa.hpp"
 
 namespace atcd::detail {
@@ -85,6 +86,12 @@ struct ArenaSweep {
   const std::vector<double>& prob;    // per BAS index
   const BottomUpOptions& opt;
 
+  // Per-request trace hook: null on untraced solves, so the sweep pays
+  // one pointer test per node.  Facts are flushed once in run().
+  obs::Trace* tr = obs::current_trace();
+  std::uint64_t nodes_swept = 0;
+  std::uint64_t max_front = 0;
+
   std::size_t nbits;
   std::uint32_t wpa;
   TripleFrontStack& s;
@@ -114,6 +121,15 @@ struct ArenaSweep {
     ws.rearm(wpa);
   }
 
+  /// Traced solves only: tallies a visited node and tracks the widest
+  /// pruned front materialized so far.
+  void note_front() {
+    if (!tr) return;
+    ++nodes_swept;
+    const std::uint64_t w = s.from_top(0).n;
+    if (w > max_front) max_front = w;
+  }
+
   /// Tries to produce node \p a's front without descending: memo hit or
   /// BAS base case.  On success the front is pushed onto `s` and true is
   /// returned; otherwise a gate frame is pushed onto `frames`.
@@ -130,6 +146,7 @@ struct ArenaSweep {
       switch (opt.visitor->lookup_view(at.orig_of(a), &hv)) {
         case SubtreeVisitor::ViewResult::kHit:
           s.push_view(hv);
+          note_front();
           return true;
         case SubtreeVisitor::ViewResult::kMiss:
           break;
@@ -137,6 +154,7 @@ struct ArenaSweep {
           if (const std::vector<AttrTriple>* hit =
                   opt.visitor->lookup_ref(at.orig_of(a), &memo)) {
             s.push_aos(*hit, nbits);
+            note_front();
             return true;
           }
           break;
@@ -155,6 +173,7 @@ struct ArenaSweep {
       }
       prune_select(buf.view(), opt.budget, &scratch);
       s.push_select(buf.view(), scratch.idx);
+      note_front();
       if (opt.visitor) opt.visitor->store_soa(v, s.from_top(0), nbits, &aos);
       return true;
     }
@@ -197,11 +216,16 @@ struct ArenaSweep {
         }
         prune_select(s.from_top(0), opt.budget, &scratch);
         s.compact_top(scratch.idx, &scratch.tmp);
+        note_front();
         if (opt.visitor)
           opt.visitor->store_soa(at.orig_of(f.a), s.from_top(0), nbits, &aos);
         frames.pop_back();
         if (!frames.empty()) fold_child(frames.back());
       }
+    }
+    if (tr) {
+      tr->fact("arena_nodes_swept", nodes_swept);
+      tr->fact_max("arena_max_front", max_front);
     }
     return s.top_to_aos(nbits);
   }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace atcd::engine {
 
 Instance Instance::of(Problem p, const CdAt& m, double bound,
@@ -98,7 +100,10 @@ SolveResult run_cached(const Instance& in, const Planner& planner,
   if (opt.cache && opt.cache->lookup(in, &out)) return out;
   SolveContext ctx;
   ctx.subtree = opt.subtree;
-  out = run_instance(in, planner, ctx);
+  {
+    obs::SpanScope span("engine.solve");
+    out = run_instance(in, planner, ctx);
+  }
   if (out.ok && opt.cache) opt.cache->store(in, out);
   return out;
 }

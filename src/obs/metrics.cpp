@@ -1,0 +1,198 @@
+/// \file metrics.cpp
+/// Registry storage and the two canonical expositions.
+
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace atcd::obs {
+
+namespace detail {
+
+std::size_t shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    n += shards_[i].count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    s += shards_[i].sum.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::percentile(double q) const {
+  // Merge the shards into one snapshot; totals derived from the merged
+  // buckets so rank and cumulative walk agree even while writers race.
+  std::vector<std::uint64_t> merged(kBuckets, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n =
+          shards_[i].buckets[b].load(std::memory_order_relaxed);
+      merged[b] += n;
+      total += n;
+    }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += merged[b];
+    if (cum >= rank) return static_cast<double>(bucket_upper(b));
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name))
+    throw std::logic_error("obs: instrument kind mismatch for " + name);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || histograms_.count(name))
+    throw std::logic_error("obs: instrument kind mismatch for " + name);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw std::logic_error("obs: instrument kind mismatch for " + name);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+/// Deterministic number rendering: integral doubles (all gauge and
+/// percentile values in practice) print without a decimal point; the
+/// rest use the shortest rendering that parses back exactly — the same
+/// rule as the API codec's format_num, so a registry JSON embedded in a
+/// response survives a parse/re-dump round trip byte for byte.
+void append_num(std::string* out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    if (std::strtod(buf, nullptr) != v)
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  *out += buf;
+}
+
+void append_u64(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_u64(&out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_num(&out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    append_u64(&out, h->count());
+    out += ",\"sum\":";
+    append_u64(&out, h->sum());
+    out += ",\"p50\":";
+    append_num(&out, h->percentile(0.50));
+    out += ",\"p95\":";
+    append_num(&out, h->percentile(0.95));
+    out += ",\"p99\":";
+    append_num(&out, h->percentile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n" + name + ' ';
+    append_u64(&out, c->value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n" + name + ' ';
+    append_num(&out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "# TYPE " + name + " summary\n";
+    const double qs[] = {0.50, 0.95, 0.99};
+    const char* labels[] = {"0.5", "0.95", "0.99"};
+    for (int i = 0; i < 3; ++i) {
+      out += name + "{quantile=\"" + labels[i] + "\"} ";
+      append_num(&out, h->percentile(qs[i]));
+      out += '\n';
+    }
+    out += name + "_sum ";
+    append_u64(&out, h->sum());
+    out += '\n';
+    out += name + "_count ";
+    append_u64(&out, h->count());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace atcd::obs

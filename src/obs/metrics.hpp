@@ -1,0 +1,186 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide metrics registry: named typed instruments for the
+/// serving stack.
+///
+/// Three instrument kinds cover everything the serving layers count:
+///
+///  * Counter   — monotonic; sharded per-thread atomics so a hot-path
+///    increment is a single relaxed fetch_add on a cacheline owned (in
+///    the steady state) by the calling thread.
+///  * Gauge     — a settable level (resident cache entries/bytes, open
+///    sessions).  Derived gauges are *refreshed at exposition time*
+///    from their source of truth rather than updated on every mutation,
+///    so they cost nothing on the hot path.
+///  * Histogram — fixed-bucket log-scale latency histogram over
+///    non-negative integer samples (microseconds by convention), with
+///    exact-rank p50/p95/p99 extraction.  Buckets are log-spaced with 8
+///    sub-buckets per octave (values < 8 are exact), so relative bucket
+///    error is <= 12.5% at any magnitude while the whole table stays a
+///    few KB.  Recording is three relaxed adds; percentile extraction
+///    merges the shards and walks the cumulative counts, returning the
+///    bucket's inclusive upper edge — deterministic for a given
+///    recorded multiset, no interpolation.
+///
+/// A Registry owns instruments by name (get-or-create under a mutex;
+/// returned references stay valid for the registry's lifetime) and
+/// renders them in two canonical forms: a JSON object and a
+/// Prometheus-style text exposition.  Both iterate names in sorted
+/// order, so the output byte-layout is a pure function of the
+/// instrument values — the `metrics` op and `--metrics-dump` stay
+/// deterministic.
+///
+/// Ownership convention across the stack: subsystems take an
+/// `obs::Registry*` in their config/options and fall back to a private
+/// registry when given null, so standalone instances keep isolated
+/// counters (tests pin absolute values) while a Dispatcher-assembled
+/// stack shares one registry — the single source of truth the `metrics`
+/// operation exposes.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace atcd::obs {
+
+namespace detail {
+/// Small dense per-thread index (assigned round-robin on first use);
+/// instruments fold it onto their shard count.  Distinct long-lived
+/// threads land on distinct shards until the shard count is exceeded.
+std::size_t shard_slot();
+}  // namespace detail
+
+/// Monotonic counter.  add() is wait-free: one relaxed fetch_add on the
+/// calling thread's shard.  value() merges the shards (a racing add may
+/// or may not be included — the usual snapshot semantics).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;  // power of two
+
+  void add(std::uint64_t n = 1) {
+    shards_[detail::shard_slot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Settable level.  Last set wins; no sharding (gauges are written at
+/// exposition time, not on the hot path).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-scale latency histogram; see the file comment for the layout.
+class Histogram {
+ public:
+  /// 8 sub-buckets per octave: values < 8 are exact, above that bucket
+  /// `8 + (exp-3)*8 + sub` covers [ (8+sub) << (exp-3), … ] where exp is
+  /// the sample's bit width minus one.
+  static constexpr std::size_t kSubBits = 3;
+  static constexpr std::size_t kSub = 1u << kSubBits;  // 8
+  // Exponents kSubBits..63 each contribute kSub buckets after the kSub
+  // exact ones, so the top sample (2^64-1) lands on the last index.
+  static constexpr std::size_t kBuckets = kSub + (64 - kSubBits) * kSub;
+
+  void record(std::uint64_t v) {
+    Shard& s = shards_[detail::shard_slot() & (kShardCount - 1)];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+
+  /// Exact-rank quantile over the merged buckets: the value returned is
+  /// the inclusive upper edge of the bucket containing the ceil(q*n)-th
+  /// smallest sample.  0 when empty.  \p q in [0, 1].
+  double percentile(double q) const;
+
+  /// Bucket index of a sample (exposed for the unit tests).
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned exp = static_cast<unsigned>(std::bit_width(v)) - 1;
+    return kSub + (exp - kSubBits) * kSub +
+           static_cast<std::size_t>((v >> (exp - kSubBits)) & (kSub - 1));
+  }
+
+  /// Inclusive upper edge of bucket \p b.  For the very last bucket the
+  /// shifted edge wraps to 0 and the -1 lands exactly on 2^64-1, the
+  /// true upper; the guard only covers indices past the table.
+  static std::uint64_t bucket_upper(std::size_t b) {
+    if (b < kSub) return b;
+    const std::size_t shift = (b - kSub) / kSub;
+    const std::uint64_t sub = (b - kSub) % kSub;
+    if (shift >= 64 - kSubBits) return ~std::uint64_t{0};
+    return ((kSub + sub + 1) << shift) - 1;
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 4;  // power of two
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+  };
+  // ~4 KB per shard; heap-allocated so a Histogram member doesn't blow
+  // up its owner's footprint.
+  std::unique_ptr<Shard[]> shards_ =
+      std::unique_ptr<Shard[]>(new Shard[kShardCount]);
+};
+
+/// Name -> instrument home.  get-or-create under a mutex; returned
+/// references stay valid for the registry's lifetime.  A name denotes
+/// exactly one instrument kind — asking for an existing name with a
+/// different kind throws std::logic_error (a naming bug, not a runtime
+/// condition).
+///
+/// Naming scheme (see README "Observability"): lower_snake_case,
+/// `atcd_<subsystem>_<what>`, monotonic counters suffixed `_total`,
+/// histograms suffixed with their unit (`_micros`).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Canonical JSON exposition:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":n,"sum":s,"p50":..,"p95":..,"p99":..}}}
+  /// Names sorted; integral values rendered without a decimal point.
+  std::string to_json() const;
+
+  /// Prometheus-style text exposition: counters and gauges as
+  /// `name value` samples, histograms as summaries (quantile-labeled
+  /// samples plus `_sum`/`_count`).  Names sorted.
+  std::string to_prometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: sorted iteration gives the canonical exposition order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace atcd::obs

@@ -1,0 +1,69 @@
+/// \file trace.cpp
+/// Trace span recording and the thread-local activation slot.
+
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace atcd::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local Trace* tls_trace = nullptr;
+
+}  // namespace
+
+Trace::Trace() : t0_ns_(now_ns()) {}
+
+std::uint64_t Trace::elapsed_us() const { return (now_ns() - t0_ns_) / 1000; }
+
+std::size_t Trace::open_span(const char* name) {
+  const std::size_t idx = spans_.size();
+  Span s;
+  s.name = name;
+  s.depth = depth_++;
+  s.start_us = elapsed_us();
+  spans_.push_back(std::move(s));
+  return idx;
+}
+
+void Trace::close_span(std::size_t idx) {
+  Span& s = spans_[idx];
+  const std::uint64_t now = elapsed_us();
+  s.dur_us = now >= s.start_us ? now - s.start_us : 0;
+  if (depth_ > 0) --depth_;
+}
+
+std::pair<std::string, std::uint64_t>* Trace::find_fact(const char* name) {
+  for (auto& f : facts_)
+    if (std::strcmp(f.first.c_str(), name) == 0) return &f;
+  facts_.emplace_back(name, 0);
+  return &facts_.back();
+}
+
+void Trace::fact(const char* name, std::uint64_t delta) {
+  find_fact(name)->second += delta;
+}
+
+void Trace::fact_max(const char* name, std::uint64_t v) {
+  auto* f = find_fact(name);
+  if (v > f->second) f->second = v;
+}
+
+Trace* current_trace() { return tls_trace; }
+
+TraceActivation::TraceActivation(Trace* t) : prev_(tls_trace) {
+  tls_trace = t;
+}
+
+TraceActivation::~TraceActivation() { tls_trace = prev_; }
+
+}  // namespace atcd::obs

@@ -1,0 +1,125 @@
+#pragma once
+/// \file trace.hpp
+/// Per-request trace spans: a lightweight, thread-confined span context
+/// threaded through the serving stack.
+///
+/// A Trace is activated for the duration of one dispatch via
+/// TraceActivation (which installs it in a thread-local slot and
+/// restores the previous one on exit — activations nest).  Downstream
+/// layers never see a trace handle: they open SpanScope("phase.name")
+/// RAII guards and call trace_fact("name", delta) unconditionally; both
+/// are no-ops costing one thread-local read when no trace is active, so
+/// instrumented code paths stay on by default without perturbing
+/// untraced requests.  This is what keeps JSON responses byte-identical
+/// across thread counts when tracing is off: absent a `"trace": true`
+/// envelope, no trace state exists and nothing is recorded or emitted.
+///
+/// Spans are recorded in open (pre-)order with an explicit nesting
+/// depth, a start offset relative to the trace's activation (micros),
+/// and a duration filled in when the scope closes — enough to
+/// reconstruct the phase tree without pointers.  Facts are named
+/// uint64 tallies (memo hits, nodes swept, …); fact() accumulates by
+/// name, fact_max() keeps the maximum (for high-water marks like the
+/// widest Pareto front seen).
+///
+/// Thread-confinement: the active trace does not propagate to worker
+/// threads (engine::solve_all's pool, coalesced followers), so a traced
+/// batch records the dispatch-side phases only.  Single-request solves
+/// — the latency-sensitive path traces exist for — run entirely on the
+/// dispatching thread and record every layer.
+/// Tracing never changes solve results: spans and facts are write-only
+/// side channels; no solver code reads them.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atcd::obs {
+
+class Trace {
+ public:
+  struct Span {
+    std::string name;
+    std::uint32_t depth = 0;     ///< nesting depth; 0 = outermost
+    std::uint64_t start_us = 0;  ///< offset from trace activation
+    std::uint64_t dur_us = 0;
+  };
+
+  Trace();
+
+  /// Micros elapsed since construction.
+  std::uint64_t elapsed_us() const;
+
+  /// Opens a span; returns its index for close_span().  Spans close in
+  /// LIFO order (enforced by SpanScope).
+  std::size_t open_span(const char* name);
+  void close_span(std::size_t idx);
+
+  /// Accumulates \p delta into the named tally (created at 0).
+  void fact(const char* name, std::uint64_t delta);
+  /// Raises the named tally to at least \p v.
+  void fact_max(const char* name, std::uint64_t v);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<std::pair<std::string, std::uint64_t>>& facts() const {
+    return facts_;
+  }
+
+ private:
+  std::pair<std::string, std::uint64_t>* find_fact(const char* name);
+
+  std::uint64_t t0_ns_;
+  std::uint32_t depth_ = 0;
+  std::vector<Span> spans_;
+  // Linear scan by name: a trace carries a handful of facts, and
+  // insertion order is irrelevant (the codec sorts at encode time).
+  std::vector<std::pair<std::string, std::uint64_t>> facts_;
+};
+
+/// The thread's active trace; null when the current request is not
+/// being traced.
+Trace* current_trace();
+
+/// Installs \p t as the thread's active trace for the guard's lifetime;
+/// restores the previous active trace (usually null) on destruction.
+class TraceActivation {
+ public:
+  explicit TraceActivation(Trace* t);
+  ~TraceActivation();
+  TraceActivation(const TraceActivation&) = delete;
+  TraceActivation& operator=(const TraceActivation&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+/// RAII phase span: records [ctor, dtor) against the active trace;
+/// a no-op (one thread-local read) when none is active.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) : t_(current_trace()) {
+    if (t_) idx_ = t_->open_span(name);
+  }
+  ~SpanScope() {
+    if (t_) t_->close_span(idx_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Trace* t_;
+  std::size_t idx_ = 0;
+};
+
+/// Accumulates a hot-path fact into the active trace, if any.
+inline void trace_fact(const char* name, std::uint64_t delta) {
+  if (Trace* t = current_trace()) t->fact(name, delta);
+}
+
+/// High-water-mark variant of trace_fact().
+inline void trace_fact_max(const char* name, std::uint64_t v) {
+  if (Trace* t = current_trace()) t->fact_max(name, v);
+}
+
+}  // namespace atcd::obs

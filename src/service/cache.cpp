@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "service/hash_mix.hpp"
 #include "service/subtree_cache.hpp"
 
@@ -113,6 +114,16 @@ ResultCache::ResultCache(Config config) : config_(config) {
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
+  obs::Registry* reg = config_.metrics;
+  if (!reg) {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    reg = owned_metrics_.get();
+  }
+  hits_ = &reg->counter("atcd_result_cache_hits_total");
+  misses_ = &reg->counter("atcd_result_cache_misses_total");
+  insertions_ = &reg->counter("atcd_result_cache_insertions_total");
+  evictions_ = &reg->counter("atcd_result_cache_evictions_total");
+  collisions_ = &reg->counter("atcd_result_cache_collisions_total");
 }
 
 std::size_t ResultCache::shard_index(const CacheKey& key) const {
@@ -139,7 +150,10 @@ std::optional<engine::SolveResult> ResultCache::lookup(const CacheKey& key,
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      if (count_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+      if (count_stats) {
+        misses_->add(1);
+        obs::trace_fact("result_cache_misses", 1);
+      }
       return std::nullopt;
     }
     const Entry& e = *it->second;
@@ -161,12 +175,16 @@ std::optional<engine::SolveResult> ResultCache::lookup(const CacheKey& key,
                     : std::vector<NodeId>{});
   if (iso.empty()) {
     if (count_stats) {
-      collisions_.fetch_add(1, std::memory_order_relaxed);
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      collisions_->add(1);
+      misses_->add(1);
+      obs::trace_fact("result_cache_misses", 1);
     }
     return std::nullopt;
   }
-  if (count_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (count_stats) {
+    hits_->add(1);
+    obs::trace_fact("result_cache_hits", 1);
+  }
   engine::SolveResult out = *e_result;
   remap_witnesses(e_det ? e_det->tree : e_prob->tree,
                   det ? det->tree : prob->tree, iso, &out);
@@ -189,7 +207,7 @@ void ResultCache::insert(const CacheKey& key, std::shared_ptr<const CdAt> det,
     if (!same) {
       // True hash collision: keep the incumbent; replacing it would let
       // the two models keep evicting each other's entry.
-      collisions_.fetch_add(1, std::memory_order_relaxed);
+      collisions_->add(1);
       return;
     }
     // Same canonical model: the incumbent result is equivalent and its
@@ -204,7 +222,7 @@ void ResultCache::insert(const CacheKey& key, std::shared_ptr<const CdAt> det,
             std::make_shared<engine::SolveResult>(result), bytes});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_->add(1);
   evict_to_budget(shard);
 }
 
@@ -215,7 +233,7 @@ void ResultCache::evict_to_budget(Shard& shard) {
     shard.bytes -= victim.bytes;
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->add(1);
   }
 }
 
@@ -247,11 +265,11 @@ void ResultCache::store(const engine::Instance& in,
 
 ResultCache::Stats ResultCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.insertions = insertions_->value();
+  s.evictions = evictions_->value();
+  s.collisions = collisions_->value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.entries += shard->lru.size();

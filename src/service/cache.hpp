@@ -24,7 +24,6 @@
 /// to engine::BatchOptions::cache and transparently memoize
 /// solve_one()/solve_all() calls.
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -34,6 +33,7 @@
 #include <vector>
 
 #include "engine/batch.hpp"
+#include "obs/metrics.hpp"
 #include "service/canon.hpp"
 
 namespace atcd::service {
@@ -80,6 +80,10 @@ class ResultCache final : public engine::SolveCache {
     std::size_t shards = 8;              ///< mutex stripes; >= 1
     std::size_t max_entries = 4096;      ///< whole-cache entry budget
     std::size_t max_bytes = 64u << 20;   ///< whole-cache byte budget
+    /// Home for the cache's counters (atcd_result_cache_*).  Null = the
+    /// cache keeps a private registry, so standalone instances stay
+    /// isolated; the service injects its own so all layers share one.
+    obs::Registry* metrics = nullptr;
   };
 
   struct Stats {
@@ -159,8 +163,14 @@ class ResultCache final : public engine::SolveCache {
   std::size_t byte_budget_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> hits_{0}, misses_{0}, insertions_{0},
-      evictions_{0}, collisions_{0};
+  // Registry-backed counters (see Config::metrics); resolved once at
+  // construction so hot-path counting is a single sharded relaxed add.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* collisions_ = nullptr;
 };
 
 }  // namespace atcd::service

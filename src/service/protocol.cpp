@@ -36,6 +36,9 @@ std::size_t serve(std::istream& in, std::ostream& out,
     if (lr.stats_json && resp.code == api::ErrorCode::Ok) {
       out << api::format_stats_json_line(
           std::get<api::StatsPayload>(resp.payload));
+    } else if (lr.metrics_json && resp.code == api::ErrorCode::Ok) {
+      out << api::format_metrics_json_line(
+          std::get<api::MetricsPayload>(resp.payload));
     } else {
       out << api::format_line(resp);
     }

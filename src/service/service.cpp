@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include "obs/trace.hpp"
 #include "service/timing.hpp"
 
 namespace atcd::service {
@@ -36,12 +37,40 @@ Request Request::of_text(engine::Problem p, std::string text, double bound,
 
 SolveService::SolveService() : SolveService(Options{}) {}
 
+namespace {
+
+/// Pre-construction Options normalization: materialize the fallback
+/// registry and point both cache configs at the stack's registry, so the
+/// cache members (constructed next in the init list) resolve their
+/// counters there.
+SolveService::Options with_metrics(SolveService::Options o,
+                                   std::unique_ptr<obs::Registry>* owned) {
+  if (!o.metrics) {
+    *owned = std::make_unique<obs::Registry>();
+    o.metrics = owned->get();
+  }
+  o.cache.metrics = o.metrics;
+  o.subtree.metrics = o.metrics;
+  return o;
+}
+
+}  // namespace
+
 SolveService::SolveService(Options options)
-    : options_(std::move(options)),
+    : options_(with_metrics(std::move(options), &owned_metrics_)),
+      handle_micros_(&options_.metrics->histogram("atcd_service_handle_micros")),
       cache_(options_.cache),
       subtree_cache_(options_.subtree) {}
 
+Response SolveService::finish(Response resp,
+                              const detail::Clock::time_point& t0) {
+  resp.micros = detail::micros_since(t0);
+  handle_micros_->record(static_cast<std::uint64_t>(resp.micros));
+  return resp;
+}
+
 engine::SolveResult SolveService::solve(const Request& request) {
+  obs::SpanScope span("service.solve");
   engine::Instance in;
   in.problem = request.problem;
   in.det = request.det.get();
@@ -62,6 +91,7 @@ Response SolveService::handle(const Request& request) {
   // 1. Materialize the model: passed-in parsed model, or parse the text.
   Request req = request;
   if (!req.det && !req.prob) {
+    obs::SpanScope span("service.parse");
     try {
       ParsedModel parsed = parse_model(req.model_text);
       if (engine::is_probabilistic(req.problem)) {
@@ -82,8 +112,7 @@ Response SolveService::handle(const Request& request) {
       }
     } catch (const std::exception& e) {
       resp.result.error = e.what();
-      resp.micros = detail::micros_since(t0);
-      return resp;
+      return finish(std::move(resp), t0);
     }
   }
   resp.det = req.det;
@@ -98,8 +127,7 @@ Response SolveService::handle(const Request& request) {
   probe.backend = req.engine_name;
   if (std::string err = engine::instance_error(probe); !err.empty()) {
     resp.result.error = std::move(err);
-    resp.micros = detail::micros_since(t0);
-    return resp;
+    return finish(std::move(resp), t0);
   }
 
   // 3. One canonical hash per request; key the cache and coalescing map.
@@ -112,15 +140,16 @@ Response SolveService::handle(const Request& request) {
 
   if (!options_.enable_cache || !key) {
     resp.result = solve(req);
-    resp.micros = detail::micros_since(t0);
-    return resp;
+    return finish(std::move(resp), t0);
   }
 
-  if (auto cached = cache_.lookup(*key, req.det.get(), req.prob.get())) {
-    resp.result = std::move(*cached);
-    resp.cache_hit = true;
-    resp.micros = detail::micros_since(t0);
-    return resp;
+  {
+    obs::SpanScope span("service.cache");
+    if (auto cached = cache_.lookup(*key, req.det.get(), req.prob.get())) {
+      resp.result = std::move(*cached);
+      resp.cache_hit = true;
+      return finish(std::move(resp), t0);
+    }
   }
 
   // 4. Coalesce: either join an identical in-flight solve, or lead one.
@@ -163,8 +192,7 @@ Response SolveService::handle(const Request& request) {
         flight->done = true;
       }
       flight->cv.notify_all();
-      resp.micros = detail::micros_since(t0);
-      return resp;
+      return finish(std::move(resp), t0);
     }
   }
 
@@ -182,8 +210,7 @@ Response SolveService::handle(const Request& request) {
                         : std::vector<NodeId>{});
     if (join_iso.empty()) {
       resp.result = solve(req);
-      resp.micros = detail::micros_since(t0);
-      return resp;
+      return finish(std::move(resp), t0);
     }
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
@@ -195,8 +222,7 @@ Response SolveService::handle(const Request& request) {
                       req.det ? req.det->tree : req.prob->tree, join_iso,
                       &resp.result);
     resp.coalesced = true;
-    resp.micros = detail::micros_since(t0);
-    return resp;
+    return finish(std::move(resp), t0);
   }
 
   resp.result = solve(req);
@@ -218,8 +244,7 @@ Response SolveService::handle(const Request& request) {
     flight->done = true;
   }
   flight->cv.notify_all();
-  resp.micros = detail::micros_since(t0);
-  return resp;
+  return finish(std::move(resp), t0);
 }
 
 }  // namespace atcd::service

@@ -26,8 +26,10 @@
 
 #include "at/parser.hpp"
 #include "engine/batch.hpp"
+#include "obs/metrics.hpp"
 #include "service/cache.hpp"
 #include "service/subtree_cache.hpp"
+#include "service/timing.hpp"
 
 namespace atcd::service {
 
@@ -77,6 +79,13 @@ class SolveService {
     /// models sharing subtrees reuse each other's work.
     SubtreeCache::Config subtree;
     bool enable_subtree_cache = true;
+    /// Instrument home for the whole serving stack: the service's own
+    /// latency histogram plus both caches' counters land here (the
+    /// cache/subtree Config::metrics fields are overwritten with this
+    /// registry).  Null = the service owns a private registry, so
+    /// standalone services keep isolated counters; the API dispatcher
+    /// injects its registry to get one source of truth per stack.
+    obs::Registry* metrics = nullptr;
   };
 
   SolveService();  // default Options (GCC can't parse `= {}` here)
@@ -91,6 +100,10 @@ class SolveService {
   SubtreeCache& subtree_cache() { return subtree_cache_; }
   const SubtreeCache& subtree_cache() const { return subtree_cache_; }
   const Options& options() const { return options_; }
+
+  /// The stack's instrument registry (Options::metrics, or the private
+  /// fallback); never null.
+  obs::Registry& metrics() const { return *options_.metrics; }
 
   /// The shared subtree cache when enabled, else null — what the solve
   /// path and new sessions attach.
@@ -110,8 +123,16 @@ class SolveService {
   };
 
   engine::SolveResult solve(const Request& request);
+  /// Stamps the response's wall time and records it in the service's
+  /// latency histogram — every handle() exit path funnels through here,
+  /// so latency lands in the registry whether or not callers echo it.
+  Response finish(Response resp, const detail::Clock::time_point& t0);
 
+  /// Declared before options_: the Options-normalizing constructor step
+  /// may point options_.metrics at this.
+  std::unique_ptr<obs::Registry> owned_metrics_;
   Options options_;
+  obs::Histogram* handle_micros_ = nullptr;
   ResultCache cache_;
   SubtreeCache subtree_cache_;
   std::mutex inflight_mu_;

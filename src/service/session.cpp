@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/bottom_up_core.hpp"
+#include "obs/trace.hpp"
 #include "service/timing.hpp"
 
 namespace atcd::service {
@@ -147,6 +148,13 @@ Session::Session(CdpAt model, Options options)
 
 void Session::init(AttackTree tree, std::vector<double> cost,
                    std::vector<double> damage, std::vector<double> prob) {
+  if (options_.metrics) {
+    memo_hits_c_ = &options_.metrics->counter("atcd_session_memo_hits_total");
+    memo_misses_c_ =
+        &options_.metrics->counter("atcd_session_memo_misses_total");
+    memo_stores_c_ =
+        &options_.metrics->counter("atcd_session_memo_stores_total");
+  }
   base_cost_ = cost;
   defended_.assign(tree.bas_count(), false);
   if (probabilistic_) {
@@ -447,6 +455,7 @@ Response Session::resolve() {
 
 Response Session::resolve_locked() {
   const auto t0 = detail::Clock::now();
+  obs::SpanScope span("session.resolve");
   Response resp;
   resp.problem = options_.problem;
   if (options_.snapshots) {
@@ -484,9 +493,23 @@ Response Session::resolve_locked() {
   ChainedSubtreeMemo chain(&private_memo, options_.shared);
   opt.subtree = &chain;
 
+  const MemoStats before = memo_stats_;
   resp.result = engine::solve_one(in, opt);
   if (options_.shared && !tree().is_treelike()) populate_shared_portions();
   ++resolves_;
+  // Mirror this resolve's memo activity into the registry and the
+  // active trace (if any) as one batched delta per counter.
+  const std::uint64_t d_hits = memo_stats_.hits - before.hits;
+  const std::uint64_t d_misses = memo_stats_.misses - before.misses;
+  const std::uint64_t d_stores = memo_stats_.stores - before.stores;
+  if (memo_hits_c_) {
+    if (d_hits) memo_hits_c_->add(d_hits);
+    if (d_misses) memo_misses_c_->add(d_misses);
+    if (d_stores) memo_stores_c_->add(d_stores);
+  }
+  obs::trace_fact("session_memo_hits", d_hits);
+  obs::trace_fact("session_memo_misses", d_misses);
+  obs::trace_fact("session_memo_stores", d_stores);
   resp.micros = detail::micros_since(t0);
   return resp;
 }

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "defense/defense.hpp"
+#include "obs/metrics.hpp"
 #include "pareto/front_soa.hpp"
 #include "service/service.hpp"
 #include "service/subtree_cache.hpp"
@@ -84,6 +85,11 @@ class Session {
     /// loops.  Drivers that only consume Response::result (the analysis
     /// sweeps) turn this off and keep edits allocation-free.
     bool snapshots = true;
+    /// Home for the session memo counters (atcd_session_memo_*_total);
+    /// null = the session counts only in its private MemoStats.  The
+    /// dispatcher passes its registry so session traffic shows up in
+    /// the `metrics` op alongside the cache layers.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Private-memo counters (the shared cache keeps its own stats).
@@ -203,6 +209,13 @@ class Session {
   /// session's next edit under it.
   std::vector<char> portion_valid_;
   MemoStats memo_stats_;
+  /// Registry mirrors of memo_stats_ (Options::metrics); fed by delta
+  /// once per resolve rather than per memo probe — the memo lookups run
+  /// under the session mutex, so batching the registry adds keeps the
+  /// incremental hot path untouched.  Null when no registry was given.
+  obs::Counter* memo_hits_c_ = nullptr;
+  obs::Counter* memo_misses_c_ = nullptr;
+  obs::Counter* memo_stores_c_ = nullptr;
 
   CanonHash hash_ = 0;       ///< fingerprint of the working model
   bool hash_dirty_ = true;

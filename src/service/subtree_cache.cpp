@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "service/canon.hpp"
 #include "service/hash_mix.hpp"
 
@@ -325,6 +326,16 @@ SubtreeCache::SubtreeCache(Config config) : config_(config) {
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
+  obs::Registry* reg = config_.metrics;
+  if (!reg) {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    reg = owned_metrics_.get();
+  }
+  hits_ = &reg->counter("atcd_subtree_cache_hits_total");
+  misses_ = &reg->counter("atcd_subtree_cache_misses_total");
+  insertions_ = &reg->counter("atcd_subtree_cache_insertions_total");
+  evictions_ = &reg->counter("atcd_subtree_cache_evictions_total");
+  collisions_ = &reg->counter("atcd_subtree_cache_collisions_total");
 }
 
 std::unique_ptr<atcd::detail::SubtreeVisitor> SubtreeCache::bind(
@@ -361,7 +372,8 @@ std::shared_ptr<const std::vector<AttrTriple>> SubtreeCache::find(
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_->add(1);
+      obs::trace_fact("subtree_cache_misses", 1);
       return nullptr;
     }
     e_sig = it->second->sig;
@@ -374,11 +386,13 @@ std::shared_ptr<const std::vector<AttrTriple>> SubtreeCache::find(
   // shared immutable); sig_of materializes the probe's signature only
   // now that there is an entry to check it against.
   if (*e_sig != sig_of()) {
-    collisions_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    collisions_->add(1);
+    misses_->add(1);
+    obs::trace_fact("subtree_cache_misses", 1);
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->add(1);
+  obs::trace_fact("subtree_cache_hits", 1);
   return e_front;
 }
 
@@ -394,7 +408,7 @@ void SubtreeCache::put(const Key& key, const std::string& sig,
     if (*it->second->sig != sig) {
       // True hash collision: keep the incumbent so the two subtrees
       // don't keep evicting each other's entry.
-      collisions_.fetch_add(1, std::memory_order_relaxed);
+      collisions_->add(1);
       return;
     }
     // Same subtree recomputed (e.g. concurrent bindings): the fronts are
@@ -408,7 +422,7 @@ void SubtreeCache::put(const Key& key, const std::string& sig,
       bytes});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_->add(1);
   evict_to_budget(shard);
 }
 
@@ -419,17 +433,17 @@ void SubtreeCache::evict_to_budget(Shard& shard) {
     shard.bytes -= victim.bytes;
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->add(1);
   }
 }
 
 SubtreeCache::Stats SubtreeCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.insertions = insertions_->value();
+  s.evictions = evictions_->value();
+  s.collisions = collisions_->value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.entries += shard->lru.size();

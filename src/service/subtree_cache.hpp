@@ -36,7 +36,6 @@
 /// BatchOptions counts every byte exactly once (each cache accounts its
 /// own storage; tests/test_subtree_cache.cpp asserts the additivity).
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -47,6 +46,7 @@
 #include <vector>
 
 #include "engine/batch.hpp"
+#include "obs/metrics.hpp"
 
 namespace atcd::service {
 
@@ -97,6 +97,9 @@ class SubtreeCache final : public engine::SubtreeMemo {
     /// Subtrees with fewer leaves are not cached: their fronts are
     /// cheaper to recompute than to look up and remap.
     std::size_t min_leaves = 2;
+    /// Home for the cache's counters (atcd_subtree_cache_*).  Null = a
+    /// private registry (standalone instances stay isolated).
+    obs::Registry* metrics = nullptr;
   };
 
   struct Stats {
@@ -186,8 +189,14 @@ class SubtreeCache final : public engine::SubtreeMemo {
   std::size_t byte_budget_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> hits_{0}, misses_{0}, insertions_{0},
-      evictions_{0}, collisions_{0};
+  // Registry-backed counters (see Config::metrics); resolved once at
+  // construction so hot-path counting is a single sharded relaxed add.
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* collisions_ = nullptr;
 };
 
 /// Chains two memo layers: lookups consult \p primary first, then

@@ -1,0 +1,453 @@
+/// net_loadgen — concurrent load harness for the network transport
+/// (ROADMAP item 1; the PASS-gated socket-vs-pipe comparison of
+/// ISSUE 8).
+///
+/// N client connections (default 16) replay mixed traffic against an
+/// in-process net::Server: zipf-repeated solves over a model pool
+/// (cdpf and budgeted dgc), small analysis sweeps, and lockstep
+/// session chains (open -> set-cost edit -> resolve -> close).  The
+/// identical logical workload then replays through N concurrent
+/// in-memory serving loops — the stdin-pipe transport minus the
+/// kernel — on a twin dispatcher, giving an equal-thread-count
+/// baseline that isolates exactly the socket overhead.
+///
+/// PASS gate:
+///   * byte parity: every solve/sweep/resolve/edit/close response is
+///     byte-identical between the two transports (after normalizing
+///     the one legitimately scheduling-dependent member, the solve
+///     cache disposition "hit"/"miss"/"coalesced"; session-open
+///     responses carry allocation-order session numbers and are
+///     excluded).
+///   * throughput: the socket transport stays within 10x of the
+///     in-memory pipe at equal concurrency (lockstep clients pay one
+///     loopback RTT per request, so parity of *throughput* is not
+///     expected — unboundedly worse is what the gate catches).
+///
+/// Reports throughput and p50/p95/p99 client-side latency per
+/// transport and writes BENCH_net_throughput.json.
+///
+///   bench_net_loadgen [--smoke] [--full] [--conns N] [--json <path>]
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/json.hpp"
+#include "api/server.hpp"
+#include "bench/common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace atcd {
+namespace {
+
+using namespace atcd::api;
+
+// ---------------------------------------------------------------------------
+// Workload: a deterministic per-connection request stream.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kPoolSize = 16;
+
+std::string pool_model(std::size_t k) {
+  const std::size_t leaves = 3 + k % 4;
+  std::string m;
+  for (std::size_t i = 0; i < leaves; ++i)
+    m += "bas l" + std::to_string(i) + " cost=" +
+         std::to_string(1 + (k * 7 + i * 3) % 9) + " damage=" +
+         std::to_string(1 + (k * 5 + i * 2) % 7) + "\n";
+  m += "or root = l0";
+  for (std::size_t i = 1; i < leaves; ++i) m += ", l" + std::to_string(i);
+  m += " damage=" + std::to_string(5 + k % 9) + "\n";
+  return m;
+}
+
+/// Zipf-ish rank sampler over the model pool: rank k with weight
+/// 1/(k+1), so a handful of hot models dominate — the repeat-heavy
+/// traffic shape the result cache exists for.
+std::size_t zipf_pick(Rng& rng, const std::vector<double>& cdf) {
+  const double u = rng.uniform() * cdf.back();
+  for (std::size_t k = 0; k < cdf.size(); ++k)
+    if (u <= cdf[k]) return k;
+  return cdf.size() - 1;
+}
+
+/// One connection's lockstep request generator.  next() hands out the
+/// encoded request lines one by one; session chains consume the
+/// previous response to learn their session id, exactly like a real
+/// lockstep client.  The same object drives a socket client and an
+/// in-memory serving loop, so both transports see identical bytes.
+class ConnScript {
+ public:
+  ConnScript(std::size_t conn, std::size_t n_requests,
+             const std::vector<std::string>* pool,
+             const std::vector<double>* cdf)
+      : conn_(conn), n_(n_requests), pool_(pool), cdf_(cdf),
+        rng_(0x10ad0000 + conn) {}
+
+  /// The id of the line most recently returned by next().
+  const std::string& last_id() const { return last_id_; }
+
+  /// Ids whose responses take part in the byte-parity check (all but
+  /// session opens, whose payload carries the allocation-order session
+  /// number).
+  const std::vector<std::string>& parity_ids() const { return parity_ids_; }
+
+  std::optional<std::string> next(const std::string& prev_response) {
+    if (i_ >= n_) return std::nullopt;
+    Request r;
+    r.id = "c";
+    r.id += std::to_string(conn_);
+    r.id += "-";
+    r.id += std::to_string(i_);
+    last_id_ = r.id;
+    bool parity = true;
+    switch (i_ % 24) {
+      case 7: {  // session chain: open …
+        SessionOpenRequest o;
+        o.spec = {engine::Problem::Dgc, 5.0, true, "",
+                  (*pool_)[conn_ % kPoolSize]};
+        r.op = std::move(o);
+        parity = false;  // the payload is the session number
+        break;
+      }
+      case 8: {  // … edit …
+        SessionEditRequest e;
+        e.session = session_of(prev_response);
+        e.op = EditOp::SetCost;
+        e.target = "l0";
+        e.value = 1.0 + static_cast<double>(i_ % 7);
+        r.op = std::move(e);
+        break;
+      }
+      case 9: {  // … resolve …
+        SessionResolveRequest res;
+        res.session = last_session_;
+        r.op = res;
+        break;
+      }
+      case 10: {  // … close.
+        SessionCloseRequest c;
+        c.session = last_session_;
+        r.op = c;
+        break;
+      }
+      case 15: {  // small analysis sweep
+        AnalyzeSweepRequest a;
+        a.problem = engine::Problem::Dgc;
+        a.axes = {"cost:l0:1:3:3"};
+        a.bound = 4.0;
+        a.has_bound = true;
+        a.model = (*pool_)[(conn_ + i_) % kPoolSize];
+        r.op = std::move(a);
+        break;
+      }
+      default: {  // zipf-repeated solve
+        const std::size_t k = zipf_pick(rng_, *cdf_);
+        SolveRequest s;
+        if (k % 2 == 0)
+          s.spec = {engine::Problem::Cdpf, 0.0, false, "", (*pool_)[k]};
+        else
+          s.spec = {engine::Problem::Dgc,
+                    1.0 + static_cast<double>(k % 5), true, "", (*pool_)[k]};
+        r.op = std::move(s);
+        break;
+      }
+    }
+    if (parity) parity_ids_.push_back(r.id);
+    ++i_;
+    return encode_request(r);
+  }
+
+ private:
+  std::uint64_t session_of(const std::string& response) {
+    const Decoded<Response> dec = decode_response(response);
+    if (dec.code == ErrorCode::Ok)
+      if (const auto* p =
+              std::get_if<SessionOpenedPayload>(&dec.value.payload))
+        last_session_ = p->session;
+    return last_session_;
+  }
+
+  std::size_t conn_;
+  std::size_t n_;
+  const std::vector<std::string>* pool_;
+  const std::vector<double>* cdf_;
+  Rng rng_;
+  std::size_t i_ = 0;
+  std::uint64_t last_session_ = 0;
+  std::string last_id_;
+  std::vector<std::string> parity_ids_;
+};
+
+/// Blanks the solve cache-disposition member: whether a repeated solve
+/// reads "hit", "miss", or "coalesced" depends on cross-connection
+/// arrival order — the payload values are identical either way.
+std::string normalize(std::string line) {
+  const std::string key = "\"cache\":\"";
+  const std::size_t p = line.find(key);
+  if (p == std::string::npos) return line;
+  const std::size_t v = p + key.size();
+  const std::size_t q = line.find('"', v);
+  if (q == std::string::npos) return line;
+  return line.substr(0, v) + "x" + line.substr(q);
+}
+
+struct ConnResult {
+  std::map<std::string, std::string> responses;  ///< id -> normalized line
+  std::vector<double> latencies;                 ///< seconds per request
+  std::vector<std::string> parity_ids;
+  bool ok = true;
+};
+
+// ---------------------------------------------------------------------------
+// The two transports under comparison.
+// ---------------------------------------------------------------------------
+
+ConnResult run_socket_conn(std::uint16_t port, std::size_t conn,
+                           std::size_t n_requests,
+                           const std::vector<std::string>* pool,
+                           const std::vector<double>* cdf) {
+  ConnResult out;
+  std::string err;
+  net::Client client("127.0.0.1", port, &err);
+  if (!client.valid()) {
+    std::fprintf(stderr, "loadgen: connect failed: %s\n", err.c_str());
+    out.ok = false;
+    return out;
+  }
+  ConnScript script(conn, n_requests, pool, cdf);
+  std::string prev, resp;
+  Timer t;
+  while (auto line = script.next(prev)) {
+    t.restart();
+    if (!client.request(*line, &resp)) {
+      out.ok = false;
+      return out;
+    }
+    out.latencies.push_back(t.seconds());
+    out.responses[script.last_id()] = normalize(resp);
+    prev = resp;
+  }
+  out.parity_ids = script.parity_ids();
+  // Half-close and collect the server's structured shutdown response —
+  // the orderly end of a JSON-lines connection.
+  client.half_close();
+  std::string last;
+  while (client.read_line(&resp)) last = resp;
+  if (last.find("\"kind\":\"shutdown\"") == std::string::npos) {
+    std::fprintf(stderr, "loadgen: conn %zu missing shutdown line\n", conn);
+    out.ok = false;
+  }
+  return out;
+}
+
+/// The in-memory twin of a socket connection: the same ConnScript fed
+/// straight into the serving core, no kernel in between.
+class ScriptedTransport final : public LineTransport {
+ public:
+  ScriptedTransport(ConnScript script, ConnResult* out)
+      : script_(std::move(script)), out_(out) {}
+
+  ReadStatus read_line(std::string& line, std::size_t) override {
+    const std::optional<std::string> next = script_.next(prev_);
+    if (!next) return ReadStatus::Eof;
+    line = *next;
+    pending_ = true;
+    timer_.restart();
+    return ReadStatus::Line;
+  }
+
+  bool write_line(const std::string& line) override {
+    if (pending_) {  // the final shutdown response has no pending request
+      out_->latencies.push_back(timer_.seconds());
+      out_->responses[script_.last_id()] = normalize(line);
+      prev_ = line;
+      pending_ = false;
+    }
+    return true;
+  }
+
+  void finish() { out_->parity_ids = script_.parity_ids(); }
+
+ private:
+  ConnScript script_;
+  ConnResult* out_;
+  std::string prev_;
+  bool pending_ = false;
+  Timer timer_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct TransportRun {
+  double wall_s = 0.0;
+  std::size_t requests = 0;
+  bench::Stats lat;
+  std::map<std::string, std::string> responses;
+  std::vector<std::string> parity_ids;
+  bool ok = true;
+};
+
+TransportRun merge(std::vector<ConnResult>& conns, double wall_s) {
+  TransportRun run;
+  run.wall_s = wall_s;
+  std::vector<double> lats;
+  for (ConnResult& c : conns) {
+    run.ok = run.ok && c.ok;
+    run.requests += c.latencies.size();
+    lats.insert(lats.end(), c.latencies.begin(), c.latencies.end());
+    run.responses.insert(c.responses.begin(), c.responses.end());
+    run.parity_ids.insert(run.parity_ids.end(), c.parity_ids.begin(),
+                          c.parity_ids.end());
+  }
+  run.lat = bench::stats_of(lats);
+  return run;
+}
+
+}  // namespace
+}  // namespace atcd
+
+int main(int argc, char** argv) {
+  using namespace atcd;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool full = bench::has_flag(argc, argv, "--full");
+  std::size_t conns = 16;
+  if (const std::string v = bench::flag_value(argc, argv, "--conns");
+      !v.empty())
+    conns = std::strtoull(v.c_str(), nullptr, 10);
+  const std::size_t per_conn = smoke ? 48 : (full ? 960 : 240);
+
+  bench::print_header("net_loadgen — socket vs in-memory pipe, mixed traffic",
+                      "ROADMAP item 1 (network transport load harness)");
+  std::printf("conns=%zu requests/conn=%zu (zipf solves + sweeps + session "
+              "chains)\n\n",
+              conns, per_conn);
+
+  std::vector<std::string> pool;
+  for (std::size_t k = 0; k < kPoolSize; ++k) pool.push_back(pool_model(k));
+  std::vector<double> cdf;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < kPoolSize; ++k) {
+    acc += 1.0 / static_cast<double>(k + 1);
+    cdf.push_back(acc);
+  }
+
+  // --- Socket transport. -------------------------------------------------
+  api::Dispatcher socket_dispatcher;
+  net::ServerOptions nopt;
+  nopt.max_conns = conns + 4;
+  net::Server server(socket_dispatcher, nopt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "loadgen: server start failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::vector<ConnResult> socket_conns(conns);
+  Timer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c)
+      clients.emplace_back([&, c] {
+        socket_conns[c] =
+            run_socket_conn(server.port(), c, per_conn, &pool, &cdf);
+      });
+    for (auto& th : clients) th.join();
+  }
+  const double socket_wall = wall.seconds();
+  server.request_drain();
+  server.wait();
+  TransportRun socket_run = merge(socket_conns, socket_wall);
+
+  // --- In-memory pipe baseline (twin dispatcher, equal concurrency). -----
+  api::Dispatcher pipe_dispatcher;
+  std::vector<ConnResult> pipe_conns(conns);
+  wall.restart();
+  {
+    std::vector<std::thread> streams;
+    streams.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c)
+      streams.emplace_back([&, c] {
+        ScriptedTransport t(ConnScript(c, per_conn, &pool, &cdf),
+                            &pipe_conns[c]);
+        api::serve_lines(t, pipe_dispatcher, {});
+        t.finish();
+      });
+    for (auto& th : streams) th.join();
+  }
+  const double pipe_wall = wall.seconds();
+  TransportRun pipe_run = merge(pipe_conns, pipe_wall);
+
+  // --- Parity. ------------------------------------------------------------
+  std::size_t mismatches = 0;
+  for (const std::string& id : socket_run.parity_ids) {
+    const auto a = socket_run.responses.find(id);
+    const auto b = pipe_run.responses.find(id);
+    if (a == socket_run.responses.end() || b == pipe_run.responses.end() ||
+        a->second != b->second) {
+      if (++mismatches <= 3)
+        std::fprintf(stderr,
+                     "parity mismatch id=%s\n  socket: %s\n  pipe:   %s\n",
+                     id.c_str(),
+                     a == socket_run.responses.end() ? "<missing>"
+                                                     : a->second.c_str(),
+                     b == pipe_run.responses.end() ? "<missing>"
+                                                   : b->second.c_str());
+    }
+  }
+  const bool parity_ok = mismatches == 0 && socket_run.ok && pipe_run.ok &&
+                         !socket_run.parity_ids.empty();
+
+  const double socket_rps =
+      static_cast<double>(socket_run.requests) / socket_run.wall_s;
+  const double pipe_rps =
+      static_cast<double>(pipe_run.requests) / pipe_run.wall_s;
+  const double ratio = pipe_rps / socket_rps;
+
+  std::printf("socket : %6zu req  %7.3f s  %9.0f req/s  p50=%.0fus "
+              "p95=%.0fus p99=%.0fus\n",
+              socket_run.requests, socket_run.wall_s, socket_rps,
+              socket_run.lat.p50_us, socket_run.lat.p95_us,
+              socket_run.lat.p99_us);
+  std::printf("pipe   : %6zu req  %7.3f s  %9.0f req/s  p50=%.0fus "
+              "p95=%.0fus p99=%.0fus\n",
+              pipe_run.requests, pipe_run.wall_s, pipe_rps, pipe_run.lat.p50_us,
+              pipe_run.lat.p95_us, pipe_run.lat.p99_us);
+  std::printf("pipe/socket throughput ratio: %.2fx (gate: <= 10x)\n", ratio);
+  std::printf("parity: %s (%zu ids compared, %zu mismatches)\n",
+              parity_ok ? "ok" : "FAILED", socket_run.parity_ids.size(),
+              mismatches);
+
+  bench::JsonReport report("net_throughput");
+  report.add("socket/mixed",
+             {{"conns", static_cast<double>(conns)},
+              {"requests", static_cast<double>(socket_run.requests)},
+              {"wall_s", socket_run.wall_s},
+              {"rps", socket_rps},
+              {"p50_us", socket_run.lat.p50_us},
+              {"p95_us", socket_run.lat.p95_us},
+              {"p99_us", socket_run.lat.p99_us}});
+  report.add("pipe/mixed",
+             {{"conns", static_cast<double>(conns)},
+              {"requests", static_cast<double>(pipe_run.requests)},
+              {"wall_s", pipe_run.wall_s},
+              {"rps", pipe_rps},
+              {"p50_us", pipe_run.lat.p50_us},
+              {"p95_us", pipe_run.lat.p95_us},
+              {"p99_us", pipe_run.lat.p99_us}});
+  report.add("gate", {{"pipe_over_socket", ratio},
+                      {"parity_ok", parity_ok ? 1.0 : 0.0}});
+  report.write(bench::flag_value(argc, argv, "--json"));
+
+  const bool pass = parity_ok && ratio <= 10.0;
+  std::printf("\n%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

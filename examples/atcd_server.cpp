@@ -16,8 +16,23 @@
 /// same `stats` counters — regardless of the wire format.  Either mode
 /// ends with a structured shutdown response (on `quit` and on EOF).
 ///
+/// With --listen host:port the same dispatcher moves onto the network
+/// (src/net/): a multi-client TCP server speaking the JSON-lines
+/// envelope (one connection = one pipelined session, exactly the
+/// --json stdin semantics), or — with --http — a minimal HTTP/1.1
+/// endpoint (POST /api/v1 carrying one envelope per request, GET
+/// /healthz, GET /metrics).  SIGTERM/SIGINT drain gracefully:
+/// accepting stops, in-flight requests finish, and every open
+/// JSON-lines connection reads the structured shutdown response as its
+/// final line.  --max-conns caps concurrent connections (excess
+/// clients get one typed `capacity` error and are closed);
+/// --max-line-bytes caps a single request line; --threads sizes each
+/// connection's pipelining pool.
+///
 /// Usage:
 ///   atcd_server [--json] [--timing] [--threads N] [--slow-ms N]
+///               [--listen host:port] [--http] [--max-conns N]
+///               [--max-line-bytes N] [--max-queue N]
 ///               [--shards N] [--entries N] [--bytes N] [--no-cache]
 ///               [--subtree-entries N] [--subtree-bytes N]
 ///               [--no-subtree-cache]
@@ -55,20 +70,43 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "api/server.hpp"
+#include "net/server.hpp"
 #include "service/protocol.hpp"
 
 int main(int argc, char** argv) {
   atcd::api::Dispatcher::Options opt;
   atcd::api::JsonServeOptions jopt;
+  atcd::net::ServerOptions nopt;
   bool json = false;
+  bool listen = false;
   std::size_t threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       json = true;
     else if (std::strcmp(argv[i], "--timing") == 0)
       jopt.timing = true;
+    else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "atcd_server: --listen wants host:port\n");
+        return 2;
+      }
+      nopt.host = spec.substr(0, colon);
+      nopt.port = static_cast<std::uint16_t>(
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+      listen = true;
+    } else if (std::strcmp(argv[i], "--http") == 0)
+      nopt.http = true;
+    else if (std::strcmp(argv[i], "--max-conns") == 0 && i + 1 < argc)
+      nopt.max_conns = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--max-line-bytes") == 0 && i + 1 < argc)
+      jopt.max_line_bytes = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc)
+      jopt.max_queue = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
       opt.service.cache.shards = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc)
@@ -91,13 +129,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: atcd_server [--json] [--timing] [--threads N] "
                    "[--slow-ms N] "
+                   "[--listen host:port] [--http] [--max-conns N] "
+                   "[--max-line-bytes N] [--max-queue N] "
                    "[--shards N] [--entries N] [--bytes N] [--no-cache] "
                    "[--subtree-entries N] [--subtree-bytes N] "
                    "[--no-subtree-cache]\n"
                    "Serves the solve API on stdin/stdout: the legacy line "
                    "protocol by default, the v1 JSON envelope with --json "
-                   "(pipelined when --threads > 1).  See the README's "
-                   "\"API\" section.\n");
+                   "(pipelined when --threads > 1).  With --listen, a "
+                   "multi-client TCP (or, with --http, HTTP/1.1) server "
+                   "speaking the same envelope.  See the README's "
+                   "\"Network transport\" section.\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
@@ -105,6 +147,33 @@ int main(int argc, char** argv) {
   jopt.threads = threads;
 
   atcd::api::Dispatcher dispatcher(opt);
+
+  if (listen) {
+    nopt.serve = jopt;
+    atcd::net::Server server(dispatcher, nopt);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "atcd_server: %s\n", err.c_str());
+      return 2;
+    }
+    server.install_signal_handlers();
+    std::fprintf(stderr,
+                 "atcd_server: listening on %s:%u (%s, max %zu conns, "
+                 "%zu worker threads/conn)\n",
+                 nopt.host.c_str(), static_cast<unsigned>(server.port()),
+                 nopt.http ? "http" : "json-lines", nopt.max_conns,
+                 jopt.threads);
+    server.wait();  // returns after SIGTERM/SIGINT graceful drain
+    const auto s = dispatcher.stats();
+    std::fprintf(stderr,
+                 "atcd_server: drained after %llu solves "
+                 "(requests=%llu errors=%llu)\n",
+                 static_cast<unsigned long long>(server.handled()),
+                 static_cast<unsigned long long>(s.api.requests),
+                 static_cast<unsigned long long>(s.api.errors));
+    return 0;
+  }
+
   std::fprintf(stderr,
                "atcd_server: ready (%s mode, cache %s, %zu shards, "
                "%zu entries, %zu bytes)\n",

@@ -1068,6 +1068,13 @@ Decoded<Request> decode_request(const std::string& text) {
     return out;
   };
 
+  // Hard ceiling at the decoder entry: even a transport that forgot to
+  // cap its reads cannot make the parser chew an unbounded document.
+  if (text.size() > kMaxDecodeBytes)
+    return fail(ErrorCode::Capacity,
+                "request exceeds " + std::to_string(kMaxDecodeBytes) +
+                    " bytes");
+
   Value doc;
   std::string perr;
   if (!json::parse(text, &doc, &perr))

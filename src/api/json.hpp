@@ -20,6 +20,7 @@
 /// The generic json::Value layer is exposed for tests and for the stats
 /// payload's nested counter objects.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <utility>
@@ -63,6 +64,13 @@ std::string dump_string(const std::string& value);
 }  // namespace atcd::api::json
 
 namespace atcd::api {
+
+/// Hard upper bound on the byte length decode_request accepts.  Serving
+/// loops enforce their own (smaller, configurable) line caps while the
+/// bytes stream in; this constant is the decoder's last line of defense
+/// for callers that hand it an already-materialized string.  Oversized
+/// input yields a typed ErrorCode::Capacity, never an attempt to parse.
+inline constexpr std::size_t kMaxDecodeBytes = 8u << 20;  // 8 MiB
 
 /// Outcome of decoding a request or response line.
 template <typename T>

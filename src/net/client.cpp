@@ -1,0 +1,78 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cstdlib>
+
+namespace atcd::net {
+
+namespace {
+constexpr std::size_t kClientLineCap = 64u << 20;  // trust the server
+}
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::string* error)
+    : io_(connect_tcp(host, port, error)) {
+  if (io_.fd() >= 0) set_nodelay(io_.fd());
+}
+
+bool Client::send_line(const std::string& line) {
+  return io_.write_all(line + "\n");
+}
+
+bool Client::read_line(std::string* line) {
+  return io_.read_line(*line, kClientLineCap) ==
+         api::LineTransport::ReadStatus::Line;
+}
+
+bool Client::request(const std::string& line, std::string* response) {
+  return send_line(line) && read_line(response);
+}
+
+void Client::half_close() {
+  if (io_.fd() >= 0) ::shutdown(io_.fd(), SHUT_WR);
+}
+
+bool Client::read_http_response(int* status, std::string* body) {
+  std::string line;
+  if (io_.read_line(line, kClientLineCap) !=
+      api::LineTransport::ReadStatus::Line)
+    return false;
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos) return false;
+  *status = std::atoi(line.c_str() + sp + 1);
+  std::size_t content_length = 0;
+  while (true) {
+    if (io_.read_line(line, kClientLineCap) !=
+        api::LineTransport::ReadStatus::Line)
+      return false;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    if (name == "content-length")
+      content_length = std::strtoull(line.c_str() + colon + 1, nullptr, 10);
+  }
+  return io_.read_exact(*body, content_length);
+}
+
+bool Client::http_post(const std::string& path, const std::string& body,
+                       int* status, std::string* response_body) {
+  const std::string req = "POST " + path +
+                          " HTTP/1.1\r\nHost: atcd\r\nContent-Type: "
+                          "application/json\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+  return io_.write_all(req) && read_http_response(status, response_body);
+}
+
+bool Client::http_get(const std::string& path, int* status,
+                      std::string* response_body) {
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: atcd\r\n\r\n";
+  return io_.write_all(req) && read_http_response(status, response_body);
+}
+
+}  // namespace atcd::net

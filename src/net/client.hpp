@@ -1,0 +1,51 @@
+#pragma once
+/// \file client.hpp
+/// Minimal blocking client for the net transports — the test and
+/// load-harness counterpart of net::Server.  JSON-lines mode speaks
+/// one request line / one response line; HTTP mode frames POSTs and
+/// parses the status + body back out.  No retries, no pooling: one
+/// Client is one TCP connection.
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace atcd::net {
+
+class Client {
+ public:
+  /// Connects; valid() reports success, \p error the reason otherwise.
+  Client(const std::string& host, std::uint16_t port, std::string* error);
+
+  bool valid() const { return io_.fd() >= 0; }
+
+  /// Sends one JSON-lines request (newline appended).
+  bool send_line(const std::string& line);
+
+  /// Reads one response line; false on EOF/error.
+  bool read_line(std::string* line);
+
+  /// Lockstep convenience: send_line + read_line.
+  bool request(const std::string& line, std::string* response);
+
+  /// Half-closes the write side: the server sees EOF, drains, and
+  /// writes its final structured shutdown response, which read_line
+  /// can still collect.
+  void half_close();
+
+  /// One HTTP exchange on this connection (keep-alive).  Returns false
+  /// on transport failure; otherwise \p status and \p body carry the
+  /// response.
+  bool http_post(const std::string& path, const std::string& body,
+                 int* status, std::string* response_body);
+  bool http_get(const std::string& path, int* status,
+                std::string* response_body);
+
+ private:
+  bool read_http_response(int* status, std::string* body);
+
+  BufferedFd io_;
+};
+
+}  // namespace atcd::net

@@ -1,0 +1,218 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "api/dispatcher.hpp"
+#include "api/json.hpp"
+
+namespace atcd::net {
+
+namespace {
+
+/// Header lines (request line included) are short by construction; 16
+/// KiB tolerates generous client headers without opening a buffer hole.
+constexpr std::size_t kHeaderLineBytes = 16u << 10;
+constexpr int kMaxHeaders = 100;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim_ws(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Typed JSON error body for HTTP-level framing failures, so curl
+/// clients see the same taxonomy the JSON-lines transport speaks.
+std::string error_body(api::ErrorCode code, const std::string& message) {
+  return api::encode_response(api::error_response("", code, message), false) +
+         "\n";
+}
+
+struct StatusLine {
+  int status;
+  const char* reason;
+};
+
+StatusLine status_of(api::ErrorCode code) {
+  switch (code) {
+    case api::ErrorCode::Ok:
+      return {200, "OK"};
+    case api::ErrorCode::NoSuchSession:
+      return {404, "Not Found"};
+    case api::ErrorCode::Capacity:
+      return {413, "Payload Too Large"};
+    case api::ErrorCode::SolverFailure:
+    case api::ErrorCode::Internal:
+      return {500, "Internal Server Error"};
+    default:
+      return {400, "Bad Request"};
+  }
+}
+
+}  // namespace
+
+bool HttpTransport::respond(int status, const char* reason,
+                            const std::string& content_type,
+                            const std::string& body, bool close_conn) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\n";
+  if (close_conn) head += "Connection: close\r\n";
+  head += "\r\n";
+  return io_.write_all(head) && io_.write_all(body);
+}
+
+api::LineTransport::ReadStatus HttpTransport::read_line(
+    std::string& line, std::size_t max_bytes) {
+  while (true) {
+    if (close_after_) return ReadStatus::Eof;
+
+    std::string start;
+    ReadStatus st = io_.read_line(start, kHeaderLineBytes);
+    if (st == ReadStatus::Eof) return ReadStatus::Eof;
+    if (st == ReadStatus::TooLong) {
+      respond(431, "Request Header Fields Too Large",
+              "application/json",
+              error_body(api::ErrorCode::Capacity, "request line too long"),
+              true);
+      return ReadStatus::Eof;
+    }
+    if (start.empty()) continue;  // stray CRLF between requests is legal
+
+    // "METHOD SP path SP HTTP/1.x"
+    const std::size_t sp1 = start.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : start.find(' ', sp1 + 1);
+    const bool http11 = sp2 != std::string::npos &&
+                        start.compare(sp2 + 1, 7, "HTTP/1.") == 0;
+    if (!http11) {
+      respond(400, "Bad Request", "application/json",
+              error_body(api::ErrorCode::MalformedRequest,
+                         "malformed HTTP request line"),
+              true);
+      return ReadStatus::Eof;
+    }
+    const std::string method = start.substr(0, sp1);
+    const std::string path = start.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    // Headers: only Content-Length and Connection matter here.
+    std::uint64_t content_length = 0;
+    bool have_length = false;
+    bool close_requested = false;
+    bool headers_ok = true;
+    for (int i = 0;; ++i) {
+      std::string h;
+      st = io_.read_line(h, kHeaderLineBytes);
+      if (st == ReadStatus::Eof) return ReadStatus::Eof;  // truncated frame
+      if (st == ReadStatus::TooLong || i >= kMaxHeaders) {
+        respond(431, "Request Header Fields Too Large", "application/json",
+                error_body(api::ErrorCode::Capacity, "oversized headers"),
+                true);
+        return ReadStatus::Eof;
+      }
+      if (h.empty()) break;
+      const std::size_t colon = h.find(':');
+      if (colon == std::string::npos) {
+        headers_ok = false;
+        continue;
+      }
+      const std::string name = lower(trim_ws(h.substr(0, colon)));
+      const std::string value = trim_ws(h.substr(colon + 1));
+      if (name == "content-length") {
+        char* end = nullptr;
+        content_length = std::strtoull(value.c_str(), &end, 10);
+        have_length = end && *end == '\0' && !value.empty();
+        if (!have_length) headers_ok = false;
+      } else if (name == "connection" && lower(value) == "close") {
+        close_requested = true;
+      }
+    }
+    if (!headers_ok) {
+      respond(400, "Bad Request", "application/json",
+              error_body(api::ErrorCode::MalformedRequest,
+                         "malformed HTTP header"),
+              true);
+      return ReadStatus::Eof;
+    }
+
+    if (method == "GET") {
+      if (path == "/healthz") {
+        if (!respond(200, "OK", "text/plain", "ok\n", close_requested))
+          return ReadStatus::Eof;
+      } else if (path == "/metrics") {
+        if (!respond(200, "OK", "text/plain",
+                     dispatcher_.metrics_payload().text, close_requested))
+          return ReadStatus::Eof;
+      } else {
+        if (!respond(404, "Not Found", "application/json",
+                     error_body(api::ErrorCode::UnknownOperation,
+                                "no such path: " + path),
+                     close_requested))
+          return ReadStatus::Eof;
+      }
+      if (close_requested) return ReadStatus::Eof;
+      continue;
+    }
+    if (method != "POST") {
+      respond(405, "Method Not Allowed", "application/json",
+              error_body(api::ErrorCode::UnknownOperation,
+                         "method not allowed: " + method),
+              true);
+      return ReadStatus::Eof;
+    }
+    if (path != "/" && path != "/api/v1") {
+      respond(404, "Not Found", "application/json",
+              error_body(api::ErrorCode::UnknownOperation,
+                         "no such path: " + path),
+              true);
+      return ReadStatus::Eof;
+    }
+    if (!have_length) {
+      respond(411, "Length Required", "application/json",
+              error_body(api::ErrorCode::MalformedRequest,
+                         "POST requires Content-Length"),
+              true);
+      return ReadStatus::Eof;
+    }
+    if (content_length > max_bytes) {
+      // Surface the refusal through the serving core's capacity path so
+      // it is typed and counted exactly like an oversized JSON line.
+      pending_ = true;
+      close_after_ = true;
+      return ReadStatus::TooLong;
+    }
+    if (!io_.read_exact(line, static_cast<std::size_t>(content_length)))
+      return ReadStatus::Eof;  // truncated body
+    pending_ = true;
+    if (close_requested) close_after_ = true;
+    return ReadStatus::Line;
+  }
+}
+
+bool HttpTransport::write_line(const std::string& line) {
+  if (!pending_) {
+    // The serving core's trailing shutdown response: with no HTTP
+    // exchange outstanding (client EOF or server drain) there is no
+    // legal frame to carry it — drop it and let the connection close.
+    return true;
+  }
+  pending_ = false;
+  StatusLine sl{200, "OK"};
+  const api::Decoded<api::Response> dec = api::decode_response(line);
+  if (dec.code == api::ErrorCode::Ok) sl = status_of(dec.value.code);
+  return respond(sl.status, sl.reason, "application/json", line + "\n",
+                 close_after_);
+}
+
+}  // namespace atcd::net

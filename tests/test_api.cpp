@@ -942,5 +942,157 @@ TEST(Batch, ItemsAreIndexAlignedAndFailIndependently) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Serve-loop hardening regressions: the bounded pipelining queue, the
+// input-line / decoder size caps, and write-failure detection.  Each of
+// these fails on the pre-hardening serve loop.
+// ---------------------------------------------------------------------------
+
+/// Transport double with an instant reader: hands out scripted lines as
+/// fast as the loop asks, records how many reads ran ahead of writes.
+class CountingTransport final : public LineTransport {
+ public:
+  explicit CountingTransport(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  ReadStatus read_line(std::string& line, std::size_t) override {
+    const std::size_t outstanding = reads_ - writes_.load();
+    max_outstanding_ = std::max(max_outstanding_, outstanding);
+    if (reads_ >= lines_.size()) return ReadStatus::Eof;
+    line = lines_[reads_++];
+    return ReadStatus::Line;
+  }
+
+  bool write_line(const std::string&) override {
+    writes_.fetch_add(1);
+    return true;
+  }
+
+  std::size_t max_outstanding() const { return max_outstanding_; }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t reads_ = 0;
+  std::atomic<std::size_t> writes_{0};
+  std::size_t max_outstanding_ = 0;
+};
+
+TEST(Hardening, PipelineQueueIsBoundedUnderFastReaderSlowWorkers) {
+  // 64 distinct-model solves (all cache misses, real solver work) fed by
+  // an instant reader.  The unbounded pre-fix loop let the reader race
+  // the whole script into the queue; the bounded loop blocks it at
+  // max_queue, so reads can never run more than queue depth + in-flight
+  // workers ahead of completions.
+  std::vector<std::string> script;
+  for (int i = 0; i < 64; ++i) {
+    Request r;
+    r.id = std::to_string(i);
+    SolveRequest s;
+    s.spec = {engine::Problem::Dgc, 5.0, true, "",
+              "bas a cost=" + std::to_string(1 + i) +
+                  " damage=2\nbas b cost=4 damage=1\n"
+                  "or r = a, b damage=10\n"};
+    r.op = std::move(s);
+    script.push_back(encode_request(r));
+  }
+  Dispatcher d;
+  CountingTransport t(script);
+  JsonServeOptions opt;
+  opt.threads = 2;
+  opt.max_queue = 3;
+  serve_lines(t, d, opt);
+  EXPECT_LE(t.max_outstanding(), opt.max_queue + opt.threads)
+      << "reader ran ahead of the bounded queue";
+}
+
+TEST(Hardening, OversizedLineGetsTypedCapacityAndServeContinues) {
+  JsonServeOptions opt;
+  opt.max_line_bytes = 128;
+  Request ok;
+  ok.id = "ok";
+  SolveRequest s;
+  s.spec = {engine::Problem::Cdpf, 0.0, false, "", kDetModel};
+  ok.op = std::move(s);
+  const std::string ok_line = encode_request(ok);
+  ASSERT_LE(ok_line.size(), opt.max_line_bytes);
+
+  // An overlong line, a comment of exactly the cap (must pass the cap
+  // and then be skipped), and a normal request.
+  std::istringstream in(std::string(4096, 'x') + "\n" +
+                        "#" + std::string(127, 'c') + "\n" + ok_line + "\n");
+  std::ostringstream out;
+  Dispatcher d;
+  serve_json(in, out, d, opt);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);  // capacity error, solve, shutdown
+  const Decoded<Response> cap = decode_response(lines[0]);
+  ASSERT_EQ(cap.code, ErrorCode::Ok);
+  EXPECT_EQ(cap.value.code, ErrorCode::Capacity);
+  const Decoded<Response> solved = decode_response(lines[1]);
+  EXPECT_EQ(solved.value.code, ErrorCode::Ok);
+  EXPECT_EQ(solved.value.id, "ok");
+  EXPECT_TRUE(std::holds_alternative<ShutdownPayload>(
+      decode_response(lines[2]).value.payload));
+}
+
+TEST(Hardening, DecoderRejectsOversizedPayloads) {
+  // The decoder's own entry-point cap guards transports that hand over
+  // pre-assembled buffers (HTTP bodies) without a line-length check.
+  const Decoded<Request> dec =
+      decode_request(std::string(kMaxDecodeBytes + 1, 'x'));
+  EXPECT_EQ(dec.code, ErrorCode::Capacity);
+  EXPECT_EQ(decode_request("{\"v\":1,\"op\":\"stats\"}").code, ErrorCode::Ok);
+}
+
+/// Transport double whose sink is dead from the start: every write
+/// fails, reads count how far the loop kept going.
+class DeadSinkTransport final : public LineTransport {
+ public:
+  explicit DeadSinkTransport(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  ReadStatus read_line(std::string& line, std::size_t) override {
+    if (reads_ >= lines_.size()) return ReadStatus::Eof;
+    line = lines_[reads_++];
+    return ReadStatus::Line;
+  }
+
+  bool write_line(const std::string&) override {
+    write_attempts_.fetch_add(1);
+    return false;
+  }
+
+  std::size_t reads() const { return reads_; }
+  std::size_t write_attempts() const { return write_attempts_.load(); }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t reads_ = 0;
+  std::atomic<std::size_t> write_attempts_{0};
+};
+
+TEST(Hardening, WriteFailureStopsTheLoopAndIsCounted) {
+  // The pre-fix loop ignored emit failures and kept dispatching the
+  // whole script into a dead sink.  Now the first failed write ends the
+  // connection: no further dispatches, no shutdown write into the void,
+  // and the failure is visible in atcd_net_write_errors_total.
+  std::vector<std::string> script;
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.id = std::to_string(i);
+    SolveRequest s;
+    s.spec = {engine::Problem::Cdpf, 0.0, false, "", kDetModel};
+    r.op = std::move(s);
+    script.push_back(encode_request(r));
+  }
+  Dispatcher d;
+  DeadSinkTransport t(script);
+  serve_lines(t, d, {});
+  EXPECT_EQ(t.write_attempts(), 1u) << "loop kept writing after sink death";
+  EXPECT_LT(t.reads(), script.size()) << "loop kept reading after sink death";
+  EXPECT_EQ(d.metrics().counter("atcd_net_write_errors_total").value(), 1u);
+}
+
 }  // namespace
 }  // namespace atcd

@@ -1,0 +1,467 @@
+/// Tests for the network transport (src/net/): loopback JSON-lines
+/// serving with byte parity against the stdin transport on twin
+/// dispatchers, multi-client pipelining with out-of-order id matching,
+/// connection caps, malformed and truncated HTTP/JSON frames answered
+/// with typed errors (never a crash), and SIGTERM/SIGINT graceful
+/// drain delivering the structured shutdown response as the final line
+/// of every open connection.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/json.hpp"
+#include "api/server.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace atcd {
+namespace {
+
+using namespace atcd::api;
+
+const char* kDetModel =
+    "bas a cost=1 damage=2\n"
+    "bas b cost=4 damage=1\n"
+    "or r = a, b damage=10\n";
+
+std::string solve_line(const std::string& id, double bound = 0.0,
+                       bool has_bound = false) {
+  Request r;
+  r.id = id;
+  SolveRequest s;
+  s.spec = {has_bound ? engine::Problem::Dgc : engine::Problem::Cdpf, bound,
+            has_bound, "", kDetModel};
+  r.op = std::move(s);
+  return encode_request(r);
+}
+
+std::string shutdown_line(const std::string& id) {
+  Request r;
+  r.id = id;
+  r.op = ShutdownRequest{};
+  return encode_request(r);
+}
+
+/// Sweep big enough to still be in flight when a drain lands.
+std::string sweep_line(const std::string& id) {
+  Request r;
+  r.id = id;
+  AnalyzeSweepRequest a;
+  a.problem = engine::Problem::Dgc;
+  a.axes = {"cost:a:1:8:40", "damage:b:1:8:40"};
+  a.bound = 6.0;
+  a.has_bound = true;
+  a.model = kDetModel;
+  r.op = std::move(a);
+  return encode_request(r);
+}
+
+std::string id_of(const std::string& response) {
+  const Decoded<Response> dec = decode_response(response);
+  return dec.code == ErrorCode::Ok ? dec.value.id : std::string();
+}
+
+bool is_shutdown(const std::string& response) {
+  return response.find("\"kind\":\"shutdown\"") != std::string::npos;
+}
+
+/// Blanks the scheduling-dependent cache-disposition member so
+/// cross-connection runs compare byte-stably (the payload values are
+/// identical either way).
+std::string normalize(std::string line) {
+  const std::string key = "\"cache\":\"";
+  const std::size_t p = line.find(key);
+  if (p == std::string::npos) return line;
+  const std::size_t v = p + key.size();
+  const std::size_t q = line.find('"', v);
+  return line.substr(0, v) + "x" + line.substr(q);
+}
+
+struct ServerFixture {
+  explicit ServerFixture(net::ServerOptions opt = {}) : server(dispatcher, opt) {
+    std::string err;
+    ok = server.start(&err);
+    EXPECT_TRUE(ok) << err;
+  }
+  ~ServerFixture() {
+    if (ok) {
+      server.request_drain();
+      server.wait();
+    }
+  }
+  api::Dispatcher dispatcher;
+  net::Server server;
+  bool ok = false;
+};
+
+net::Client connect_to(const net::Server& server) {
+  std::string err;
+  net::Client c("127.0.0.1", server.port(), &err);
+  EXPECT_TRUE(c.valid()) << err;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines over TCP.
+// ---------------------------------------------------------------------------
+
+TEST(NetServe, LockstepParityWithStdinTransport) {
+  // The same script through a socket and through serve_json on a twin
+  // dispatcher: every response line must be byte-identical (single
+  // lockstep connection, so even cache dispositions are deterministic).
+  std::vector<std::string> script = {
+      solve_line("1"), solve_line("2", 3.0, true), solve_line("3"),
+      sweep_line("4"), shutdown_line("5")};
+
+  std::string joined;
+  for (const auto& line : script) joined += line + "\n";
+  api::Dispatcher twin;
+  std::istringstream in(joined);
+  std::ostringstream out;
+  serve_json(in, out, twin, {});
+  std::vector<std::string> expected;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) expected.push_back(line);
+  }
+
+  ServerFixture fx;
+  net::Client client = connect_to(fx.server);
+  std::vector<std::string> got;
+  std::string resp;
+  for (const auto& line : script) {
+    ASSERT_TRUE(client.request(line, &resp));
+    got.push_back(resp);
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "line " << i;
+  EXPECT_TRUE(is_shutdown(got.back()));
+}
+
+TEST(NetServe, PipelinedOutOfOrderIdMatching) {
+  net::ServerOptions opt;
+  opt.serve.threads = 4;
+  ServerFixture fx(opt);
+  net::Client client = connect_to(fx.server);
+
+  // Fire 12 requests before reading anything; responses may come back
+  // in any order but must cover exactly the sent ids.
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_TRUE(client.send_line(solve_line(std::to_string(i), 1.0 + i, true)));
+  std::map<std::string, std::string> by_id;
+  std::string resp;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client.read_line(&resp));
+    by_id[id_of(resp)] = resp;
+  }
+  ASSERT_EQ(by_id.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = by_id.find(std::to_string(i));
+    ASSERT_NE(it, by_id.end()) << "missing id " << i;
+    EXPECT_EQ(decode_response(it->second).value.code, ErrorCode::Ok);
+  }
+  client.half_close();
+  ASSERT_TRUE(client.read_line(&resp));
+  EXPECT_TRUE(is_shutdown(resp));
+  EXPECT_FALSE(client.read_line(&resp));  // then EOF
+}
+
+TEST(NetServe, MultiClientParityOnTwinDispatchers) {
+  const std::size_t conns = 4, per_conn = 10;
+  const auto script_line = [](std::size_t c, std::size_t i) {
+    return solve_line("c" + std::to_string(c) + "-" + std::to_string(i),
+                      1.0 + static_cast<double>((c * per_conn + i) % 5),
+                      i % 2 == 0);
+  };
+
+  // Baseline: every script through the stdin transport on one twin
+  // dispatcher (same shared caches as the server's).
+  api::Dispatcher twin;
+  std::map<std::string, std::string> expected;
+  for (std::size_t c = 0; c < conns; ++c) {
+    std::string joined;
+    for (std::size_t i = 0; i < per_conn; ++i)
+      joined += script_line(c, i) + "\n";
+    std::istringstream in(joined);
+    std::ostringstream out;
+    serve_json(in, out, twin, {});
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line))
+      if (!is_shutdown(line)) expected[id_of(line)] = normalize(line);
+  }
+
+  ServerFixture fx;
+  std::map<std::string, std::string> got;
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < conns; ++c)
+    clients.emplace_back([&, c] {
+      net::Client client = connect_to(fx.server);
+      std::string resp;
+      for (std::size_t i = 0; i < per_conn; ++i) {
+        ASSERT_TRUE(client.request(script_line(c, i), &resp));
+        std::lock_guard<std::mutex> lock(mu);
+        got[id_of(resp)] = normalize(resp);
+      }
+    });
+  for (auto& t : clients) t.join();
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [id, line] : expected) {
+    const auto it = got.find(id);
+    ASSERT_NE(it, got.end()) << "missing id " << id;
+    EXPECT_EQ(it->second, line) << "id " << id;
+  }
+}
+
+TEST(NetServe, MalformedJsonGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  net::Client client = connect_to(fx.server);
+  std::string resp;
+  ASSERT_TRUE(client.request("this is not json", &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::MalformedRequest);
+  ASSERT_TRUE(client.request("{\"v\":1,\"op\":\"nope\"}", &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::UnknownOperation);
+  // The connection keeps serving after both.
+  ASSERT_TRUE(client.request(solve_line("after"), &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Ok);
+  EXPECT_EQ(id_of(resp), "after");
+}
+
+TEST(NetServe, OversizedLineGetsCapacityError) {
+  net::ServerOptions opt;
+  opt.serve.max_line_bytes = 256;
+  ServerFixture fx(opt);
+  net::Client client = connect_to(fx.server);
+  std::string resp;
+  ASSERT_TRUE(client.request(std::string(4096, 'x'), &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Capacity);
+  // Under-cap traffic still flows on the same connection.
+  const std::string ok_line = solve_line("ok");
+  ASSERT_LT(ok_line.size(), 256u);
+  ASSERT_TRUE(client.request(ok_line, &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Ok);
+}
+
+TEST(NetServe, ConnectionCapRejectsWithTypedError) {
+  net::ServerOptions opt;
+  opt.max_conns = 2;
+  ServerFixture fx(opt);
+  net::Client a = connect_to(fx.server);
+  net::Client b = connect_to(fx.server);
+  std::string resp;
+  ASSERT_TRUE(a.request(solve_line("a"), &resp));
+  ASSERT_TRUE(b.request(solve_line("b"), &resp));
+  // Both slots taken: the third client reads one typed capacity error,
+  // then EOF.
+  net::Client c = connect_to(fx.server);
+  ASSERT_TRUE(c.read_line(&resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Capacity);
+  EXPECT_FALSE(c.read_line(&resp));
+  // The earlier connections were not disturbed.
+  ASSERT_TRUE(a.request(solve_line("a2"), &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Ok);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------------
+
+TEST(NetDrain, CompletesInFlightAndDeliversShutdownOnEveryConnection) {
+  net::ServerOptions opt;
+  opt.serve.threads = 2;  // pipelined, so the sweep stays in flight
+  api::Dispatcher dispatcher;
+  net::Server server(dispatcher, opt);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // One busy connection: a heavy sweep followed by a quick solve.
+  // Receiving the solve's response proves the reader consumed the sweep
+  // line first, so the sweep is genuinely in flight at drain time.
+  net::Client busy = connect_to(server);
+  ASSERT_TRUE(busy.send_line(sweep_line("heavy")));
+  ASSERT_TRUE(busy.send_line(solve_line("quick")));
+  std::string resp;
+  ASSERT_TRUE(busy.read_line(&resp));
+  EXPECT_EQ(id_of(resp), "quick");
+
+  // Two idle connections (established: each did one exchange).
+  net::Client idle1 = connect_to(server);
+  net::Client idle2 = connect_to(server);
+  ASSERT_TRUE(idle1.request(solve_line("i1"), &resp));
+  ASSERT_TRUE(idle2.request(solve_line("i2"), &resp));
+
+  server.request_drain();
+
+  // The busy connection first gets the completed in-flight sweep, then
+  // the structured shutdown response as its final line.
+  ASSERT_TRUE(busy.read_line(&resp));
+  EXPECT_EQ(id_of(resp), "heavy");
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Ok);
+  ASSERT_TRUE(busy.read_line(&resp));
+  EXPECT_TRUE(is_shutdown(resp));
+  EXPECT_FALSE(busy.read_line(&resp));
+
+  // Every idle connection's final line is the shutdown response too.
+  for (net::Client* c : {&idle1, &idle2}) {
+    ASSERT_TRUE(c->read_line(&resp));
+    EXPECT_TRUE(is_shutdown(resp));
+    EXPECT_FALSE(c->read_line(&resp));
+  }
+
+  server.wait();
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(NetDrain, SignalTriggersDrain) {
+  api::Dispatcher dispatcher;
+  net::Server server(dispatcher, {});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  server.install_signal_handlers();
+
+  net::Client client = connect_to(server);
+  std::string resp;
+  ASSERT_TRUE(client.request(solve_line("sig"), &resp));
+  EXPECT_EQ(decode_response(resp).value.code, ErrorCode::Ok);
+
+  std::raise(SIGTERM);
+  ASSERT_TRUE(client.read_line(&resp));
+  EXPECT_TRUE(is_shutdown(resp));
+  EXPECT_FALSE(client.read_line(&resp));
+  server.wait();
+  EXPECT_EQ(server.handled(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport.
+// ---------------------------------------------------------------------------
+
+net::ServerOptions http_options() {
+  net::ServerOptions opt;
+  opt.http = true;
+  return opt;
+}
+
+TEST(NetHttp, PostSolveAndBuiltinGets) {
+  ServerFixture fx(http_options());
+  net::Client client = connect_to(fx.server);
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(client.http_post("/api/v1", solve_line("h1"), &status, &body));
+  EXPECT_EQ(status, 200);
+  const Decoded<Response> dec = decode_response(body);
+  EXPECT_EQ(dec.code, ErrorCode::Ok);
+  EXPECT_EQ(dec.value.id, "h1");
+
+  // Keep-alive: the same connection serves the built-in GETs.
+  ASSERT_TRUE(client.http_get("/healthz", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  ASSERT_TRUE(client.http_get("/metrics", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("atcd_net_accepted_total"), std::string::npos);
+}
+
+TEST(NetHttp, TypedStatusMapping) {
+  ServerFixture fx(http_options());
+  int status = 0;
+  std::string body;
+
+  {  // malformed envelope -> 400 with a typed JSON body
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.http_post("/api/v1", "not json", &status, &body));
+    EXPECT_EQ(status, 400);
+    EXPECT_EQ(decode_response(body).value.code, ErrorCode::MalformedRequest);
+  }
+  {  // unknown path -> 404 (connection survives, it was a clean frame)
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.http_get("/nope", &status, &body));
+    EXPECT_EQ(status, 404);
+    EXPECT_EQ(decode_response(body).value.code, ErrorCode::UnknownOperation);
+    ASSERT_TRUE(c.http_get("/healthz", &status, &body));
+    EXPECT_EQ(status, 200);
+  }
+  {  // no such session -> 404 through the dispatcher's own taxonomy
+    net::Client c = connect_to(fx.server);
+    Request r;
+    r.id = "s";
+    SessionResolveRequest res;
+    res.session = 424242;
+    r.op = res;
+    ASSERT_TRUE(c.http_post("/api/v1", encode_request(r), &status, &body));
+    EXPECT_EQ(status, 404);
+    EXPECT_EQ(decode_response(body).value.code, ErrorCode::NoSuchSession);
+  }
+}
+
+TEST(NetHttp, MalformedFramesAreTypedNeverFatal) {
+  ServerFixture fx(http_options());
+  int status = 0;
+  std::string body;
+
+  {  // garbage request line -> 400, connection closed
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.send_line("GARBAGE"));
+    ASSERT_TRUE(c.send_line(""));
+    std::string resp;
+    ASSERT_TRUE(c.read_line(&resp));
+    EXPECT_NE(resp.find("400"), std::string::npos);
+  }
+  {  // POST without Content-Length -> 411
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.send_line("POST /api/v1 HTTP/1.1"));
+    ASSERT_TRUE(c.send_line(""));
+    std::string resp;
+    ASSERT_TRUE(c.read_line(&resp));
+    EXPECT_NE(resp.find("411"), std::string::npos);
+  }
+  {  // wrong method -> 405
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.send_line("DELETE /api/v1 HTTP/1.1"));
+    ASSERT_TRUE(c.send_line(""));
+    std::string resp;
+    ASSERT_TRUE(c.read_line(&resp));
+    EXPECT_NE(resp.find("405"), std::string::npos);
+  }
+  {  // truncated frame: headers cut mid-way, then close
+    net::Client c = connect_to(fx.server);
+    ASSERT_TRUE(c.send_line("POST /api/v1 HTTP/1.1"));
+    ASSERT_TRUE(c.send_line("Content-Length: 100"));
+    c.half_close();  // body never arrives
+    std::string resp;
+    EXPECT_FALSE(c.read_line(&resp));  // server just closes, no crash
+  }
+  // After all of the above the server still serves.
+  net::Client c = connect_to(fx.server);
+  ASSERT_TRUE(c.http_get("/healthz", &status, &body));
+  EXPECT_EQ(status, 200);
+}
+
+TEST(NetHttp, OversizedBodyGets413) {
+  net::ServerOptions opt = http_options();
+  opt.serve.max_line_bytes = 256;
+  ServerFixture fx(opt);
+  net::Client client = connect_to(fx.server);
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      client.http_post("/api/v1", std::string(4096, 'x'), &status, &body));
+  EXPECT_EQ(status, 413);
+  EXPECT_EQ(decode_response(body).value.code, ErrorCode::Capacity);
+}
+
+}  // namespace
+}  // namespace atcd

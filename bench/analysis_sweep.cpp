@@ -17,6 +17,7 @@
 /// a bench that drifts from correctness measures nothing.
 ///
 /// Usage: bench_analysis_sweep [--points N] [--depth D] [--smoke]
+///                             [--json <path>]
 ///   --smoke: tiny grid on a shallow tree, no speedup gate (CI's
 ///            nightly job runs this to keep the harness honest).
 
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
       {engine::Problem::Cdpf, 0.0, "cdpf"},
   };
 
+  bench::JsonReport report("analysis_sweep");
   bool headline_ok = false;
   double headline_speedup = 0.0;
   std::printf("%-10s %14s %14s %9s\n", "case", "scratch(ms)", "sweep(ms)",
@@ -124,31 +126,42 @@ int main(int argc, char** argv) {
 
     // Scratch baseline: rebuild the edited model and solve from nothing
     // (no session, no caches) at every grid point.
-    double scratch_ms = 0.0;
+    std::vector<double> scratch_point_s;
+    scratch_point_s.reserve(axis.values.size());
     const std::uint32_t b0 = base.tree.bas_index(*base.tree.find("b0"));
     for (std::size_t i = 0; i < axis.values.size(); ++i) {
       CdAt edited = base;
       edited.cost[b0] = axis.values[i];
       engine::SolveResult ref;
-      scratch_ms += 1e3 * bench::time_once([&] {
+      scratch_point_s.push_back(bench::time_once([&] {
         ref = engine::solve_one(
             engine::Instance::of(c.problem, edited, c.bound));
-      });
+      }));
       if (!cells_match(swept.cells[i], ref, c.problem)) {
         std::fprintf(stderr, "MISMATCH at grid point %zu: sweep != scratch\n",
                      i);
         return 1;
       }
     }
+    double scratch_ms = 0.0;
+    for (const double s : scratch_point_s) scratch_ms += 1e3 * s;
 
     const double speedup = scratch_ms / sweep_ms;
     std::printf("%-10s %14.2f %14.2f %8.1fx\n", c.label, scratch_ms,
                 sweep_ms, speedup);
+    // Percentiles digest the per-grid-point scratch solves (the unit of
+    // work the sweep amortizes).
+    auto metrics = bench::stats_metrics(bench::stats_of(scratch_point_s));
+    metrics.emplace_back("scratch_total_s", scratch_ms / 1e3);
+    metrics.emplace_back("sweep_total_s", sweep_ms / 1e3);
+    metrics.emplace_back("speedup", speedup);
+    report.add(c.label, std::move(metrics));
     if (c.problem == engine::Problem::Dgc) {
       headline_speedup = speedup;
       headline_ok = speedup >= 3.0;
     }
   }
+  report.write(bench::flag_value(argc, argv, "--json"));
 
   if (smoke) {
     std::printf("\nsmoke run: equivalence checks passed (no speedup gate)\n");

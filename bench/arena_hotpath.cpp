@@ -128,28 +128,37 @@ int main(int argc, char** argv) {
         return 1;
       }
 
-      double pointer_us = 0.0, arena_us = 0.0;
+      std::vector<double> pointer_rounds_s, arena_rounds_s;
       for (std::size_t round = 0; round < rounds; ++round) {
         std::vector<AttrTriple> out;
-        pointer_us += 1e6 * bench::time_once([&] {
+        pointer_rounds_s.push_back(bench::time_once([&] {
           out = detail::bottom_up_root_front(m.tree, m.cost, m.damage, prob,
                                              pointer_opt);
-        });
-        arena_us += 1e6 * bench::time_once([&] {
+        }));
+        arena_rounds_s.push_back(bench::time_once([&] {
           out = detail::bottom_up_root_front(m.tree, m.cost, m.damage, prob,
                                              arena_opt);
-        });
+        }));
       }
-      pointer_us /= double(rounds);
-      arena_us /= double(rounds);
-      const double speedup = pointer_us / arena_us;
+      const bench::Stats pointer_stats = bench::stats_of(pointer_rounds_s);
+      const bench::Stats arena_stats = bench::stats_of(arena_rounds_s);
+      const double pointer_us = pointer_stats.mean * 1e6;
+      const double arena_us = arena_stats.mean * 1e6;
+      // Median-over-median: robust to a scheduling hiccup poisoning one
+      // round (a mean-based ratio flips by whole multiples on smoke
+      // round counts).
+      const double speedup = bench::median_of(pointer_rounds_s) /
+                             bench::median_of(arena_rounds_s);
       std::printf("%-10s %6d %8zu %14.1f %14.1f %8.2fx\n", "", depth,
                   m.tree.node_count(), pointer_us, arena_us, speedup);
       report.add(std::string(c.label) + "/depth" + std::to_string(depth),
                  {{"nodes", double(m.tree.node_count())},
                   {"pointer_us", pointer_us},
                   {"arena_us", arena_us},
-                  {"speedup", speedup}});
+                  {"speedup", speedup},
+                  {"p50_us", arena_stats.p50_us},
+                  {"p95_us", arena_stats.p95_us},
+                  {"p99_us", arena_stats.p99_us}});
       if (c.budget != kNoBudget && depth >= 12) {
         gate_seen = true;
         if (speedup < 2.0) gate_ok = false;

@@ -73,6 +73,21 @@ inline Stats stats_of(const std::vector<double>& xs) {
   return s;
 }
 
+/// Exact median (not the histogram-bucketed p50): the robust center
+/// for speedup ratios — a single scheduling hiccup shifts a mean by
+/// whole multiples but leaves the median untouched.
+inline double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double m = xs[mid];
+  if (xs.size() % 2 == 0) {
+    const double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+    m = (m + lo) / 2.0;
+  }
+  return m;
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title);

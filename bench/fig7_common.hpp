@@ -62,6 +62,10 @@ inline Fig7Options fig7_options(int argc, char** argv, bool treelike) {
     opt.per_size = 5;
     opt.group_budget_s = 40.0;
     opt.max_bas = 128;
+  } else if (has_flag(argc, argv, "--smoke")) {
+    opt.max_n = 30;
+    opt.per_size = 1;
+    opt.group_budget_s = 1.0;
   }
   return opt;
 }

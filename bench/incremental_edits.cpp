@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
           return 1;
         }
 
-        double scratch_us = 0.0, session_us = 0.0;
+        std::vector<double> scratch_rounds_s, session_rounds_s;
         for (std::size_t round = 0; round < rounds; ++round) {
           // k random leaf cost edits between re-solves.
           for (std::size_t e = 0; e < k; ++e) {
@@ -132,7 +132,8 @@ int main(int argc, char** argv) {
             }
           }
           service::Response r;
-          session_us += 1e6 * bench::time_once([&] { r = session.resolve(); });
+          session_rounds_s.push_back(
+              bench::time_once([&] { r = session.resolve(); }));
           if (!r.result.ok) {
             std::fprintf(stderr, "resolve failed: %s\n",
                          r.result.error.c_str());
@@ -146,8 +147,8 @@ int main(int argc, char** argv) {
           in.det = snap.get();
           in.bound = c.bound;
           engine::SolveResult ref;
-          scratch_us +=
-              1e6 * bench::time_once([&] { ref = engine::solve_one(in); });
+          scratch_rounds_s.push_back(
+              bench::time_once([&] { ref = engine::solve_one(in); }));
           if (!ref.ok) {
             std::fprintf(stderr, "scratch solve failed: %s\n",
                          ref.error.c_str());
@@ -167,16 +168,24 @@ int main(int argc, char** argv) {
             return 1;
           }
         }
-        scratch_us /= double(rounds);
-        session_us /= double(rounds);
-        const double speedup = scratch_us / session_us;
+        const bench::Stats scratch_stats = bench::stats_of(scratch_rounds_s);
+        const bench::Stats session_stats = bench::stats_of(session_rounds_s);
+        const double scratch_us = scratch_stats.mean * 1e6;
+        const double session_us = session_stats.mean * 1e6;
+        // Median-over-median: robust to one hiccuped round (see
+        // arena_hotpath).
+        const double speedup = bench::median_of(scratch_rounds_s) /
+                               bench::median_of(session_rounds_s);
         std::printf("%-10s %6d %6zu %14.1f %14.1f %8.1fx\n", "", depth, k,
                     scratch_us, session_us, speedup);
         report.add(std::string(c.label) + "/depth" + std::to_string(depth) +
                        "/edits" + std::to_string(k),
                    {{"scratch_us", scratch_us},
                     {"session_us", session_us},
-                    {"speedup", speedup}});
+                    {"speedup", speedup},
+                    {"p50_us", session_stats.p50_us},
+                    {"p95_us", session_stats.p95_us},
+                    {"p99_us", session_stats.p99_us}});
         if (c.problem == engine::Problem::Dgc && depth == 8 && k == 1) {
           dgc_depth8_single_ok = speedup >= 5.0;
           dgc_depth8_single_speedup = speedup;

@@ -14,6 +14,8 @@
 /// solves per sweep point.
 ///
 /// Usage: bench_service_throughput [--requests N] [--pool P] [--bas B]
+///                                 [--smoke] [--json <path>]
+///   --smoke: small pool/stream for CI smoke runs (same gates).
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "at/parser.hpp"
+#include "bench/common.hpp"
 #include "core/cdat.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
@@ -82,22 +85,26 @@ struct RunStats {
   double seconds = 0;
   std::size_t solves = 0;  // backend invocations (insertions ~= solves)
   std::uint64_t hits = 0;
+  std::vector<double> request_s;  // per-request wall times
 };
 
 RunStats replay(const std::vector<std::string>& texts, bool cache_on) {
   service::SolveService::Options opt;
   opt.enable_cache = cache_on;
   service::SolveService svc(opt);
+  RunStats s;
+  s.request_s.reserve(texts.size());
   Timer timer;
   for (const auto& text : texts) {
+    Timer per_request;
     const auto r = svc.handle(service::Request::of_text(
         engine::Problem::Cdpf, text, 0.0, "enumerative"));
+    s.request_s.push_back(per_request.seconds());
     if (!r.result.ok) {
       std::fprintf(stderr, "solve failed: %s\n", r.result.error.c_str());
       std::exit(1);
     }
   }
-  RunStats s;
   s.seconds = timer.seconds();
   const auto cs = svc.cache().stats();
   s.hits = cs.hits;
@@ -108,7 +115,9 @@ RunStats replay(const std::vector<std::string>& texts, bool cache_on) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t requests = 240, pool = 6, bas = 14;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  std::size_t requests = smoke ? 80 : 240, pool = smoke ? 3 : 6,
+              bas = smoke ? 10 : 14;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
       requests = std::strtoull(argv[++i], nullptr, 10);
@@ -130,6 +139,7 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %10s %12s %12s %9s\n", "repeat", "solves", "hits",
               "req/s(off)", "req/s(on)", "speedup");
 
+  bench::JsonReport report("service_throughput");
   double speedup_at_90 = 0;
   int salt = 0;
   for (const double repeat : {0.5, 0.9, 0.99}) {
@@ -151,7 +161,28 @@ int main(int argc, char** argv) {
     std::printf("%7.0f%% %10zu %10llu %12.0f %12.0f %8.1fx\n", repeat * 100,
                 on.solves, static_cast<unsigned long long>(on.hits), tp_off,
                 tp_on, speedup);
+
+    // Percentiles come from the cached path (the serving configuration);
+    // the uncached path's digest rides along with an off_ prefix.
+    const bench::Stats on_stats = bench::stats_of(on.request_s);
+    const bench::Stats off_stats = bench::stats_of(off.request_s);
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"repeat_pct", repeat * 100.0},
+        {"solves", static_cast<double>(on.solves)},
+        {"hits", static_cast<double>(on.hits)},
+        {"req_s_off", tp_off},
+        {"req_s_on", tp_on},
+        {"speedup", speedup},
+        {"p50_us", on_stats.p50_us},
+        {"p95_us", on_stats.p95_us},
+        {"p99_us", on_stats.p99_us},
+        {"off_p50_us", off_stats.p50_us},
+        {"off_p99_us", off_stats.p99_us}};
+    char row[32];
+    std::snprintf(row, sizeof row, "repeat%.0f", repeat * 100);
+    report.add(row, std::move(metrics));
   }
+  report.write(bench::flag_value(argc, argv, "--json"));
 
   std::printf("\n90%%-repeat workload speedup: %.1fx (requirement: >= 10x) "
               "— %s\n",

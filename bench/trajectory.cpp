@@ -1,0 +1,201 @@
+/// trajectory — the unified perf-trajectory runner.  Merges every bench
+/// area's BENCH_<area>.json report into one versioned
+/// BENCH_trajectory.json and compares it against the previous
+/// trajectory with per-metric regression thresholds, so performance
+/// drift across PRs is a red CI job instead of archaeology.
+///
+/// Usage: bench_trajectory [--dir D] [--out PATH] [--baseline PATH]
+///                         [--run --bin-dir D] [--smoke]
+///                         [--threshold X] [--gate ratios|all]
+///
+///   --dir D          where BENCH_*.json reports live (default ".")
+///   --out PATH       merged trajectory (default <dir>/BENCH_trajectory.json)
+///   --baseline PATH  previous trajectory to gate against; when absent
+///                    and --out already exists, the old file is the
+///                    baseline (compare, then overwrite)
+///   --run            first regenerate the reports by running every
+///                    bench binary from --bin-dir (default ".")
+///   --smoke          with --run: each bench's quick configuration
+///   --threshold X    relative worsening that fails (default 0.5 = 50%)
+///   --gate M         "ratios" (default: only machine-portable
+///                    dimensionless metrics) or "all" (absolute times
+///                    too — same-machine comparisons only)
+///
+/// Exit code: 0 clean, 1 on regressions / missing coverage / unreadable
+/// reports.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "suite/trajectory.hpp"
+
+using namespace atcd;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct BenchCmd {
+  const char* binary;  // bench_<name>
+  const char* area;    // BENCH_<area>.json it writes
+  const char* args;    // extra arguments (full mode)
+  const char* smoke;   // extra arguments (smoke mode)
+};
+
+/// Every bench area the trajectory covers, in the order they run.
+const BenchCmd kBenches[] = {
+    {"bench_api_dispatch", "api_dispatch", "", ""},
+    {"bench_arena_hotpath", "arena_hotpath", "", "--smoke"},
+    {"bench_incremental_edits", "incremental_edits", "", "--rounds 12"},
+    {"bench_analysis_sweep", "analysis_sweep", "", "--smoke"},
+    {"bench_service_throughput", "service_throughput", "", "--smoke"},
+    {"bench_net_loadgen", "net_throughput", "", "--smoke"},
+    {"bench_fig7a_tree_det", "fig7a", "", "--smoke"},
+    {"bench_fig7b_tree_prob", "fig7b", "", "--smoke"},
+    {"bench_fig7c_dag_det", "fig7c", "", "--smoke"},
+    {"bench_model_zoo", "model_zoo", "", "--smoke"},
+};
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool run = bench::has_flag(argc, argv, "--run");
+  std::string dir = bench::flag_value(argc, argv, "--dir");
+  if (dir.empty()) dir = ".";
+  std::string bin_dir = bench::flag_value(argc, argv, "--bin-dir");
+  if (bin_dir.empty()) bin_dir = ".";
+  std::string out_path = bench::flag_value(argc, argv, "--out");
+  if (out_path.empty()) out_path = dir + "/BENCH_trajectory.json";
+  std::string baseline_path = bench::flag_value(argc, argv, "--baseline");
+
+  suite::CompareOptions copt;
+  if (const std::string v = bench::flag_value(argc, argv, "--threshold");
+      !v.empty())
+    copt.threshold = std::atof(v.c_str());
+  if (const std::string v = bench::flag_value(argc, argv, "--gate");
+      !v.empty()) {
+    if (v == "all") {
+      copt.gate = suite::GateMode::All;
+    } else if (v != "ratios") {
+      std::fprintf(stderr, "unknown --gate %s (want ratios|all)\n", v.c_str());
+      return 1;
+    }
+  }
+
+  // The previous trajectory must be read before --run / the rewrite
+  // clobbers it.
+  std::string baseline_text;
+  if (baseline_path.empty() && fs::exists(out_path)) baseline_path = out_path;
+  const bool have_baseline =
+      !baseline_path.empty() && read_file(baseline_path, &baseline_text);
+  if (!baseline_path.empty() && !have_baseline) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
+
+  if (run) {
+    for (const BenchCmd& b : kBenches) {
+      const std::string json = dir + "/BENCH_" + b.area + ".json";
+      std::string cmd = bin_dir + "/" + b.binary;
+      const char* extra = smoke ? b.smoke : b.args;
+      if (*extra) cmd += std::string(" ") + extra;
+      cmd += " --json \"" + json + "\" > /dev/null";
+      std::printf("run: %s\n", cmd.c_str());
+      std::fflush(stdout);
+      // A failed self-gate still writes its report; the trajectory
+      // comparison below is this binary's verdict.
+      if (const int rc = std::system(cmd.c_str()); rc != 0)
+        std::fprintf(stderr, "warning: %s exited %d\n", b.binary, rc);
+    }
+  }
+
+  std::vector<suite::TrajectoryArea> areas;
+  std::vector<std::string> report_files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Skip merged trajectories (BENCH_trajectory*.json — the full and
+    // smoke baselines both live next to the per-area reports).
+    if (name.rfind("BENCH_", 0) != 0 ||
+        name.rfind("BENCH_trajectory", 0) == 0 ||
+        entry.path().extension() != ".json")
+      continue;
+    report_files.push_back(entry.path().string());
+  }
+  std::sort(report_files.begin(), report_files.end());
+  for (const std::string& path : report_files) {
+    std::string text, error;
+    suite::TrajectoryArea area;
+    if (!read_file(path, &text) ||
+        !suite::parse_bench_report(text, &area, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   error.empty() ? "unreadable" : error.c_str());
+      return 1;
+    }
+    areas.push_back(std::move(area));
+  }
+  if (areas.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json reports in %s\n", dir.c_str());
+    return 1;
+  }
+
+  suite::Trajectory current;
+  std::string error;
+  if (!suite::merge_trajectory(std::move(areas), &current, &error)) {
+    std::fprintf(stderr, "merge failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<suite::Regression> regressions;
+  if (have_baseline) {
+    suite::Trajectory baseline;
+    if (!suite::parse_trajectory(baseline_text, &baseline, &error)) {
+      std::fprintf(stderr, "baseline %s: %s\n", baseline_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    regressions = suite::compare_trajectories(baseline, current, copt);
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << suite::dump_trajectory(current);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.close();
+
+  std::size_t row_count = 0;
+  for (const auto& a : current.areas) row_count += a.rows.size();
+  std::printf("wrote %s: %zu areas, %zu rows\n", out_path.c_str(),
+              current.areas.size(), row_count);
+  if (!have_baseline) {
+    std::printf("no baseline — nothing to gate against\n");
+    return 0;
+  }
+  if (regressions.empty()) {
+    std::printf("vs %s: no regressions (threshold %.0f%%, gate %s)\n",
+                baseline_path.c_str(), copt.threshold * 100.0,
+                copt.gate == suite::GateMode::Ratios ? "ratios" : "all");
+    return 0;
+  }
+  std::printf("vs %s: %zu regression(s)\n%s", baseline_path.c_str(),
+              regressions.size(), suite::to_text(regressions).c_str());
+  return 1;
+}

@@ -38,6 +38,15 @@
 ///                 request (exercises the service result cache and
 ///                 request coalescing; prints cache statistics)
 ///
+/// Every dispatcher-backed command additionally accepts:
+///   --envelope      print the canonical v1 JSON response line (the
+///                   exact bytes the server would send, minus micros)
+///                   instead of the human tables — errors included, so
+///                   transports can be byte-compared
+///   --trace-out F   trace the request and write the recorded span tree
+///                   as Chrome trace-event JSON to F (loadable in
+///                   chrome://tracing and Perfetto)
+///
 /// --engine picks a specific backend by registry name (see `engines`);
 /// without it the planner selects the paper's Table I method for the
 /// model class.
@@ -58,9 +67,11 @@
 #include <vector>
 
 #include "api/dispatcher.hpp"
+#include "api/json.hpp"
 #include "at/dot.hpp"
 #include "at/parser.hpp"
 #include "engine/registry.hpp"
+#include "obs/trace_export.hpp"
 #include "util/timer.hpp"
 
 using namespace atcd;
@@ -92,20 +103,27 @@ int usage() {
                "  defense spec: <name>:<cost>:<bas>[+<bas>...]\n"
                "  --metrics-dump   print the metrics registry "
                "(Prometheus text) on stderr at exit\n"
+               "  --envelope       print the canonical v1 JSON response "
+               "line instead of tables\n"
+               "  --trace-out F    trace the request and write the span "
+               "tree as Chrome\n"
+               "                   trace-event JSON to F (open in "
+               "chrome://tracing or Perfetto)\n"
                "exit codes: 0 ok, 2 usage, 3 model error, 4 solver "
                "failure\n");
   return 2;
 }
 
 /// Arguments not consumed by any --flag: skips every flag and, for the
-/// value-taking ones (all but the booleans --prob and --metrics-dump),
-/// its value.
+/// value-taking ones (all but the booleans --prob, --metrics-dump and
+/// --envelope), its value.
 std::vector<std::string> positionals(int argc, char** argv, int from) {
   std::vector<std::string> out;
   for (int i = from; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
       if (std::strcmp(argv[i], "--prob") != 0 &&
-          std::strcmp(argv[i], "--metrics-dump") != 0 && i + 1 < argc)
+          std::strcmp(argv[i], "--metrics-dump") != 0 &&
+          std::strcmp(argv[i], "--envelope") != 0 && i + 1 < argc)
         ++i;
       continue;
     }
@@ -146,11 +164,45 @@ void print_solve(const api::SolvePayload& p, const char* damage_col) {
   }
 }
 
-/// Batch/cache knobs from --threads / --repeat.
+/// Batch/cache knobs from --threads / --repeat, plus the output mode.
 struct RunOptions {
   std::size_t threads = 1;
   std::size_t repeat = 1;
+  /// --envelope: print the canonical v1 JSON response line (no micros,
+  /// no trace) instead of the human tables, for both success and
+  /// failure — what the suite runner byte-compares across transports.
+  bool envelope = false;
+  /// --trace-out FILE: trace the request and write the recorded span
+  /// tree as Chrome trace-event JSON (chrome://tracing / Perfetto).
+  std::string trace_out;
 };
+
+/// Writes the response's trace block (if any) as a Chrome trace file.
+void write_trace_file(const api::Response& resp, const std::string& path) {
+  if (!resp.trace) {
+    std::fprintf(stderr, "warning: response carries no trace\n");
+    return;
+  }
+  std::vector<obs::ExportSpan> spans;
+  spans.reserve(resp.trace->spans.size());
+  for (const auto& s : resp.trace->spans)
+    spans.push_back({s.name, s.depth, s.start_us, s.dur_us});
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << obs::chrome_trace_json(spans, resp.trace->facts, "atcd_cli");
+  if (!out)
+    std::fprintf(stderr, "warning: cannot write trace file '%s'\n",
+                 path.c_str());
+}
+
+/// Envelope mode epilogue: one canonical response line on stdout
+/// (trace and micros stripped — the deterministic bytes), exit code
+/// still mapped from the error code.
+int print_envelope(api::Response resp) {
+  const int code = api::exit_code(resp.code);
+  resp.trace.reset();
+  std::printf("%s\n", api::encode_response(resp, false).c_str());
+  return code;
+}
 
 /// Runs one solve spec through the dispatcher and prints the result.
 /// With --repeat/--threads the spec is fanned out as one api batch
@@ -161,7 +213,10 @@ int run(api::Dispatcher& dispatcher, api::SolveSpec spec,
   if (ro.repeat <= 1 && ro.threads <= 1) {
     api::Request req;
     req.op = api::SolveRequest{std::move(spec)};
+    req.trace = !ro.trace_out.empty();
     const api::Response resp = dispatcher.dispatch(req);
+    if (!ro.trace_out.empty()) write_trace_file(resp, ro.trace_out);
+    if (ro.envelope) return print_envelope(resp);
     if (resp.code != api::ErrorCode::Ok) return report_error(resp);
     print_solve(std::get<api::SolvePayload>(resp.payload), damage_col);
     return 0;
@@ -171,9 +226,12 @@ int run(api::Dispatcher& dispatcher, api::SolveSpec spec,
   batch.threads = ro.threads;
   api::Request req;
   req.op = std::move(batch);
+  req.trace = !ro.trace_out.empty();
   Timer timer;
   const api::Response resp = dispatcher.dispatch(req);
   const double ms = timer.millis();
+  if (!ro.trace_out.empty()) write_trace_file(resp, ro.trace_out);
+  if (ro.envelope) return print_envelope(resp);
   if (resp.code != api::ErrorCode::Ok) return report_error(resp);
   const auto& items = std::get<api::BatchPayload>(resp.payload).items;
   const auto s = dispatcher.stats().cache;
@@ -192,8 +250,12 @@ int run(api::Dispatcher& dispatcher, api::SolveSpec spec,
 }
 
 /// Dispatches an analysis request and prints its table.
-int run_analysis(api::Dispatcher& dispatcher, api::Request req) {
+int run_analysis(api::Dispatcher& dispatcher, api::Request req,
+                 const RunOptions& ro) {
+  req.trace = !ro.trace_out.empty();
   const api::Response resp = dispatcher.dispatch(req);
+  if (!ro.trace_out.empty()) write_trace_file(resp, ro.trace_out);
+  if (ro.envelope) return print_envelope(resp);
   if (resp.code != api::ErrorCode::Ok) return report_error(resp);
   std::fputs(std::get<api::AnalysisPayload>(resp.payload).table.c_str(),
              stdout);
@@ -237,6 +299,9 @@ int main(int argc, char** argv) {
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prob") == 0) use_prob = true;
     if (std::strcmp(argv[i], "--metrics-dump") == 0) metrics_dump = true;
+    if (std::strcmp(argv[i], "--envelope") == 0) ro.envelope = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      ro.trace_out = argv[i + 1];
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
       engine_name = argv[i + 1];
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -292,7 +357,7 @@ int main(int argc, char** argv) {
     r.model = model_text;
     api::Request req;
     req.op = std::move(r);
-    return run_analysis(dispatcher, std::move(req));
+    return run_analysis(dispatcher, std::move(req), ro);
   }
   if (cmd == "sensitivity") {
     api::AnalyzeSensitivityRequest r;
@@ -305,7 +370,7 @@ int main(int argc, char** argv) {
     r.model = model_text;
     api::Request req;
     req.op = std::move(r);
-    return run_analysis(dispatcher, std::move(req));
+    return run_analysis(dispatcher, std::move(req), ro);
   }
   if (cmd == "portfolio" && argc >= 4) {
     char* end = nullptr;
@@ -327,7 +392,7 @@ int main(int argc, char** argv) {
     r.model = model_text;
     api::Request req;
     req.op = std::move(r);
-    return run_analysis(dispatcher, std::move(req));
+    return run_analysis(dispatcher, std::move(req), ro);
   }
 
   if (cmd == "info" || cmd == "dot") {

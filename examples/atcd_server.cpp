@@ -31,6 +31,7 @@
 ///
 /// Usage:
 ///   atcd_server [--json] [--timing] [--threads N] [--slow-ms N]
+///               [--trace-dir D] [--trace-max-files N]
 ///               [--listen host:port] [--http] [--max-conns N]
 ///               [--max-line-bytes N] [--max-queue N]
 ///               [--shards N] [--entries N] [--bytes N] [--no-cache]
@@ -38,9 +39,15 @@
 ///               [--no-subtree-cache]
 ///
 /// --slow-ms N logs any request slower than N milliseconds on stderr
-/// (one `atcd: slow request ...` line per offender).  The `metrics`
-/// operation (line mode: `metrics` / `metrics --json`) renders the
-/// full instrument registry at any time.
+/// (one structured JSON object per offender:
+/// {"event":"slow_request","op":...,"id":...,"code":...,"micros":...}).
+/// --trace-dir D additionally samples those slow requests as Chrome
+/// trace-event JSON files (atcd_trace_<seq>_<op>.json, loadable in
+/// chrome://tracing / Perfetto) into the existing directory D — without
+/// --slow-ms every request is sampled — capped at --trace-max-files
+/// (default 256) per server lifetime.  The `metrics` operation (line
+/// mode: `metrics` / `metrics --json`) renders the full instrument
+/// registry at any time.
 ///
 /// --threads caps the worker threads for the scenario-analysis
 /// fan-outs in both modes and additionally sizes the pipelined
@@ -125,10 +132,14 @@ int main(int argc, char** argv) {
       threads = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc)
       opt.slow_request_micros = std::strtod(argv[++i], nullptr) * 1000.0;
+    else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc)
+      opt.trace_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--trace-max-files") == 0 && i + 1 < argc)
+      opt.trace_max_files = std::strtoull(argv[++i], nullptr, 10);
     else {
       std::fprintf(stderr,
                    "usage: atcd_server [--json] [--timing] [--threads N] "
-                   "[--slow-ms N] "
+                   "[--slow-ms N] [--trace-dir D] [--trace-max-files N] "
                    "[--listen host:port] [--http] [--max-conns N] "
                    "[--max-line-bytes N] [--max-queue N] "
                    "[--shards N] [--entries N] [--bytes N] [--no-cache] "

@@ -1,0 +1,92 @@
+/// atcd_suite — runs declarative scenario suites (src/suite/) through
+/// three independent execution paths and byte-compares the responses:
+///
+///   dispatcher — in-process api::Dispatcher (the reference path)
+///   cli        — spawns atcd_cli <model> <subcmd> --envelope per case
+///   server     — in-process TCP JSON-lines net::Server + net::Client
+///
+/// Every case's expectations (expected optima, pinned front, canonical
+/// response hash) are checked on the reference path; any other path
+/// whose bytes differ fails the case with a first-difference diff.
+/// Cross-transport drift — a CLI flag mapped wrong, a codec change,
+/// an engine defaulting differently — fails loudly here instead of
+/// shipping.
+///
+/// Usage:
+///   atcd_suite <suite-file>... [--cli <path>] [--no-cli] [--no-server]
+///              [--print-expect]
+///
+///   --cli <path>     the atcd_cli binary for the CLI path (default:
+///                    "./atcd_cli", i.e. run from the build directory)
+///   --no-cli         skip the CLI path (e.g. cross-compiled runners)
+///   --no-server      skip the TCP server path
+///   --print-expect   print each case's canonical response hash
+///                    (`expect_hash = <hex>`) instead of checking
+///                    expectations — the suite-authoring aid
+///
+/// Exit code 0 when every case in every suite passes, 1 otherwise.
+/// The suite format is documented in src/suite/suite.hpp; checked-in
+/// suites live in suites/*.suite.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "suite/runner.hpp"
+
+using namespace atcd;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string cli_binary = "./atcd_cli";
+  bool use_cli = true, use_server = true;
+  suite::RunnerOptions ropt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cli") == 0 && i + 1 < argc)
+      cli_binary = argv[++i];
+    else if (std::strcmp(argv[i], "--no-cli") == 0)
+      use_cli = false;
+    else if (std::strcmp(argv[i], "--no-server") == 0)
+      use_server = false;
+    else if (std::strcmp(argv[i], "--print-expect") == 0)
+      ropt.print_expect = true;
+    else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: atcd_suite <suite-file>... [--cli <path>] "
+                   "[--no-cli] [--no-server] [--print-expect]\n");
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "atcd_suite: no suite files given\n");
+    return 2;
+  }
+
+  std::vector<suite::Path> paths;
+  paths.push_back(suite::dispatcher_path());
+  if (use_cli) paths.push_back(suite::cli_path(cli_binary));
+  if (use_server) paths.push_back(suite::server_path());
+
+  bool all_ok = true;
+  for (const std::string& file : files) {
+    suite::Suite s;
+    std::string error;
+    if (!suite::load_suite_file(file, &s, &error)) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+      all_ok = false;
+      continue;
+    }
+    // file: model paths resolve relative to the suite file's directory.
+    const std::string base_dir =
+        std::filesystem::path(file).parent_path().string();
+    const suite::SuiteReport report =
+        suite::run_suite(s, base_dir.empty() ? "." : base_dir, paths, ropt);
+    std::fputs(suite::to_text(report).c_str(), stdout);
+    if (!report.ok()) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -6,14 +6,17 @@
 #include <cstdio>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <thread>
 
 #include "analysis/portfolio.hpp"
 #include "analysis/sensitivity.hpp"
 #include "analysis/sweep.hpp"
+#include "api/json.hpp"
 #include "at/structure.hpp"
 #include "engine/registry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "service/timing.hpp"
 
 namespace atcd::api {
@@ -118,7 +121,9 @@ Dispatcher::Dispatcher() : Dispatcher(Options{}) {}
 
 Dispatcher::Dispatcher(Options options)
     : slow_request_micros_(options.slow_request_micros),
-      record_(options.record_metrics) {
+      record_(options.record_metrics),
+      trace_dir_(std::move(options.trace_dir)),
+      trace_max_files_(options.trace_max_files) {
   if (options.metrics) {
     metrics_ = options.metrics;
   } else {
@@ -503,38 +508,69 @@ Response Dispatcher::dispatch(const Request& request) {
   const auto t0 = service::detail::Clock::now();
   if (record_) requests_->add(1);
   Response resp;
-  if (request.trace) {
+  // trace_dir mode traces every request internally (for slow-request
+  // export); only `"trace": true` requests get the trace echoed on the
+  // response, so the wire bytes are unchanged by sampling.
+  const bool traced = request.trace || !trace_dir_.empty();
+  std::optional<obs::Trace> trace;
+  if (traced) {
     // Activate a span context for this request only; downstream layers
     // record into it through the thread-local slot, so the untraced
     // path stays untouched (and byte-identical) at any thread count.
-    obs::Trace trace;
+    trace.emplace();
     {
-      obs::TraceActivation activation(&trace);
+      obs::TraceActivation activation(&*trace);
       obs::SpanScope span("dispatch");
       resp = dispatch_op(request);
     }
-    TracePayload tp;
-    tp.spans.reserve(trace.spans().size());
-    for (const obs::Trace::Span& s : trace.spans())
-      tp.spans.push_back({s.name, s.depth, s.start_us, s.dur_us});
-    tp.facts = trace.facts();
-    resp.trace = std::move(tp);
+    if (request.trace) {
+      TracePayload tp;
+      tp.spans.reserve(trace->spans().size());
+      for (const obs::Trace::Span& s : trace->spans())
+        tp.spans.push_back({s.name, s.depth, s.start_us, s.dur_us});
+      tp.facts = trace->facts();
+      resp.trace = std::move(tp);
+    }
   } else {
     resp = dispatch_op(request);
   }
   if (record_ && resp.code != ErrorCode::Ok) errors_->add(1);
   resp.micros = service::detail::micros_since(t0);
+  const bool slow =
+      slow_request_micros_ > 0.0 && resp.micros >= slow_request_micros_;
   if (record_) {
     const auto us = static_cast<std::uint64_t>(resp.micros);
     request_micros_->record(us);
     op_micros_[request.op.index()]->record(us);
-    if (slow_request_micros_ > 0.0 && resp.micros >= slow_request_micros_)
+    if (slow)
       std::fprintf(stderr,
-                   "atcd: slow request op=%s id=%s code=%s micros=%.1f\n",
-                   op_name(request.op), request.id.c_str(),
-                   to_string(resp.code), resp.micros);
+                   "{\"event\": \"slow_request\", \"op\": %s, \"id\": %s, "
+                   "\"code\": %s, \"micros\": %s}\n",
+                   json::dump_string(op_name(request.op)).c_str(),
+                   json::dump_string(request.id).c_str(),
+                   json::dump_string(to_string(resp.code)).c_str(),
+                   json::dump_number(resp.micros).c_str());
   }
+  if (!trace_dir_.empty() && (slow || slow_request_micros_ <= 0.0))
+    export_trace(request, resp, *trace);
   return resp;
+}
+
+void Dispatcher::export_trace(const Request& request, const Response& response,
+                              const obs::Trace& trace) {
+  if (trace_seq_.load(std::memory_order_relaxed) >= trace_max_files_) return;
+  const std::uint64_t seq =
+      trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq >= trace_max_files_) return;
+  const std::string path = trace_dir_ + "/atcd_trace_" + std::to_string(seq) +
+                           "_" + op_name(request.op) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return;  // sampling is best-effort; serving never fails on it
+  const std::string label = std::string("atcd ") + op_name(request.op) +
+                            " (" + to_string(response.code) + ")";
+  const std::string body = obs::chrome_trace_json(trace, label);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
 }
 
 }  // namespace atcd::api

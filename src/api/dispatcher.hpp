@@ -32,11 +32,14 @@
 /// dispatch (see obs/trace.hpp).
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <string>
 #include <variant>
 
 #include "api/api.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -49,9 +52,22 @@ class Dispatcher {
     /// Shared instrument registry; null = the dispatcher owns one and
     /// threads it through the service and both caches.
     obs::Registry* metrics = nullptr;
-    /// When > 0, any request slower than this logs one line on stderr
-    /// (`atcd: slow request op=... id=... code=... micros=...`).
+    /// When > 0, any request slower than this logs one structured JSON
+    /// object per line on stderr
+    /// ({"event":"slow_request","op":...,"id":...,"code":...,
+    /// "micros":...}).
     double slow_request_micros = 0.0;
+    /// When non-empty, every dispatch runs with an internal span
+    /// context and slow requests (>= slow_request_micros; all requests
+    /// when that is 0) are exported to this directory as Chrome
+    /// trace-event JSON files (atcd_trace_<seq>_<op>.json), loadable in
+    /// chrome://tracing / Perfetto.  The directory must exist.  The
+    /// response wire bytes are unchanged: Response::trace is still only
+    /// attached for `"trace": true` requests.
+    std::string trace_dir;
+    /// Cap on exported trace files per dispatcher lifetime (sampling
+    /// guard so a slow deployment cannot fill a disk).
+    std::size_t trace_max_files = 256;
     /// Bench baseline knob: false disables only dispatch()-level
     /// recording (request/error counters, latency histograms, the slow
     /// check), isolating exactly the hot-path cost the api_dispatch
@@ -98,6 +114,10 @@ class Dispatcher {
 
   Response dispatch_op(const Request& request);
   BatchPayload::Item solve_item(const SolveSpec& spec);
+  /// Writes one Chrome trace-event file for a sampled slow request
+  /// (trace_dir mode); silently stops at trace_max_files.
+  void export_trace(const Request& request, const Response& response,
+                    const obs::Trace& trace);
   /// Resolves every instrument pointer out of metrics_ (construction
   /// only; keeps dispatch() off the registry mutex).
   void init_instruments();
@@ -116,6 +136,9 @@ class Dispatcher {
 
   double slow_request_micros_ = 0.0;
   bool record_ = true;
+  std::string trace_dir_;
+  std::size_t trace_max_files_ = 256;
+  std::atomic<std::uint64_t> trace_seq_{0};
 
   // Registry instruments, resolved once by init_instruments().
   obs::Counter* requests_ = nullptr;

@@ -1,0 +1,76 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace atcd::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (span/fact names are identifiers, but a
+/// label could carry anything).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<ExportSpan>& spans,
+    const std::vector<std::pair<std::string, std::uint64_t>>& facts,
+    const std::string& label) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 1, \"args\": {\"name\": " << escaped(label) << "}}";
+  bool facts_attached = false;
+  for (const ExportSpan& s : spans) {
+    out << ",\n  {\"name\": " << escaped(s.name)
+        << ", \"cat\": \"atcd\", \"ph\": \"X\", \"ts\": " << s.start_us
+        << ", \"dur\": " << s.dur_us << ", \"pid\": 1, \"tid\": 1";
+    // Facts ride on the outermost span so viewers show them when the
+    // whole request is selected.
+    if (!facts_attached && s.depth == 0) {
+      facts_attached = true;
+      out << ", \"args\": {";
+      for (std::size_t i = 0; i < facts.size(); ++i)
+        out << (i ? ", " : "") << escaped(facts[i].first) << ": "
+            << facts[i].second;
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string chrome_trace_json(const Trace& trace, const std::string& label) {
+  std::vector<ExportSpan> spans;
+  spans.reserve(trace.spans().size());
+  for (const Trace::Span& s : trace.spans())
+    spans.push_back({s.name, s.depth, s.start_us, s.dur_us});
+  return chrome_trace_json(spans, trace.facts(), label);
+}
+
+}  // namespace atcd::obs

@@ -1,0 +1,48 @@
+#pragma once
+/// \file trace_export.hpp
+/// Chrome trace-event export for obs::Trace span trees.
+///
+/// chrome_trace_json() renders recorded phase spans as the Trace Event
+/// Format's JSON object form — {"traceEvents": [...]} with one "ph":"X"
+/// complete event per span — which chrome://tracing and Perfetto load
+/// directly.  All events share pid/tid 1: complete events whose time
+/// ranges nest are stacked by the viewers, which reproduces the span
+/// tree without synthetic thread ids (spans are thread-confined by
+/// construction, see trace.hpp).  Hot-path facts ride as "args" on the
+/// outermost span, so counters like memo hits appear in the viewer's
+/// selection panel.
+///
+/// The span input is a neutral struct rather than obs::Trace::Span so
+/// transports can feed decoded api::TraceSpanPayload lists through the
+/// same exporter without this layer depending on the api codec.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace atcd::obs {
+
+/// One span in codec-neutral form (field-compatible with both
+/// Trace::Span and api::TraceSpanPayload).
+struct ExportSpan {
+  std::string name;
+  std::uint64_t depth = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Renders spans + facts as a Chrome trace-event JSON object.
+/// \p label names the process in the viewer (a metadata event).
+std::string chrome_trace_json(
+    const std::vector<ExportSpan>& spans,
+    const std::vector<std::pair<std::string, std::uint64_t>>& facts,
+    const std::string& label = "atcd");
+
+/// Convenience overload for a live trace.
+std::string chrome_trace_json(const Trace& trace,
+                              const std::string& label = "atcd");
+
+}  // namespace atcd::obs

@@ -1,0 +1,357 @@
+#include "suite/runner.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "api/dispatcher.hpp"
+#include "api/json.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace atcd::suite {
+
+namespace {
+
+/// Cache-disabled dispatcher options: every path must answer
+/// cache="miss", matching what a one-shot CLI process reports.
+api::Dispatcher::Options pinned_options() {
+  api::Dispatcher::Options opt;
+  opt.service.enable_cache = false;
+  return opt;
+}
+
+/// Writes \p text to a fresh temp file; empty string on failure.
+std::string write_temp_model(const std::string& text) {
+  char path[] = "/tmp/atcd_suite_model_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) return {};
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ::ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(path);
+      return {};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return path;
+}
+
+/// The atcd_cli subcommand (argv tail) that expresses \p c.
+/// validate_case() guarantees every parsed case is expressible.
+std::string cli_arguments(const Case& c, const std::string& model_file) {
+  using engine::Problem;
+  std::ostringstream cmd;
+  cmd << '"' << model_file << '"';
+  const auto num = [](double v) { return api::json::dump_number(v); };
+  switch (c.op) {
+    case CaseOp::Solve:
+      switch (c.problem) {
+        case Problem::Cdpf: cmd << " cdpf"; break;
+        case Problem::Cedpf: cmd << " cedpf"; break;
+        case Problem::Dgc: cmd << " dgc " << num(c.bound.value_or(0)); break;
+        case Problem::Edgc:
+          cmd << " dgc " << num(c.bound.value_or(0)) << " --prob";
+          break;
+        case Problem::Cgd: cmd << " cgd " << num(c.bound.value_or(0)); break;
+        case Problem::Cged:
+          cmd << " cgd " << num(c.bound.value_or(0)) << " --prob";
+          break;
+      }
+      break;
+    case CaseOp::Sweep:
+      cmd << " sweep " << engine::to_string(c.problem);
+      for (const std::string& axis : c.axes) cmd << " \"" << axis << '"';
+      if (c.bound) cmd << " --bound " << num(*c.bound);
+      break;
+    case CaseOp::Sensitivity:
+      cmd << " sensitivity";
+      if (c.problem == Problem::Cedpf) cmd << " --prob";
+      if (c.step) cmd << " --step " << num(*c.step);
+      break;
+    case CaseOp::Portfolio:
+      cmd << " portfolio " << num(c.budget.value_or(0));
+      for (const std::string& d : c.defenses) cmd << " --defense \"" << d
+                                                  << '"';
+      if (c.problem == Problem::Edgc) cmd << " --prob";
+      if (c.bound) cmd << " --bound " << num(*c.bound);
+      break;
+  }
+  if (!c.engine.empty()) cmd << " --engine \"" << c.engine << '"';
+  cmd << " --envelope";
+  return cmd.str();
+}
+
+/// First-difference diff of two response lines, windowed around the
+/// mismatch so multi-kilobyte fronts stay readable.
+std::string byte_diff(const std::string& ref, const std::string& got) {
+  std::size_t i = 0;
+  while (i < ref.size() && i < got.size() && ref[i] == got[i]) ++i;
+  const auto window = [&](const std::string& s) {
+    const std::size_t from = i > 40 ? i - 40 : 0;
+    std::string w = s.substr(from, 80);
+    if (from > 0) w = "..." + w;
+    if (from + 80 < s.size()) w += "...";
+    return w;
+  };
+  std::ostringstream out;
+  out << "first difference at byte " << i << "\n      reference: "
+      << window(ref) << "\n      observed:  " << window(got);
+  return out.str();
+}
+
+struct ServerState {
+  explicit ServerState()
+      : dispatcher(pinned_options()), server(dispatcher, server_options()) {}
+
+  static net::ServerOptions server_options() {
+    net::ServerOptions o;
+    o.host = "127.0.0.1";
+    o.port = 0;  // ephemeral
+    return o;
+  }
+
+  /// Starts the server and connects the client on first use.
+  bool ensure_started(std::string* error) {
+    if (client) return true;
+    if (!started) {
+      if (!server.start(error)) return false;
+      started = true;
+    }
+    std::string err;
+    client = std::make_unique<net::Client>("127.0.0.1", server.port(), &err);
+    if (!client->valid()) {
+      client.reset();
+      *error = "connect failed: " + err;
+      return false;
+    }
+    return true;
+  }
+
+  ~ServerState() {
+    client.reset();  // EOF the connection before draining
+    if (started) {
+      server.request_drain();
+      server.wait();
+    }
+  }
+
+  api::Dispatcher dispatcher;
+  net::Server server;
+  std::unique_ptr<net::Client> client;
+  bool started = false;
+};
+
+/// Checks the case's expectations against the decoded reference
+/// response; failures are appended to \p notes.
+void check_expectations(const Case& c, const std::string& line,
+                        std::vector<std::string>* notes) {
+  const Expect& e = c.expect;
+  if (e.hash && *e.hash != response_hash(line))
+    notes->push_back("expect_hash " + hash_hex(*e.hash) +
+                     " != response hash " + hash_hex(response_hash(line)));
+
+  const auto decoded = api::decode_response(line);
+  if (decoded.code != api::ErrorCode::Ok) {
+    notes->push_back("reference response undecodable: " + decoded.error);
+    return;
+  }
+  const api::Response& resp = decoded.value;
+  if (e.error) {
+    if (resp.code != *e.error)
+      notes->push_back(std::string("expect_error ") + api::to_string(*e.error) +
+                       " but response code is " + api::to_string(resp.code) +
+                       (resp.error.empty() ? "" : " (" + resp.error + ")"));
+    return;
+  }
+  const bool wants_payload = e.infeasible || e.cost || e.damage ||
+                             e.front.has_value();
+  if (resp.code != api::ErrorCode::Ok) {
+    if (wants_payload)
+      notes->push_back(std::string("expected a result but got ") +
+                       api::to_string(resp.code) + ": " + resp.error);
+    return;
+  }
+  if (!wants_payload) return;
+  const auto* solve = std::get_if<api::SolvePayload>(&resp.payload);
+  if (!solve) {
+    notes->push_back("expected a solve payload (expect_front/cost/... on a "
+                     "non-solve op?)");
+    return;
+  }
+  if (e.infeasible && (solve->is_front || solve->feasible))
+    notes->push_back("expected infeasible, got a result");
+  if (e.cost || e.damage) {
+    if (solve->is_front || !solve->feasible) {
+      notes->push_back("expect_cost/expect_damage need a feasible "
+                       "single-objective result");
+    } else {
+      if (e.cost && solve->cost != *e.cost)
+        notes->push_back("expect_cost " + api::json::dump_number(*e.cost) +
+                         " != " + api::json::dump_number(solve->cost));
+      if (e.damage && solve->damage != *e.damage)
+        notes->push_back("expect_damage " + api::json::dump_number(*e.damage) +
+                         " != " + api::json::dump_number(solve->damage));
+    }
+  }
+  if (e.front) {
+    if (!solve->is_front) {
+      notes->push_back("expect_front on a non-front result");
+    } else if (solve->points.size() != e.front->size()) {
+      notes->push_back("expect_front has " + std::to_string(e.front->size()) +
+                       " points, response has " +
+                       std::to_string(solve->points.size()));
+    } else {
+      for (std::size_t i = 0; i < e.front->size(); ++i) {
+        const auto& [ec, ed] = (*e.front)[i];
+        if (solve->points[i].cost != ec || solve->points[i].damage != ed) {
+          notes->push_back(
+              "front point " + std::to_string(i) + " is (" +
+              api::json::dump_number(solve->points[i].cost) + ", " +
+              api::json::dump_number(solve->points[i].damage) +
+              "), expected (" + api::json::dump_number(ec) + ", " +
+              api::json::dump_number(ed) + ")");
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Path dispatcher_path() {
+  auto dispatcher = std::make_shared<api::Dispatcher>(pinned_options());
+  return {"dispatcher",
+          [dispatcher](const Case&, const api::Request& req,
+                       const std::string&) {
+            PathOutcome out;
+            out.response =
+                api::encode_response(dispatcher->dispatch(req), false);
+            out.ok = true;
+            return out;
+          }};
+}
+
+Path cli_path(std::string cli_binary) {
+  return {"cli", [cli_binary](const Case& c, const api::Request&,
+                              const std::string& model_text) {
+            PathOutcome out;
+            const std::string model_file = write_temp_model(model_text);
+            if (model_file.empty()) {
+              out.error = "cannot create temp model file";
+              return out;
+            }
+            const std::string cmd = '"' + cli_binary + "\" " +
+                                    cli_arguments(c, model_file) +
+                                    " 2>/dev/null";
+            std::FILE* pipe = ::popen(cmd.c_str(), "r");
+            if (!pipe) {
+              ::unlink(model_file.c_str());
+              out.error = "popen failed for: " + cmd;
+              return out;
+            }
+            std::string output;
+            char buf[4096];
+            std::size_t n = 0;
+            while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+              output.append(buf, n);
+            ::pclose(pipe);  // nonzero exit is fine: errors still envelope
+            ::unlink(model_file.c_str());
+            while (!output.empty() &&
+                   (output.back() == '\n' || output.back() == '\r'))
+              output.pop_back();
+            if (output.empty()) {
+              out.error = "cli produced no envelope for: " + cmd;
+              return out;
+            }
+            out.response = output;
+            out.ok = true;
+            return out;
+          }};
+}
+
+Path server_path() {
+  auto state = std::make_shared<ServerState>();
+  return {"server", [state](const Case&, const api::Request& req,
+                            const std::string&) {
+            PathOutcome out;
+            if (!state->ensure_started(&out.error)) return out;
+            if (!state->client->request(api::encode_request(req),
+                                        &out.response)) {
+              state->client.reset();  // reconnect on the next case
+              out.error = "server connection failed mid-request";
+              return out;
+            }
+            out.ok = true;
+            return out;
+          }};
+}
+
+SuiteReport run_suite(const Suite& suite, const std::string& base_dir,
+                      const std::vector<Path>& paths,
+                      const RunnerOptions& options) {
+  SuiteReport report;
+  report.suite = suite.name;
+  for (const Case& c : suite.cases) {
+    CaseReport cr;
+    cr.name = c.name;
+    std::string model_text, error;
+    if (!materialize_model(c.model, base_dir, &model_text, &error)) {
+      cr.notes.push_back("model: " + error);
+      ++report.failures;
+      report.cases.push_back(std::move(cr));
+      continue;
+    }
+    const api::Request req = request_of(c, model_text);
+
+    std::string reference;
+    bool have_reference = false;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const PathOutcome out = paths[i].run(c, req, model_text);
+      if (!out.ok) {
+        cr.notes.push_back(paths[i].name + ": " + out.error);
+        continue;
+      }
+      if (i == 0) {
+        have_reference = true;
+        reference = out.response;
+        if (options.print_expect)
+          cr.notes.push_back("expect_hash = " +
+                             hash_hex(response_hash(reference)));
+        else
+          check_expectations(c, reference, &cr.notes);
+      } else if (have_reference && out.response != reference) {
+        cr.notes.push_back("DRIFT " + paths[i].name + " vs " +
+                           paths[0].name + ": " +
+                           byte_diff(reference, out.response));
+      }
+    }
+    cr.ok = options.print_expect
+                ? cr.notes.size() == 1  // just the expect_hash note
+                : cr.notes.empty();
+    if (!cr.ok) ++report.failures;
+    report.cases.push_back(std::move(cr));
+  }
+  return report;
+}
+
+std::string to_text(const SuiteReport& report) {
+  std::ostringstream out;
+  out << "suite " << report.suite << " (" << report.cases.size()
+      << " cases)\n";
+  for (const CaseReport& c : report.cases) {
+    out << "  [" << (c.ok ? "PASS" : "FAIL") << "] " << c.name << "\n";
+    for (const std::string& n : c.notes) out << "    " << n << "\n";
+  }
+  out << (report.ok() ? "OK" : "FAILED") << ": " << report.cases.size()
+      << " cases, " << report.failures << " failures\n";
+  return out.str();
+}
+
+}  // namespace atcd::suite

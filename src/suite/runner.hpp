@@ -1,0 +1,94 @@
+#pragma once
+/// \file runner.hpp
+/// Replays a scenario suite through independent execution paths and
+/// byte-compares their responses, so end-to-end drift between the
+/// library facade, the CLI, and the network server fails loudly with a
+/// per-case diff instead of lingering until a user trips over it.
+///
+/// A Path produces, for one case, the canonical v1 JSON response line
+/// (api::encode_response with an empty request id and no micros — the
+/// deterministic bytes every transport can agree on).  Three stock
+/// paths cover the stack:
+///
+///   dispatcher_path()  — in-process api::Dispatcher::dispatch
+///   cli_path(binary)   — spawns `atcd_cli <model> <subcmd> --envelope`
+///   server_path()      — an in-process net::Server on an ephemeral
+///                        127.0.0.1 port, requests via net::Client
+///
+/// All stock paths run with the result cache disabled so the `cache`
+/// disposition is pinned "miss" everywhere (a one-shot CLI process
+/// could never see a hit, so a caching path would drift by design).
+///
+/// run_suite() replays every case through every path: the first path's
+/// response is decoded and checked against the case's expectations;
+/// every other path's bytes must equal the first's exactly, and a
+/// mismatch reports the case name plus a first-difference diff.  Tests
+/// inject custom Paths (e.g. a deliberately corrupting one) to pin the
+/// drift detector itself.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "suite/suite.hpp"
+
+namespace atcd::suite {
+
+/// One execution path's outcome for one case.
+struct PathOutcome {
+  bool ok = false;       ///< the path itself ran (not: the solve succeeded)
+  std::string response;  ///< canonical response line (when ok)
+  std::string error;     ///< transport/spawn failure (when !ok)
+};
+
+struct Path {
+  std::string name;
+  std::function<PathOutcome(const Case&, const api::Request&,
+                            const std::string& model_text)>
+      run;
+};
+
+/// In-process dispatch through a private, cache-disabled Dispatcher.
+Path dispatcher_path();
+
+/// Spawns `<cli_binary> <model-file> <subcommand...> --envelope` per
+/// case (model text goes through a temp file) and captures the
+/// envelope line the CLI prints.
+Path cli_path(std::string cli_binary);
+
+/// Lazily starts a cache-disabled JSON-lines net::Server on an
+/// ephemeral port; cases run lockstep through one net::Client.
+Path server_path();
+
+struct CaseReport {
+  std::string name;
+  bool ok = false;
+  std::vector<std::string> notes;  ///< failures: expectations, drift diffs
+};
+
+struct SuiteReport {
+  std::string suite;
+  std::vector<CaseReport> cases;
+  std::size_t failures = 0;
+  bool ok() const { return failures == 0; }
+};
+
+struct RunnerOptions {
+  /// Print `expect_hash = <hex>` per case instead of checking
+  /// expectations (suite authoring aid); drift is still checked.
+  bool print_expect = false;
+};
+
+/// Replays \p suite through \p paths (first path = reference).
+/// \p base_dir resolves file: model specs.  Model materialization
+/// failures fail the case, never the runner.
+SuiteReport run_suite(const Suite& suite, const std::string& base_dir,
+                      const std::vector<Path>& paths,
+                      const RunnerOptions& options = {});
+
+/// Human-readable report rendering (one PASS/FAIL line per case plus
+/// every note, then a summary line).
+std::string to_text(const SuiteReport& report);
+
+}  // namespace atcd::suite

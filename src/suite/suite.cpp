@@ -1,0 +1,523 @@
+#include "suite/suite.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "at/parser.hpp"
+#include "core/cdat.hpp"
+#include "gen/literature.hpp"
+#include "gen/random_at.hpp"
+#include "util/rng.hpp"
+
+namespace atcd::suite {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits "key = value" (first '='); false when no '=' is present.
+bool split_kv(const std::string& line, std::string* key, std::string* value) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  *key = trim(line.substr(0, eq));
+  *value = trim(line.substr(eq + 1));
+  return !key->empty();
+}
+
+/// Splits on ':' without collapsing empty fields.
+std::vector<std::string> split_colon(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ':') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_model_spec(const std::string& value, ModelSpec* out,
+                      std::string* error) {
+  if (value.rfind("file:", 0) == 0) {
+    out->kind = ModelSpec::Kind::File;
+    out->path = value.substr(5);
+    if (out->path.empty()) {
+      *error = "file: model spec needs a path";
+      return false;
+    }
+    return true;
+  }
+  if (value.rfind("gen:", 0) == 0) {
+    const auto parts = split_colon(value.substr(4));
+    if (parts.size() != 3 || (parts[0] != "tree" && parts[0] != "dag")) {
+      *error = "gen: model spec must be gen:tree:<seed>:<n> or "
+               "gen:dag:<seed>:<n>, got '" + value + "'";
+      return false;
+    }
+    out->kind = ModelSpec::Kind::Gen;
+    out->treelike = parts[0] == "tree";
+    std::uint64_t n = 0;
+    if (!parse_u64(parts[1], &out->seed) || !parse_u64(parts[2], &n) ||
+        n == 0) {
+      *error = "gen: model spec has a bad seed or size in '" + value + "'";
+      return false;
+    }
+    out->size = static_cast<std::size_t>(n);
+    return true;
+  }
+  if (value.rfind("lit:", 0) == 0) {
+    const auto parts = split_colon(value.substr(4));
+    if (parts.size() != 2 || parts[0].empty()) {
+      *error = "lit: model spec must be lit:<block>:<seed>, got '" + value +
+               "'";
+      return false;
+    }
+    out->kind = ModelSpec::Kind::Lit;
+    out->block = parts[0];
+    if (!parse_u64(parts[1], &out->seed)) {
+      *error = "lit: model spec has a bad seed in '" + value + "'";
+      return false;
+    }
+    return true;
+  }
+  *error = "model spec must start with file:, gen: or lit:, got '" + value +
+           "'";
+  return false;
+}
+
+bool parse_front_spec(const std::string& value,
+                      std::vector<std::pair<double, double>>* out,
+                      std::string* error) {
+  out->clear();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i != value.size() && value[i] != ',') continue;
+    const std::string point = trim(value.substr(start, i - start));
+    start = i + 1;
+    if (point.empty()) {
+      *error = "expect_front has an empty point";
+      return false;
+    }
+    const std::size_t colon = point.find(':');
+    double c = 0, d = 0;
+    if (colon == std::string::npos ||
+        !parse_double(trim(point.substr(0, colon)), &c) ||
+        !parse_double(trim(point.substr(colon + 1)), &d)) {
+      *error = "expect_front points are <cost>:<damage>, got '" + point + "'";
+      return false;
+    }
+    out->emplace_back(c, d);
+  }
+  return true;
+}
+
+/// One `key = value` line inside a case body.
+bool apply_field(const std::string& key, const std::string& value, Case* c,
+                 std::string* error) {
+  if (key == "model") return parse_model_spec(value, &c->model, error);
+  if (key == "op") {
+    if (value == "solve") c->op = CaseOp::Solve;
+    else if (value == "sweep") c->op = CaseOp::Sweep;
+    else if (value == "sensitivity") c->op = CaseOp::Sensitivity;
+    else if (value == "portfolio") c->op = CaseOp::Portfolio;
+    else {
+      *error = "unknown op '" + value +
+               "' (solve | sweep | sensitivity | portfolio)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "problem") {
+    const auto p = api::parse_problem(value);
+    if (!p) {
+      *error = "unknown problem '" + value + "'";
+      return false;
+    }
+    c->problem = *p;
+    return true;
+  }
+  if (key == "bound" || key == "budget" || key == "step" ||
+      key == "expect_cost" || key == "expect_damage") {
+    double v = 0;
+    if (!parse_double(value, &v)) {
+      *error = key + " wants a number, got '" + value + "'";
+      return false;
+    }
+    if (key == "bound") c->bound = v;
+    else if (key == "budget") c->budget = v;
+    else if (key == "step") c->step = v;
+    else if (key == "expect_cost") c->expect.cost = v;
+    else c->expect.damage = v;
+    return true;
+  }
+  if (key == "engine") {
+    c->engine = value;
+    return true;
+  }
+  if (key == "axis") {
+    c->axes.push_back(value);
+    return true;
+  }
+  if (key == "defense") {
+    c->defenses.push_back(value);
+    return true;
+  }
+  if (key == "expect_error") {
+    const auto code = api::parse_error_code(value);
+    if (!code || *code == api::ErrorCode::Ok) {
+      *error = "expect_error wants a non-ok api error code name, got '" +
+               value + "'";
+      return false;
+    }
+    c->expect.error = *code;
+    return true;
+  }
+  if (key == "expect_infeasible") {
+    if (value != "true") {
+      *error = "expect_infeasible only takes 'true'";
+      return false;
+    }
+    c->expect.infeasible = true;
+    return true;
+  }
+  if (key == "expect_front") {
+    std::vector<std::pair<double, double>> front;
+    if (!parse_front_spec(value, &front, error)) return false;
+    c->expect.front = std::move(front);
+    return true;
+  }
+  if (key == "expect_hash") {
+    if (value.size() != 16 ||
+        value.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      *error = "expect_hash wants 16 lowercase hex digits, got '" + value +
+               "'";
+      return false;
+    }
+    std::uint64_t h = 0;
+    for (char ch : value)
+      h = (h << 4) | static_cast<std::uint64_t>(
+                         ch <= '9' ? ch - '0' : ch - 'a' + 10);
+    c->expect.hash = h;
+    return true;
+  }
+  *error = "unknown key '" + key + "'";
+  return false;
+}
+
+/// Case-level validation once all fields are in: the case must be
+/// expressible on every execution path (notably the CLI's subcommands).
+bool validate_case(const Case& c, std::string* error) {
+  using engine::Problem;
+  if (c.model.kind == ModelSpec::Kind::File && c.model.path.empty()) {
+    *error = "case '" + c.name + "' has no model";
+    return false;
+  }
+  switch (c.op) {
+    case CaseOp::Solve:
+      if ((c.problem == Problem::Dgc || c.problem == Problem::Edgc ||
+           c.problem == Problem::Cgd || c.problem == Problem::Cged) &&
+          !c.bound) {
+        *error = "case '" + c.name + "': problem " +
+                 engine::to_string(c.problem) + " needs a bound";
+        return false;
+      }
+      break;
+    case CaseOp::Sweep:
+      if (c.axes.empty() || c.axes.size() > 2) {
+        *error = "case '" + c.name + "': sweep wants 1 or 2 axis fields";
+        return false;
+      }
+      break;
+    case CaseOp::Sensitivity:
+      if (c.problem != Problem::Cdpf && c.problem != Problem::Cedpf) {
+        *error = "case '" + c.name +
+                 "': sensitivity supports cdpf or cedpf only";
+        return false;
+      }
+      break;
+    case CaseOp::Portfolio:
+      if (c.problem != Problem::Dgc && c.problem != Problem::Edgc) {
+        *error = "case '" + c.name + "': portfolio supports dgc or edgc only";
+        return false;
+      }
+      if (!c.budget) {
+        *error = "case '" + c.name + "': portfolio needs a budget";
+        return false;
+      }
+      if (c.defenses.empty()) {
+        *error = "case '" + c.name + "': portfolio needs defense fields";
+        return false;
+      }
+      break;
+  }
+  return true;
+}
+
+/// Grows a random model to >= size nodes by repeatedly combining
+/// literature blocks — the Sec. X-D construction, sized per case
+/// instead of per suite sweep.
+AttackTree grow_model(bool treelike, std::size_t size, Rng& rng) {
+  const auto blocks =
+      treelike ? gen::literature_blocks_treelike() : gen::literature_blocks();
+  AttackTree t = blocks[rng.below(blocks.size())].tree;
+  int salt = 0;
+  while (t.node_count() < size) {
+    const AttackTree& other = blocks[rng.below(blocks.size())].tree;
+    gen::CombineMethod method;
+    if (treelike) {
+      method = rng.chance(0.5) ? gen::CombineMethod::LeafSubstitution
+                               : gen::CombineMethod::NewRoot;
+    } else {
+      const auto pick = rng.below(3);
+      method = pick == 0   ? gen::CombineMethod::LeafSubstitution
+               : pick == 1 ? gen::CombineMethod::NewRoot
+                           : gen::CombineMethod::NewRootIdentify;
+    }
+    t = gen::combine(t, other, method, "s" + std::to_string(salt++), rng);
+  }
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(CaseOp op) {
+  switch (op) {
+    case CaseOp::Solve: return "solve";
+    case CaseOp::Sweep: return "sweep";
+    case CaseOp::Sensitivity: return "sensitivity";
+    case CaseOp::Portfolio: return "portfolio";
+  }
+  return "?";
+}
+
+bool parse_suite(const std::string& text, Suite* out, std::string* error) {
+  *out = Suite{};
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  bool in_case = false;
+  Case current;
+  auto fail = [&](const std::string& msg) {
+    *error = "line " + std::to_string(lineno) + ": " + msg;
+    return false;
+  };
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!in_case) {
+      if (line.rfind("suite ", 0) == 0) {
+        if (!out->name.empty()) return fail("duplicate suite declaration");
+        out->name = trim(line.substr(6));
+        if (out->name.empty()) return fail("suite needs a name");
+        continue;
+      }
+      if (line.rfind("case ", 0) == 0) {
+        if (out->name.empty())
+          return fail("the suite must be named before its first case");
+        current = Case{};
+        current.name = trim(line.substr(5));
+        if (current.name.empty()) return fail("case needs a name");
+        for (const Case& c : out->cases)
+          if (c.name == current.name)
+            return fail("duplicate case name '" + current.name + "'");
+        in_case = true;
+        continue;
+      }
+      return fail("expected 'suite <name>', 'case <name>' or a comment, "
+                  "got '" + line + "'");
+    }
+    if (line == "end") {
+      std::string msg;
+      if (!validate_case(current, &msg)) return fail(msg);
+      out->cases.push_back(std::move(current));
+      in_case = false;
+      continue;
+    }
+    std::string key, value;
+    if (!split_kv(line, &key, &value))
+      return fail("expected 'key = value' or 'end' inside case '" +
+                  current.name + "', got '" + line + "'");
+    std::string msg;
+    if (!apply_field(key, value, &current, &msg)) return fail(msg);
+  }
+  if (in_case) {
+    *error = "case '" + current.name + "' is missing its 'end'";
+    return false;
+  }
+  if (out->name.empty()) {
+    *error = "no 'suite <name>' declaration found";
+    return false;
+  }
+  return true;
+}
+
+bool load_suite_file(const std::string& path, Suite* out, std::string* error,
+                     std::string* base_dir) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open suite file '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (base_dir) {
+    const std::size_t slash = path.find_last_of('/');
+    *base_dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  }
+  if (!parse_suite(buffer.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool materialize_model(const ModelSpec& spec, const std::string& base_dir,
+                       std::string* text, std::string* error) {
+  try {
+    switch (spec.kind) {
+      case ModelSpec::Kind::File: {
+        std::string path = spec.path;
+        if (!path.empty() && path[0] != '/' && !base_dir.empty())
+          path = base_dir + "/" + path;
+        std::ifstream file(path);
+        if (!file) {
+          *error = "cannot open model file '" + path + "'";
+          return false;
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        *text = buffer.str();
+        return true;
+      }
+      case ModelSpec::Kind::Gen: {
+        Rng rng(spec.seed * 0x9E3779B97F4A7C15ull + spec.size);
+        const AttackTree t = grow_model(spec.treelike, spec.size, rng);
+        const CdpAt m = randomize_decorations(t, rng);
+        *text = serialize_model(m.tree, m.cost, m.damage, &m.prob);
+        return true;
+      }
+      case ModelSpec::Kind::Lit: {
+        for (const gen::Block& b : gen::literature_blocks()) {
+          if (spec.block != b.name) continue;
+          Rng rng(spec.seed * 0x9E3779B97F4A7C15ull + 17);
+          const CdpAt m = randomize_decorations(b.tree, rng);
+          *text = serialize_model(m.tree, m.cost, m.damage, &m.prob);
+          return true;
+        }
+        *error = "unknown literature block '" + spec.block + "'";
+        return false;
+      }
+    }
+  } catch (const std::exception& e) {
+    *error = std::string("model generation failed: ") + e.what();
+    return false;
+  }
+  *error = "unreachable model spec kind";
+  return false;
+}
+
+api::Request request_of(const Case& c, std::string model_text) {
+  api::Request req;
+  switch (c.op) {
+    case CaseOp::Solve: {
+      api::SolveSpec spec;
+      spec.problem = c.problem;
+      if (c.bound) {
+        spec.bound = *c.bound;
+        spec.has_bound = true;
+      }
+      spec.engine = c.engine;
+      spec.model = std::move(model_text);
+      req.op = api::SolveRequest{std::move(spec)};
+      break;
+    }
+    case CaseOp::Sweep: {
+      api::AnalyzeSweepRequest r;
+      r.problem = c.problem;
+      r.axes = c.axes;
+      if (c.bound) {
+        r.bound = *c.bound;
+        r.has_bound = true;
+      }
+      r.engine = c.engine;
+      r.model = std::move(model_text);
+      req.op = std::move(r);
+      break;
+    }
+    case CaseOp::Sensitivity: {
+      api::AnalyzeSensitivityRequest r;
+      r.problem = c.problem;
+      if (c.step) {
+        r.step = *c.step;
+        r.has_step = true;
+      }
+      r.engine = c.engine;
+      r.model = std::move(model_text);
+      req.op = std::move(r);
+      break;
+    }
+    case CaseOp::Portfolio: {
+      api::AnalyzePortfolioRequest r;
+      r.problem = c.problem;
+      r.defenses = c.defenses;
+      if (c.budget) {
+        r.budget = *c.budget;
+        r.has_budget = true;
+      }
+      if (c.bound) {
+        r.bound = *c.bound;
+        r.has_bound = true;
+      }
+      r.engine = c.engine;
+      r.model = std::move(model_text);
+      req.op = std::move(r);
+      break;
+    }
+  }
+  return req;
+}
+
+std::uint64_t response_hash(const std::string& line) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64
+  for (unsigned char ch : line) {
+    h ^= ch;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace atcd::suite

@@ -1,0 +1,144 @@
+#pragma once
+/// \file suite.hpp
+/// Declarative scenario suites: one file = one named suite of cases,
+/// each case binding a model source, a problem/bound/engine (or one of
+/// the analysis operations) and its expected outcome — in the spirit of
+/// pbflookup's testsets-*.config files, rendered in this repo's
+/// line-oriented idiom.
+///
+/// A suite file looks like:
+///
+///   # comments and blank lines anywhere
+///   suite golden-fixtures
+///
+///   case factory/cdpf
+///   model = file:../tests/golden/factory.atcd
+///   problem = cdpf
+///   expect_front = 1:200,3:100
+///   end
+///
+///   case zoo/n40
+///   model = gen:tree:42:40
+///   problem = dgc
+///   bound = 12
+///   engine = bottom-up
+///   expect_hash = 5f1c2a9e80d14b37
+///   end
+///
+/// Model sources:
+///   file:<path>           model text read from <path>, relative to the
+///                         suite file's directory
+///   gen:tree:<seed>:<n>   seeded random suite model (gen/random_at.hpp),
+///   gen:dag:<seed>:<n>    treelike or DAG, grown to >= n nodes, with
+///                         paper-range random decorations
+///   lit:<block>:<seed>    a literature block (gen/literature.hpp) with
+///                         seeded random decorations
+///
+/// Operations (`op =`, default `solve`): solve, sweep, sensitivity,
+/// portfolio — exactly the api::Request operations the CLI can also
+/// express, so every case replays byte-identically through the direct
+/// dispatcher, atcd_cli --envelope, and the TCP JSON-lines server.
+///
+/// Expectations (all optional, all checked when present):
+///   expect_error = <code>         response must fail with this
+///                                 api::ErrorCode wire name
+///   expect_infeasible = true      single-objective solve is infeasible
+///   expect_cost = <num>           feasible single-objective optimum
+///   expect_damage = <num>
+///   expect_front = c:d[,c:d...]   the full Pareto front, in response
+///                                 order, exact values
+///   expect_hash = <16 hex>        FNV-1a 64 of the canonical response
+///                                 line (suite::response_hash) — pins
+///                                 fronts/tables without spelling them
+///                                 out (print with atcd_suite
+///                                 --print-expect)
+///
+/// Parsing never throws: parse_suite() returns false with a typed,
+/// line-numbered error for malformed input (unknown keys, bad numbers,
+/// fields outside a case, missing `end`, op/problem mismatches, ...).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace atcd::suite {
+
+/// Where a case's model text comes from.
+struct ModelSpec {
+  enum class Kind { File, Gen, Lit };
+  Kind kind = Kind::File;
+  std::string path;          ///< File: path relative to the suite file
+  bool treelike = true;      ///< Gen: Ttree vs TDAG generator
+  std::uint64_t seed = 0;    ///< Gen/Lit: decoration + structure seed
+  std::size_t size = 0;      ///< Gen: grow until node_count >= size
+  std::string block;         ///< Lit: literature block name
+};
+
+/// The operation a case exercises (CLI-expressible subset of api ops).
+enum class CaseOp { Solve, Sweep, Sensitivity, Portfolio };
+
+const char* to_string(CaseOp op);
+
+/// Expected outcome; every present field is checked against the
+/// dispatcher path's decoded response.
+struct Expect {
+  std::optional<api::ErrorCode> error;
+  bool infeasible = false;
+  std::optional<double> cost;
+  std::optional<double> damage;
+  std::optional<std::vector<std::pair<double, double>>> front;
+  std::optional<std::uint64_t> hash;  ///< suite::response_hash pin
+};
+
+struct Case {
+  std::string name;
+  CaseOp op = CaseOp::Solve;
+  engine::Problem problem = engine::Problem::Cdpf;
+  ModelSpec model;
+  std::optional<double> bound;
+  std::optional<double> budget;  ///< Portfolio: defender budget
+  std::optional<double> step;    ///< Sensitivity: relative step
+  std::string engine;            ///< "" = planner's choice
+  std::vector<std::string> axes;      ///< Sweep axis specs
+  std::vector<std::string> defenses;  ///< Portfolio defense specs
+  Expect expect;
+};
+
+struct Suite {
+  std::string name;
+  std::vector<Case> cases;
+};
+
+/// Parses one suite file's text.  Returns false and sets \p error
+/// ("line N: ...") on malformed input; never throws on any input.
+bool parse_suite(const std::string& text, Suite* out, std::string* error);
+
+/// Reads and parses \p path.  The file's directory becomes the base for
+/// file: model specs (returned via \p base_dir when non-null).
+bool load_suite_file(const std::string& path, Suite* out, std::string* error,
+                     std::string* base_dir = nullptr);
+
+/// Produces the case's model text: reads file: sources relative to
+/// \p base_dir, runs the seeded generators for gen:/lit: sources.
+/// Returns false + \p error on unreadable files, unknown blocks, or
+/// generator failures; never throws.
+bool materialize_model(const ModelSpec& spec, const std::string& base_dir,
+                       std::string* text, std::string* error);
+
+/// The typed api request a case denotes, with \p model_text already
+/// materialized.  Request id is left empty so every transport encodes
+/// identical bytes.
+api::Request request_of(const Case& c, std::string model_text);
+
+/// FNV-1a 64 over the canonical response line — the value expect_hash
+/// pins.  The line must be encoded without micros and with an empty id
+/// (what the runner's paths all produce).
+std::uint64_t response_hash(const std::string& canonical_response_line);
+
+/// 16-digit lowercase hex of response_hash(), as written in suite files.
+std::string hash_hex(std::uint64_t hash);
+
+}  // namespace atcd::suite

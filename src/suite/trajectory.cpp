@@ -1,0 +1,262 @@
+#include "suite/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "api/json.hpp"
+
+namespace atcd::suite {
+
+namespace {
+
+using api::json::Value;
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Parses one {"name": ..., metrics...} row object.
+bool row_of(const Value& v, TrajectoryRow* out, std::string* error) {
+  if (v.kind != Value::Kind::Object) {
+    *error = "row is not an object";
+    return false;
+  }
+  out->name.clear();
+  out->metrics.clear();
+  for (const auto& [key, member] : v.members) {
+    if (key == "name") {
+      if (member.kind != Value::Kind::String) {
+        *error = "row name is not a string";
+        return false;
+      }
+      out->name = member.string;
+    } else if (member.kind == Value::Kind::Number) {
+      out->metrics.emplace_back(key, member.number);
+    } else if (member.kind == Value::Kind::Null) {
+      // JsonReport writes non-finite metrics as null; drop them.
+    } else {
+      *error = "row metric '" + key + "' is not a number";
+      return false;
+    }
+  }
+  if (out->name.empty()) {
+    *error = "row has no name";
+    return false;
+  }
+  return true;
+}
+
+bool area_of(const Value& doc, TrajectoryArea* out, std::string* error) {
+  const Value* bench = doc.find("bench");
+  const Value* rows = doc.find("rows");
+  if (doc.kind != Value::Kind::Object || !bench ||
+      bench->kind != Value::Kind::String || !rows ||
+      rows->kind != Value::Kind::Array) {
+    *error = "expected {\"bench\": <name>, \"rows\": [...]}";
+    return false;
+  }
+  out->bench = bench->string;
+  out->rows.clear();
+  for (const Value& r : rows->items) {
+    TrajectoryRow row;
+    if (!row_of(r, &row, error)) {
+      *error = "bench '" + out->bench + "': " + *error;
+      return false;
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace
+
+const double* TrajectoryRow::find(const std::string& key) const {
+  for (const auto& [k, v] : metrics)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const TrajectoryRow* TrajectoryArea::find(const std::string& row_name) const {
+  for (const TrajectoryRow& r : rows)
+    if (r.name == row_name) return &r;
+  return nullptr;
+}
+
+const TrajectoryArea* Trajectory::find(const std::string& bench) const {
+  for (const TrajectoryArea& a : areas)
+    if (a.bench == bench) return &a;
+  return nullptr;
+}
+
+bool parse_bench_report(const std::string& json_text, TrajectoryArea* out,
+                        std::string* error) {
+  Value doc;
+  if (!api::json::parse(json_text, &doc, error)) return false;
+  return area_of(doc, out, error);
+}
+
+bool merge_trajectory(std::vector<TrajectoryArea> areas, Trajectory* out,
+                      std::string* error) {
+  std::sort(areas.begin(), areas.end(),
+            [](const TrajectoryArea& a, const TrajectoryArea& b) {
+              return a.bench < b.bench;
+            });
+  for (std::size_t i = 1; i < areas.size(); ++i) {
+    if (areas[i].bench == areas[i - 1].bench) {
+      *error = "duplicate bench area '" + areas[i].bench + "'";
+      return false;
+    }
+  }
+  out->version = 1;
+  out->areas = std::move(areas);
+  return true;
+}
+
+std::string dump_trajectory(const Trajectory& t) {
+  std::ostringstream out;
+  out << "{\n  \"trajectory_version\": " << t.version << ",\n  \"areas\": [";
+  for (std::size_t a = 0; a < t.areas.size(); ++a) {
+    const TrajectoryArea& area = t.areas[a];
+    out << (a ? ",\n" : "\n") << "    {\"bench\": "
+        << api::json::dump_string(area.bench) << ", \"rows\": [";
+    for (std::size_t r = 0; r < area.rows.size(); ++r) {
+      const TrajectoryRow& row = area.rows[r];
+      out << (r ? ",\n" : "\n") << "      {\"name\": "
+          << api::json::dump_string(row.name);
+      for (const auto& [k, v] : row.metrics)
+        out << ", " << api::json::dump_string(k) << ": "
+            << api::json::dump_number(v);
+      out << "}";
+    }
+    out << (area.rows.empty() ? "]}" : "\n    ]}");
+  }
+  out << (t.areas.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+bool parse_trajectory(const std::string& json_text, Trajectory* out,
+                      std::string* error) {
+  Value doc;
+  if (!api::json::parse(json_text, &doc, error)) return false;
+  const Value* version = doc.find("trajectory_version");
+  const Value* areas = doc.find("areas");
+  if (doc.kind != Value::Kind::Object || !version ||
+      version->kind != Value::Kind::Number || !areas ||
+      areas->kind != Value::Kind::Array) {
+    *error = "expected {\"trajectory_version\": 1, \"areas\": [...]}";
+    return false;
+  }
+  if (version->number != 1) {
+    *error = "unsupported trajectory version " +
+             api::json::dump_number(version->number);
+    return false;
+  }
+  out->version = 1;
+  out->areas.clear();
+  for (const Value& a : areas->items) {
+    TrajectoryArea area;
+    if (!area_of(a, &area, error)) return false;
+    out->areas.push_back(std::move(area));
+  }
+  return true;
+}
+
+MetricKind classify_metric(const std::string& key) {
+  if (contains(key, "speedup") || contains(key, "rps") ||
+      contains(key, "req_s") || contains(key, "per_sec"))
+    return MetricKind::HigherBetter;
+  if (key == "overhead" || key == "pipe_over_socket")
+    return MetricKind::LowerBetter;
+  if (ends_with(key, "_us") || ends_with(key, "_ms") ||
+      ends_with(key, "_s") || contains(key, "micros"))
+    return MetricKind::LowerBetter;
+  return MetricKind::Informational;
+}
+
+bool is_ratio_metric(const std::string& key) {
+  return contains(key, "speedup") || key == "overhead" ||
+         key == "pipe_over_socket";
+}
+
+std::vector<Regression> compare_trajectories(const Trajectory& baseline,
+                                             const Trajectory& current,
+                                             const CompareOptions& options) {
+  std::vector<Regression> out;
+  for (const TrajectoryArea& area : baseline.areas) {
+    const TrajectoryArea* cur_area = current.find(area.bench);
+    if (!cur_area) {
+      out.push_back({area.bench, "*", "*", 0.0,
+                     std::numeric_limits<double>::quiet_NaN(), 1.0});
+      continue;
+    }
+    for (const TrajectoryRow& row : area.rows) {
+      const TrajectoryRow* cur_row = cur_area->find(row.name);
+      if (!cur_row) continue;  // rows come and go with bench defaults
+      // A speedup computed over sub-noise-floor timings is itself
+      // noise: a scheduling hiccup flips micro-measured ratios run to
+      // run.  When the row reports its own p50 and both sides sit
+      // below the floor, its ratio metrics are not gated.
+      const double* base_p50 = row.find("p50_us");
+      const double* cur_p50 = cur_row->find("p50_us");
+      const bool row_in_noise = base_p50 && cur_p50 &&
+                                *base_p50 < options.floor_us &&
+                                *cur_p50 < options.floor_us;
+      for (const auto& [key, before] : row.metrics) {
+        const MetricKind kind = classify_metric(key);
+        if (kind == MetricKind::Informational) continue;
+        if (options.gate == GateMode::Ratios && !is_ratio_metric(key))
+          continue;
+        if (row_in_noise && is_ratio_metric(key)) continue;
+        const double* after = cur_row->find(key);
+        if (!after || !std::isfinite(before) || !std::isfinite(*after))
+          continue;
+        double change = 0.0;
+        if (kind == MetricKind::LowerBetter) {
+          // `overhead` hovers around 0 and can be negative; compare the
+          // 1+x cost factor instead of the raw value.
+          const double b = key == "overhead" ? 1.0 + before : before;
+          const double a = key == "overhead" ? 1.0 + *after : *after;
+          if (ends_with(key, "_us") && before < options.floor_us &&
+              *after < options.floor_us)
+            continue;  // sub-noise-floor latencies
+          if (b <= 0.0) continue;
+          change = a / b - 1.0;
+        } else {
+          if (*after <= 0.0) {
+            change = 1.0;  // a throughput collapsing to zero regressed
+          } else {
+            change = before / *after - 1.0;
+          }
+        }
+        if (change > options.threshold)
+          out.push_back({area.bench, row.name, key, before, *after, change});
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_text(const std::vector<Regression>& regressions) {
+  std::ostringstream out;
+  for (const Regression& r : regressions) {
+    if (std::isnan(r.after)) {
+      out << r.area << ": bench area missing from the new trajectory\n";
+      continue;
+    }
+    out << r.area << "/" << r.row << " " << r.metric << ": "
+        << api::json::dump_number(r.before) << " -> "
+        << api::json::dump_number(r.after) << " ("
+        << api::json::dump_number(r.relative_change * 100.0)
+        << "% worse)\n";
+  }
+  return out.str();
+}
+
+}  // namespace atcd::suite

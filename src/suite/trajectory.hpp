@@ -1,0 +1,103 @@
+#pragma once
+/// \file trajectory.hpp
+/// The perf trajectory: every bench area's BENCH_<area>.json report
+/// (bench::JsonReport format — one flat metrics object per named row)
+/// merged into one versioned BENCH_trajectory.json, plus the
+/// per-metric regression comparison against a previous trajectory.
+///
+/// Comparison semantics: metrics are matched by (area, row, key) and
+/// classified by key —
+///
+///   * lower-is-better:  *_us / *_s / *_ms / *micros* (latencies,
+///     wall times) and `overhead`, `pipe_over_socket` (cost ratios)
+///   * higher-is-better: *speedup* / *rps* / *req_s* / *per_sec*
+///     (throughput, wins)
+///   * informational:    everything else (counts, sizes, flags) —
+///     carried in the trajectory, never gated
+///
+/// A regression is a classified metric moving the wrong way by more
+/// than the threshold (relative).  Absolute times vary wildly across
+/// machines, so GateMode::Ratios (the CI default) gates only the
+/// dimensionless metrics — speedups, overheads, transport ratios —
+/// which are portable; GateMode::All additionally gates the absolute
+/// ones for same-machine comparisons.  Tiny latencies below the noise
+/// floor are never gated.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atcd::suite {
+
+/// One bench report row: insertion-ordered named metrics.
+struct TrajectoryRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+  const double* find(const std::string& key) const;
+};
+
+/// One bench area (one BENCH_<area>.json file).
+struct TrajectoryArea {
+  std::string bench;
+  std::vector<TrajectoryRow> rows;
+  const TrajectoryRow* find(const std::string& row_name) const;
+};
+
+struct Trajectory {
+  int version = 1;
+  std::vector<TrajectoryArea> areas;  ///< sorted by bench name
+  const TrajectoryArea* find(const std::string& bench) const;
+};
+
+/// Parses one BENCH_<area>.json report (bench::JsonReport output).
+/// Non-finite metrics ("null" on the wire) are dropped from the row.
+bool parse_bench_report(const std::string& json_text, TrajectoryArea* out,
+                        std::string* error);
+
+/// Merges areas into a trajectory (areas sorted by name; duplicate
+/// bench names rejected).
+bool merge_trajectory(std::vector<TrajectoryArea> areas, Trajectory* out,
+                      std::string* error);
+
+/// Canonical JSON rendering of a trajectory / its inverse.
+std::string dump_trajectory(const Trajectory& t);
+bool parse_trajectory(const std::string& json_text, Trajectory* out,
+                      std::string* error);
+
+/// How a metric key is compared.
+enum class MetricKind { LowerBetter, HigherBetter, Informational };
+MetricKind classify_metric(const std::string& key);
+/// True for the machine-portable dimensionless metrics (speedups,
+/// overheads, transport ratios) that GateMode::Ratios gates.
+bool is_ratio_metric(const std::string& key);
+
+enum class GateMode { Ratios, All };
+
+struct CompareOptions {
+  double threshold = 0.5;  ///< relative; 0.5 = 50% worse fails
+  /// Noise floor: latency metrics with both sides below it are never
+  /// gated, and a row whose own p50_us sits below it on both sides has
+  /// its ratio metrics skipped too (a speedup measured over
+  /// microsecond timings flips with any scheduling hiccup).
+  double floor_us = 50.0;
+  GateMode gate = GateMode::Ratios;
+};
+
+struct Regression {
+  std::string area, row, metric;
+  double before = 0.0, after = 0.0;
+  double relative_change = 0.0;  ///< worsening fraction (always > 0)
+};
+
+/// Metrics present in \p baseline but gone from \p current (area or row
+/// dropped) are reported as coverage regressions with after = NaN.
+std::vector<Regression> compare_trajectories(const Trajectory& baseline,
+                                             const Trajectory& current,
+                                             const CompareOptions& options);
+
+/// One line per regression, e.g.
+/// "net_throughput/socket|mixed rps: 27719 -> 12000 (-56.7%)".
+std::string to_text(const std::vector<Regression>& regressions);
+
+}  // namespace atcd::suite

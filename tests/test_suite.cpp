@@ -1,0 +1,592 @@
+/// Tests for the scenario-suite subsystem (src/suite/) and its two
+/// observability companions:
+///
+///   * suite-file parsing — a malformed-input table asserting typed,
+///     line-numbered errors (parse never crashes on any input), plus
+///     full-fidelity parsing of a kitchen-sink suite
+///   * model materialization — golden files, seeded generators
+///     (deterministic per seed), literature blocks, typed failures
+///   * the cross-transport drift detector — a deliberately corrupting
+///     Path injected next to the dispatcher path must fail the case
+///     with its name and a first-difference diff
+///   * expectation checking — wrong expect_cost / expect_hash /
+///     expect_front pins fail with the offending value in the note
+///   * every checked-in suites/*.suite file parses and replays cleanly
+///     through the in-process dispatcher path
+///   * Chrome trace-event export — the emitted JSON validates against
+///     the trace-event schema (traceEvents array of "ph" events with
+///     name/ts/dur/pid/tid, metadata process_name first)
+///   * the perf trajectory — BENCH report parsing, merge rules,
+///     dump/parse round-trip, metric classification, and regression
+///     comparison (ratio gating, noise floor, coverage loss)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "suite/trajectory.hpp"
+
+namespace atcd {
+namespace {
+
+using namespace atcd::suite;
+
+const std::string kSuitesDir = std::string(ATCD_TESTS_DIR) + "/../suites";
+const std::string kGoldenDir = std::string(ATCD_TESTS_DIR) + "/golden";
+
+// ---------------------------------------------------------------------------
+// Suite-file parsing
+
+TEST(SuiteParse, KitchenSink) {
+  const std::string text =
+      "# header comment\n"
+      "suite everything\n"
+      "\n"
+      "case solve/basic\n"
+      "model = file:models/a.atcd\n"
+      "problem = dgc\n"
+      "bound = 7.5\n"
+      "engine = bilp\n"
+      "expect_cost = 3\n"
+      "expect_damage = 12\n"
+      "expect_hash = 00ff00ff00ff00ff\n"
+      "end\n"
+      "\n"
+      "case gen/tree\n"
+      "model = gen:tree:42:40\n"
+      "problem = cdpf\n"
+      "expect_front = 0:0,1:200,3:210\n"
+      "end\n"
+      "\n"
+      "case lit/block\n"
+      "model = lit:kumar_fig1:9\n"
+      "problem = cedpf\n"
+      "expect_infeasible = true\n"
+      "end\n"
+      "\n"
+      "case analysis/sweep\n"
+      "model = gen:dag:1:20\n"
+      "op = sweep\n"
+      "problem = cdpf\n"
+      "axis = cost:a:1:5:5\n"
+      "axis = damage:b:1:4:2\n"
+      "end\n"
+      "\n"
+      "case analysis/portfolio\n"
+      "model = file:m.atcd\n"
+      "op = portfolio\n"
+      "problem = dgc\n"
+      "bound = 3\n"
+      "budget = 20\n"
+      "defense = cams:10:x\n"
+      "expect_error = invalid_argument\n"
+      "end\n";
+  Suite s;
+  std::string error;
+  ASSERT_TRUE(parse_suite(text, &s, &error)) << error;
+  EXPECT_EQ(s.name, "everything");
+  ASSERT_EQ(s.cases.size(), 5u);
+
+  const Case& solve = s.cases[0];
+  EXPECT_EQ(solve.name, "solve/basic");
+  EXPECT_EQ(solve.op, CaseOp::Solve);
+  EXPECT_EQ(solve.problem, engine::Problem::Dgc);
+  EXPECT_EQ(solve.model.kind, ModelSpec::Kind::File);
+  EXPECT_EQ(solve.model.path, "models/a.atcd");
+  ASSERT_TRUE(solve.bound);
+  EXPECT_DOUBLE_EQ(*solve.bound, 7.5);
+  EXPECT_EQ(solve.engine, "bilp");
+  ASSERT_TRUE(solve.expect.cost);
+  EXPECT_DOUBLE_EQ(*solve.expect.cost, 3.0);
+  ASSERT_TRUE(solve.expect.hash);
+  EXPECT_EQ(hash_hex(*solve.expect.hash), "00ff00ff00ff00ff");
+
+  const Case& gen = s.cases[1];
+  EXPECT_EQ(gen.model.kind, ModelSpec::Kind::Gen);
+  EXPECT_TRUE(gen.model.treelike);
+  EXPECT_EQ(gen.model.seed, 42u);
+  EXPECT_EQ(gen.model.size, 40u);
+  ASSERT_TRUE(gen.expect.front);
+  ASSERT_EQ(gen.expect.front->size(), 3u);
+  EXPECT_DOUBLE_EQ((*gen.expect.front)[1].first, 1.0);
+  EXPECT_DOUBLE_EQ((*gen.expect.front)[1].second, 200.0);
+
+  const Case& lit = s.cases[2];
+  EXPECT_EQ(lit.model.kind, ModelSpec::Kind::Lit);
+  EXPECT_EQ(lit.model.block, "kumar_fig1");
+  EXPECT_TRUE(lit.expect.infeasible);
+
+  const Case& sweep = s.cases[3];
+  EXPECT_EQ(sweep.op, CaseOp::Sweep);
+  EXPECT_FALSE(sweep.model.treelike);
+  ASSERT_EQ(sweep.axes.size(), 2u);
+  EXPECT_EQ(sweep.axes[0], "cost:a:1:5:5");
+
+  const Case& port = s.cases[4];
+  EXPECT_EQ(port.op, CaseOp::Portfolio);
+  ASSERT_TRUE(port.budget);
+  ASSERT_EQ(port.defenses.size(), 1u);
+  ASSERT_TRUE(port.expect.error);
+  EXPECT_EQ(*port.expect.error, api::ErrorCode::InvalidArgument);
+}
+
+struct BadInput {
+  const char* text;
+  const char* needle;  ///< must appear in the error message
+};
+
+TEST(SuiteParse, MalformedInputsGetTypedErrors) {
+  const BadInput kBad[] = {
+      {"", "suite"},
+      {"case x\nend\n", "suite"},
+      {"suite s\ncase a\nmodel = file:m\nproblem = cdpf\n", "end"},
+      {"suite s\nmodel = file:m\n", "expected"},
+      {"suite s\ncase a\nbogus_key = 1\nend\n", "bogus_key"},
+      {"suite s\ncase a\nmodel = telepathy:m\nend\n", "model"},
+      {"suite s\ncase a\nmodel = gen:tree:nope:40\nend\n", "gen:"},
+      {"suite s\ncase a\nmodel = file:m\nproblem = frisbee\nend\n",
+       "unknown problem"},
+      {"suite s\ncase a\nmodel = file:m\nbound = elephants\nend\n", "number"},
+      {"suite s\ncase a\nmodel = file:m\nop = levitate\nend\n", "op"},
+      {"suite s\ncase a\nmodel = file:m\nexpect_error = not_a_code\nend\n",
+       "error code"},
+      {"suite s\ncase a\nmodel = file:m\nexpect_hash = xyz\nend\n", "hash"},
+      {"suite s\ncase a\nmodel = file:m\nexpect_front = 1-2\nend\n", "front"},
+      // validation failures: inexpressible cases are parse errors too
+      {"suite s\ncase a\nmodel = file:m\nproblem = dgc\nend\n", "bound"},
+      {"suite s\ncase a\nmodel = file:m\nop = sweep\nproblem = cdpf\nend\n",
+       "axis"},
+      {"suite s\ncase a\nmodel = file:m\nop = portfolio\nproblem = dgc\n"
+       "budget = 5\nend\n",
+       "defense"},
+      {"suite s\ncase a\nmodel = file:m\nop = sensitivity\nproblem = dgc\n"
+       "bound = 2\nend\n",
+       "sensitivity"},
+  };
+  for (const BadInput& b : kBad) {
+    Suite s;
+    std::string error;
+    EXPECT_FALSE(parse_suite(b.text, &s, &error)) << b.text;
+    EXPECT_NE(error.find(b.needle), std::string::npos)
+        << "error for <" << b.text << "> was: " << error;
+  }
+}
+
+TEST(SuiteParse, ErrorsAreLineNumbered) {
+  Suite s;
+  std::string error;
+  ASSERT_FALSE(parse_suite("suite s\n\ncase a\nwat = 1\nend\n", &s, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+}
+
+TEST(SuiteParse, NeverCrashesOnGarbage) {
+  // Byte soup, truncation, and structural abuse: parse must return
+  // false (or true) but never throw or crash.
+  const char* kGarbage[] = {
+      "\x01\x02\xff\xfe",
+      "suite",
+      "suite s\ncase\nend",
+      "suite s\ncase a\nmodel =\nend\n",
+      "suite s\ncase a\nmodel file:m\nend\n",
+      "= = =\n",
+      "suite s\ncase a\ncase b\nend\n",
+      "end\nend\nend\n",
+  };
+  for (const char* g : kGarbage) {
+    Suite s;
+    std::string error;
+    (void)parse_suite(g, &s, &error);
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Model materialization
+
+TEST(SuiteModel, GoldenFileReads) {
+  ModelSpec spec;
+  spec.kind = ModelSpec::Kind::File;
+  spec.path = "factory.atcd";
+  std::string text, error;
+  ASSERT_TRUE(materialize_model(spec, kGoldenDir, &text, &error)) << error;
+  EXPECT_NE(text.find("root ps"), std::string::npos);
+}
+
+TEST(SuiteModel, MissingFileIsTypedError) {
+  ModelSpec spec;
+  spec.kind = ModelSpec::Kind::File;
+  spec.path = "no_such_model.atcd";
+  std::string text, error;
+  EXPECT_FALSE(materialize_model(spec, kGoldenDir, &text, &error));
+  EXPECT_NE(error.find("no_such_model.atcd"), std::string::npos) << error;
+}
+
+TEST(SuiteModel, GeneratorIsDeterministicPerSeed) {
+  ModelSpec spec;
+  spec.kind = ModelSpec::Kind::Gen;
+  spec.treelike = true;
+  spec.seed = 7;
+  spec.size = 40;
+  std::string a, b, error;
+  ASSERT_TRUE(materialize_model(spec, ".", &a, &error)) << error;
+  ASSERT_TRUE(materialize_model(spec, ".", &b, &error)) << error;
+  EXPECT_EQ(a, b);  // suites replay: same seed must mean same model
+  spec.seed = 8;
+  std::string c;
+  ASSERT_TRUE(materialize_model(spec, ".", &c, &error)) << error;
+  EXPECT_NE(a, c);
+}
+
+TEST(SuiteModel, UnknownLiteratureBlockIsTypedError) {
+  ModelSpec spec;
+  spec.kind = ModelSpec::Kind::Lit;
+  spec.block = "escher_fig1";
+  spec.seed = 1;
+  std::string text, error;
+  EXPECT_FALSE(materialize_model(spec, ".", &text, &error));
+  EXPECT_NE(error.find("escher_fig1"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection and expectation checking
+
+Suite one_case_suite() {
+  Suite s;
+  std::string error;
+  const std::string text =
+      "suite drift\n"
+      "case factory/cdpf\n"
+      "model = file:factory.atcd\n"
+      "problem = cdpf\n"
+      "end\n";
+  EXPECT_TRUE(parse_suite(text, &s, &error)) << error;
+  return s;
+}
+
+TEST(SuiteRunner, InjectedDriftFailsWithNameAndDiff) {
+  const Suite s = one_case_suite();
+  // A path that byte-corrupts the dispatcher's response: replace the
+  // first '2' it finds (factory optima are all 2xx damages).
+  Path corrupt = dispatcher_path();
+  auto inner = corrupt.run;
+  corrupt.name = "corrupted";
+  corrupt.run = [inner](const Case& c, const api::Request& r,
+                        const std::string& m) {
+    PathOutcome out = inner(c, r, m);
+    const std::size_t pos = out.response.find('2');
+    if (pos != std::string::npos) out.response[pos] = '3';
+    return out;
+  };
+  const SuiteReport report =
+      run_suite(s, kGoldenDir, {dispatcher_path(), corrupt});
+  EXPECT_EQ(report.failures, 1u);
+  ASSERT_EQ(report.cases.size(), 1u);
+  EXPECT_FALSE(report.cases[0].ok);
+  EXPECT_EQ(report.cases[0].name, "factory/cdpf");
+  const std::string text = to_text(report);
+  EXPECT_NE(text.find("factory/cdpf"), std::string::npos) << text;
+  EXPECT_NE(text.find("DRIFT"), std::string::npos) << text;
+  EXPECT_NE(text.find("first difference at byte"), std::string::npos) << text;
+}
+
+TEST(SuiteRunner, IdenticalPathsPass) {
+  const Suite s = one_case_suite();
+  const SuiteReport report =
+      run_suite(s, kGoldenDir, {dispatcher_path(), dispatcher_path()});
+  EXPECT_EQ(report.failures, 0u) << to_text(report);
+}
+
+TEST(SuiteRunner, WrongExpectationsFail) {
+  Suite s;
+  std::string error;
+  ASSERT_TRUE(parse_suite("suite bad-pins\n"
+                          "case factory/wrong-cost\n"
+                          "model = file:factory.atcd\n"
+                          "problem = dgc\n"
+                          "bound = 4\n"
+                          "expect_cost = 99\n"
+                          "end\n"
+                          "case factory/wrong-hash\n"
+                          "model = file:factory.atcd\n"
+                          "problem = cdpf\n"
+                          "expect_hash = deadbeefdeadbeef\n"
+                          "end\n",
+                          &s, &error))
+      << error;
+  const SuiteReport report = run_suite(s, kGoldenDir, {dispatcher_path()});
+  EXPECT_EQ(report.failures, 2u) << to_text(report);
+  const std::string text = to_text(report);
+  EXPECT_NE(text.find("expect_cost"), std::string::npos) << text;
+  EXPECT_NE(text.find("deadbeefdeadbeef"), std::string::npos) << text;
+}
+
+TEST(SuiteRunner, CheckedInSuitesReplayCleanly) {
+  // Every suites/*.suite file in the repo parses and passes through the
+  // in-process dispatcher path (expectations + hash pins).  The CLI and
+  // server paths are exercised by atcd_suite itself (CI nightly).
+  const char* kSuites[] = {"golden.suite", "zoo.suite", "analysis.suite"};
+  for (const char* name : kSuites) {
+    Suite s;
+    std::string error, base_dir;
+    ASSERT_TRUE(
+        load_suite_file(kSuitesDir + "/" + name, &s, &error, &base_dir))
+        << name << ": " << error;
+    EXPECT_FALSE(s.cases.empty()) << name;
+    const SuiteReport report = run_suite(s, base_dir, {dispatcher_path()});
+    EXPECT_EQ(report.failures, 0u) << name << ":\n" << to_text(report);
+  }
+}
+
+TEST(SuiteHash, StableAndHexRoundTrips) {
+  const std::uint64_t h = response_hash("{\"v\":1,\"code\":\"ok\"}");
+  EXPECT_EQ(h, response_hash("{\"v\":1,\"code\":\"ok\"}"));
+  EXPECT_NE(h, response_hash("{\"v\":1,\"code\":\"ok\" }"));
+  EXPECT_EQ(hash_hex(h).size(), 16u);
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(hash_hex(response_hash("")), "cbf29ce484222325");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+
+TEST(TraceExport, ValidatesAgainstChromeTraceEventSchema) {
+  obs::Trace trace;
+  {
+    obs::TraceActivation active(&trace);
+    obs::SpanScope outer("dispatch");
+    { obs::SpanScope inner("solve.bottom_up"); }
+    trace.fact("memo_hits", 42);
+  }
+  const std::string json = obs::chrome_trace_json(trace, "unit");
+
+  api::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(api::json::parse(json, &doc, &error)) << error << "\n" << json;
+  ASSERT_EQ(doc.kind, api::json::Value::Kind::Object);
+  const api::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, api::json::Value::Kind::Array);
+  // Metadata event + one X event per span.
+  ASSERT_EQ(events->items.size(), 3u);
+
+  const api::json::Value& meta = events->items[0];
+  ASSERT_NE(meta.find("ph"), nullptr);
+  EXPECT_EQ(meta.find("ph")->string, "M");
+  EXPECT_EQ(meta.find("name")->string, "process_name");
+
+  bool saw_outer = false, saw_inner = false;
+  for (std::size_t i = 1; i < events->items.size(); ++i) {
+    const api::json::Value& ev = events->items[i];
+    // The trace-event schema: every complete event carries these.
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid", "cat"})
+      ASSERT_NE(ev.find(key), nullptr) << key;
+    EXPECT_EQ(ev.find("ph")->string, "X");
+    EXPECT_EQ(ev.find("pid")->number, 1.0);
+    EXPECT_EQ(ev.find("tid")->number, 1.0);
+    EXPECT_GE(ev.find("dur")->number, 0.0);
+    if (ev.find("name")->string == "dispatch") {
+      saw_outer = true;
+      // Facts ride as args on the outermost span.
+      const api::json::Value* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("memo_hits"), nullptr);
+      EXPECT_EQ(args->find("memo_hits")->number, 42.0);
+    }
+    if (ev.find("name")->string == "solve.bottom_up") saw_inner = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(TraceExport, NeutralSpansAndEscaping) {
+  std::vector<obs::ExportSpan> spans;
+  spans.push_back({"quote\"back\\slash", 0, 0, 10});
+  const std::string json = obs::chrome_trace_json(spans, {}, "l\"bl");
+  api::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(api::json::parse(json, &doc, &error)) << error << "\n" << json;
+  const api::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 2u);
+  EXPECT_EQ(events->items[1].find("name")->string, "quote\"back\\slash");
+}
+
+// ---------------------------------------------------------------------------
+// Perf trajectory
+
+const char* kBenchA =
+    "{\"bench\": \"alpha\", \"rows\": ["
+    "{\"name\": \"r1\", \"p50_us\": 100, \"speedup\": 2.0, \"rows\": 7},"
+    "{\"name\": \"r2\", \"p50_us\": 5, \"overhead\": 0.02, \"nan_metric\": "
+    "null}]}";
+const char* kBenchB =
+    "{\"bench\": \"beta\", \"rows\": ["
+    "{\"name\": \"r1\", \"rps\": 1000, \"pipe_over_socket\": 2.5}]}";
+
+TEST(Trajectory, ParseBenchReport) {
+  TrajectoryArea area;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(kBenchA, &area, &error)) << error;
+  EXPECT_EQ(area.bench, "alpha");
+  ASSERT_EQ(area.rows.size(), 2u);
+  const TrajectoryRow* r1 = area.find("r1");
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r1->find("p50_us"), nullptr);
+  EXPECT_DOUBLE_EQ(*r1->find("p50_us"), 100.0);
+  // null (non-finite) metrics are dropped, not zeroed
+  const TrajectoryRow* r2 = area.find("r2");
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->find("nan_metric"), nullptr);
+
+  EXPECT_FALSE(parse_bench_report("{\"rows\": []}", &area, &error));
+  EXPECT_FALSE(parse_bench_report("not json", &area, &error));
+}
+
+Trajectory make_trajectory() {
+  TrajectoryArea a, b;
+  std::string error;
+  EXPECT_TRUE(parse_bench_report(kBenchA, &a, &error)) << error;
+  EXPECT_TRUE(parse_bench_report(kBenchB, &b, &error)) << error;
+  Trajectory t;
+  EXPECT_TRUE(merge_trajectory({b, a}, &t, &error)) << error;  // unsorted in
+  return t;
+}
+
+TEST(Trajectory, MergeSortsAndRejectsDuplicates) {
+  const Trajectory t = make_trajectory();
+  ASSERT_EQ(t.areas.size(), 2u);
+  EXPECT_EQ(t.areas[0].bench, "alpha");  // sorted on merge
+  EXPECT_EQ(t.areas[1].bench, "beta");
+
+  TrajectoryArea a;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(kBenchA, &a, &error));
+  Trajectory dup;
+  EXPECT_FALSE(merge_trajectory({a, a}, &dup, &error));
+  EXPECT_NE(error.find("alpha"), std::string::npos) << error;
+}
+
+TEST(Trajectory, DumpParseRoundTrip) {
+  const Trajectory t = make_trajectory();
+  const std::string json = dump_trajectory(t);
+  EXPECT_NE(json.find("\"trajectory_version\""), std::string::npos);
+  Trajectory back;
+  std::string error;
+  ASSERT_TRUE(parse_trajectory(json, &back, &error)) << error;
+  EXPECT_EQ(dump_trajectory(back), json);  // byte-stable round trip
+  ASSERT_EQ(back.areas.size(), 2u);
+  const TrajectoryArea* alpha = back.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_DOUBLE_EQ(*alpha->find("r1")->find("speedup"), 2.0);
+}
+
+TEST(Trajectory, ClassifyMetric) {
+  EXPECT_EQ(classify_metric("p99_us"), MetricKind::LowerBetter);
+  EXPECT_EQ(classify_metric("total_s"), MetricKind::LowerBetter);
+  EXPECT_EQ(classify_metric("overhead"), MetricKind::LowerBetter);
+  EXPECT_EQ(classify_metric("pipe_over_socket"), MetricKind::LowerBetter);
+  EXPECT_EQ(classify_metric("speedup"), MetricKind::HigherBetter);
+  EXPECT_EQ(classify_metric("rps"), MetricKind::HigherBetter);
+  EXPECT_EQ(classify_metric("req_s_on"), MetricKind::HigherBetter);
+  EXPECT_EQ(classify_metric("rows"), MetricKind::Informational);
+  EXPECT_EQ(classify_metric("bas_count"), MetricKind::Informational);
+
+  EXPECT_TRUE(is_ratio_metric("speedup"));
+  EXPECT_TRUE(is_ratio_metric("overhead"));
+  EXPECT_TRUE(is_ratio_metric("pipe_over_socket"));
+  EXPECT_FALSE(is_ratio_metric("p50_us"));
+  EXPECT_FALSE(is_ratio_metric("rps"));
+}
+
+Trajectory with_metric(const std::string& bench, const std::string& row,
+                       const std::string& key, double value) {
+  Trajectory t = make_trajectory();
+  for (TrajectoryArea& a : t.areas)
+    if (a.bench == bench)
+      for (TrajectoryRow& r : a.rows)
+        if (r.name == row)
+          for (auto& kv : r.metrics)
+            if (kv.first == key) kv.second = value;
+  return t;
+}
+
+TEST(Trajectory, CompareGatesRatiosAndSkipsNoise) {
+  const Trajectory base = make_trajectory();
+  CompareOptions opt;  // Ratios mode, threshold 0.5
+
+  // No change: no regressions.
+  EXPECT_TRUE(compare_trajectories(base, base, opt).empty());
+
+  // speedup 2.0 -> 0.5 on a gated ratio metric: worsening is measured
+  // as before/after - 1 (how many times worse), here 3x.
+  auto regs =
+      compare_trajectories(base, with_metric("alpha", "r1", "speedup", 0.5),
+                           opt);
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs[0].area, "alpha");
+  EXPECT_EQ(regs[0].row, "r1");
+  EXPECT_EQ(regs[0].metric, "speedup");
+  EXPECT_NEAR(regs[0].relative_change, 3.0, 1e-9);
+  EXPECT_NE(to_text(regs).find("alpha"), std::string::npos);
+
+  // p50_us 100 -> 10000: absolute latencies are NOT gated in Ratios
+  // mode (machine-dependent), but ARE in All mode.
+  const Trajectory slow = with_metric("alpha", "r1", "p50_us", 10000.0);
+  EXPECT_TRUE(compare_trajectories(base, slow, opt).empty());
+  CompareOptions all = opt;
+  all.gate = GateMode::All;
+  EXPECT_EQ(compare_trajectories(base, slow, all).size(), 1u);
+
+  // r2's p50_us is 5us — below the 50us noise floor, never gated even
+  // in All mode and even when it grows 5x.
+  const Trajectory noisy = with_metric("alpha", "r2", "p50_us", 25.0);
+  EXPECT_TRUE(compare_trajectories(base, noisy, all).empty());
+
+  // Improvements never regress: overhead shrinking is fine.
+  const Trajectory better =
+      with_metric("alpha", "r2", "overhead", 0.001);
+  EXPECT_TRUE(compare_trajectories(base, better, opt).empty());
+}
+
+TEST(Trajectory, SubFloorRowsDontGateTheirRatios) {
+  // A row whose own p50_us is below the noise floor on both sides is a
+  // micro-measurement: its speedup flipping is noise, not a regression.
+  const char* micro =
+      "{\"bench\": \"micro\", \"rows\": ["
+      "{\"name\": \"tiny\", \"p50_us\": 17, \"speedup\": 2.5},"
+      "{\"name\": \"big\", \"p50_us\": 5000, \"speedup\": 2.5}]}";
+  TrajectoryArea area;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(micro, &area, &error)) << error;
+  Trajectory base;
+  ASSERT_TRUE(merge_trajectory({area}, &base, &error)) << error;
+
+  Trajectory cur = base;
+  for (TrajectoryRow& r : cur.areas[0].rows)
+    for (auto& kv : r.metrics)
+      if (kv.first == "speedup") kv.second = 0.4;  // collapse both
+
+  const auto regs = compare_trajectories(base, cur, CompareOptions{});
+  ASSERT_EQ(regs.size(), 1u) << to_text(regs);
+  EXPECT_EQ(regs[0].row, "big");  // only the above-floor row gates
+}
+
+TEST(Trajectory, MissingAreaIsCoverageRegression) {
+  const Trajectory base = make_trajectory();
+  Trajectory current = base;
+  current.areas.erase(current.areas.begin());  // drop "alpha"
+  const auto regs = compare_trajectories(base, current, CompareOptions{});
+  ASSERT_FALSE(regs.empty());
+  EXPECT_EQ(regs[0].area, "alpha");
+  EXPECT_TRUE(std::isnan(regs[0].after));
+}
+
+}  // namespace
+}  // namespace atcd

@@ -1,9 +1,11 @@
 /// atcd_suite — runs declarative scenario suites (src/suite/) through
-/// three independent execution paths and byte-compares the responses:
+/// four independent execution paths and byte-compares the responses:
 ///
 ///   dispatcher — in-process api::Dispatcher (the reference path)
 ///   cli        — spawns atcd_cli <model> <subcmd> --envelope per case
 ///   server     — in-process TCP JSON-lines net::Server + net::Client
+///   router     — two net::Server workers behind a shard-by-hash
+///                net::Router; requests via net::Client to the router
 ///
 /// Every case's expectations (expected optima, pinned front, canonical
 /// response hash) are checked on the reference path; any other path
@@ -14,12 +16,13 @@
 ///
 /// Usage:
 ///   atcd_suite <suite-file>... [--cli <path>] [--no-cli] [--no-server]
-///              [--print-expect]
+///              [--no-router] [--print-expect]
 ///
 ///   --cli <path>     the atcd_cli binary for the CLI path (default:
 ///                    "./atcd_cli", i.e. run from the build directory)
 ///   --no-cli         skip the CLI path (e.g. cross-compiled runners)
 ///   --no-server      skip the TCP server path
+///   --no-router      skip the 2-shard router path
 ///   --print-expect   print each case's canonical response hash
 ///                    (`expect_hash = <hex>`) instead of checking
 ///                    expectations — the suite-authoring aid
@@ -41,7 +44,7 @@ using namespace atcd;
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string cli_binary = "./atcd_cli";
-  bool use_cli = true, use_server = true;
+  bool use_cli = true, use_server = true, use_router = true;
   suite::RunnerOptions ropt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cli") == 0 && i + 1 < argc)
@@ -50,12 +53,15 @@ int main(int argc, char** argv) {
       use_cli = false;
     else if (std::strcmp(argv[i], "--no-server") == 0)
       use_server = false;
+    else if (std::strcmp(argv[i], "--no-router") == 0)
+      use_router = false;
     else if (std::strcmp(argv[i], "--print-expect") == 0)
       ropt.print_expect = true;
     else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: atcd_suite <suite-file>... [--cli <path>] "
-                   "[--no-cli] [--no-server] [--print-expect]\n");
+                   "[--no-cli] [--no-server] [--no-router] "
+                   "[--print-expect]\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     } else {
       files.push_back(argv[i]);
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   paths.push_back(suite::dispatcher_path());
   if (use_cli) paths.push_back(suite::cli_path(cli_binary));
   if (use_server) paths.push_back(suite::server_path());
+  if (use_router) paths.push_back(suite::router_path());
 
   bool all_ok = true;
   for (const std::string& file : files) {

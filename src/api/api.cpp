@@ -15,6 +15,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::Capacity: return "capacity";
     case ErrorCode::SolverFailure: return "solver_failure";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::PersistError: return "persist_error";
   }
   return "internal";
 }
@@ -25,7 +26,8 @@ std::optional<ErrorCode> parse_error_code(const std::string& name) {
         ErrorCode::UnsupportedVersion, ErrorCode::UnknownOperation,
         ErrorCode::InvalidArgument, ErrorCode::ParseError,
         ErrorCode::ModelError, ErrorCode::NoSuchSession, ErrorCode::Capacity,
-        ErrorCode::SolverFailure, ErrorCode::Internal})
+        ErrorCode::SolverFailure, ErrorCode::Internal,
+        ErrorCode::PersistError})
     if (name == to_string(c)) return c;
   return std::nullopt;
 }
@@ -46,6 +48,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::Capacity:
     case ErrorCode::SolverFailure:
     case ErrorCode::Internal:
+    case ErrorCode::PersistError:
       return 4;
   }
   return 4;
@@ -90,6 +93,12 @@ struct OpNameVisitor {
   const char* operator()(const StatsRequest&) const { return "stats"; }
   const char* operator()(const MetricsRequest&) const { return "metrics"; }
   const char* operator()(const ShutdownRequest&) const { return "quit"; }
+  const char* operator()(const SnapshotSaveRequest&) const {
+    return "snapshot-save";
+  }
+  const char* operator()(const SnapshotLoadRequest&) const {
+    return "snapshot-load";
+  }
 };
 
 }  // namespace

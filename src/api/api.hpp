@@ -68,6 +68,8 @@ enum class ErrorCode {
   SolverFailure,       ///< the backend ran and failed (unsupported class,
                        ///< numeric failure, infeasibility where required)
   Internal,            ///< unexpected exception; a bug, not a client error
+  PersistError,        ///< a cache snapshot could not be saved or loaded
+                       ///< (missing/corrupt/foreign file, write failure)
 };
 
 /// Stable wire string of a code ("ok", "parse_error", ...).
@@ -184,12 +186,29 @@ struct MetricsRequest {};
 /// shutdown payload instead of going silent.
 struct ShutdownRequest {};
 
+/// Writes a snapshot of the serving caches to \c path (src/persist/):
+/// versioned, checksummed, atomically renamed into place.  Pairs with
+/// SnapshotLoadRequest for warm restarts.
+struct SnapshotSaveRequest {
+  std::string path;
+};
+
+/// Loads a snapshot from \c path into the running caches through their
+/// normal insert paths (budgets enforced, LRU order preserved).  A file
+/// that is missing, truncated, corrupt, or written by an incompatible
+/// format fails with ErrorCode::PersistError and leaves the caches
+/// untouched.
+struct SnapshotLoadRequest {
+  std::string path;
+};
+
 using Operation =
     std::variant<SolveRequest, BatchRequest, SessionOpenRequest,
                  SessionEditRequest, SessionResolveRequest,
                  SessionCloseRequest, AnalyzeSweepRequest,
                  AnalyzeSensitivityRequest, AnalyzePortfolioRequest,
-                 StatsRequest, MetricsRequest, ShutdownRequest>;
+                 StatsRequest, MetricsRequest, ShutdownRequest,
+                 SnapshotSaveRequest, SnapshotLoadRequest>;
 
 /// Stable wire name of an operation ("solve", "batch", "open", ...).
 const char* op_name(const Operation& op);
@@ -289,12 +308,23 @@ struct LatencySummary {
   double p99 = 0.0;
 };
 
+/// Snapshot save/load counters (src/persist/), carried on the stats
+/// payload so warm-restart health is visible without a metrics scrape.
+struct PersistCounters {
+  std::uint64_t saves = 0;           ///< successful snapshot saves
+  std::uint64_t loads = 0;           ///< successful snapshot loads
+  std::uint64_t save_errors = 0;     ///< failed saves (io/encode)
+  std::uint64_t load_errors = 0;     ///< failed loads (typed LoadStatus)
+  std::uint64_t snapshot_bytes = 0;  ///< size of the last image written/read
+};
+
 struct StatsPayload {
   service::ResultCache::Stats cache;
   service::SubtreeCache::Stats subtree;
   std::size_t sessions = 0;
   DispatchCounters api;
   LatencySummary latency;  ///< atcd_api_request_micros digest
+  PersistCounters persist;
 };
 
 /// The `metrics` op's result: the registry pre-rendered in both
@@ -311,11 +341,20 @@ struct ShutdownPayload {
   std::uint64_t handled = 0;
 };
 
+/// Result of a snapshot save or load.
+struct SnapshotPayload {
+  std::string action;  ///< "save" | "load"
+  std::string path;    ///< the file the snapshot was written to / read from
+  std::uint64_t result_entries = 0;   ///< ResultCache entries in the image
+  std::uint64_t subtree_entries = 0;  ///< SubtreeCache entries in the image
+  std::uint64_t file_bytes = 0;       ///< encoded image size
+};
+
 using Payload =
     std::variant<std::monostate, SolvePayload, BatchPayload,
                  SessionOpenedPayload, EditAppliedPayload,
                  SessionClosedPayload, AnalysisPayload, StatsPayload,
-                 MetricsPayload, ShutdownPayload>;
+                 MetricsPayload, ShutdownPayload, SnapshotPayload>;
 
 /// One recorded phase span (obs::Trace::Span, codec-friendly form).
 /// Spans are listed in open (pre-)order; depth reconstructs the nesting.

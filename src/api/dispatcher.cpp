@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -17,6 +18,7 @@
 #include "engine/registry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "persist/snapshot.hpp"
 #include "service/timing.hpp"
 
 namespace atcd::api {
@@ -110,7 +112,8 @@ namespace {
 /// names; must stay aligned with the variant (op_name() agrees).
 constexpr const char* kOpNames[] = {
     "solve",  "batch",       "open",      "edit",  "resolve", "close",
-    "sweep",  "sensitivity", "portfolio", "stats", "metrics", "quit"};
+    "sweep",  "sensitivity", "portfolio", "stats", "metrics", "quit",
+    "snapshot-save", "snapshot-load"};
 static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) ==
                   std::variant_size_v<Operation>,
               "kOpNames must cover every Operation alternative");
@@ -161,6 +164,10 @@ void Dispatcher::init_instruments() {
   session_closes_ = &metrics_->counter("atcd_api_session_closes_total");
   analyses_ = &metrics_->counter("atcd_api_analyses_total");
   errors_ = &metrics_->counter("atcd_api_errors_total");
+  persist_saves_ = &metrics_->counter("atcd_persist_saves_total");
+  persist_loads_ = &metrics_->counter("atcd_persist_loads_total");
+  persist_save_errors_ = &metrics_->counter("atcd_persist_save_errors_total");
+  persist_load_errors_ = &metrics_->counter("atcd_persist_load_errors_total");
   request_micros_ = &metrics_->histogram("atcd_api_request_micros");
   for (std::size_t i = 0; i < op_micros_.size(); ++i)
     op_micros_[i] = &metrics_->histogram(
@@ -179,6 +186,23 @@ void Dispatcher::refresh_gauges() const {
       .set(static_cast<double>(sc.bytes));
   metrics_->gauge("atcd_sessions_active")
       .set(static_cast<double>(sessions_->size()));
+  // Warm-restart health: size of the last snapshot image touched and
+  // its age.  Both stay 0 until a save or load happens.
+  const std::uint64_t snap_bytes =
+      last_snapshot_bytes_.load(std::memory_order_relaxed);
+  const std::uint64_t snap_unix =
+      last_snapshot_unix_.load(std::memory_order_relaxed);
+  metrics_->gauge("atcd_persist_snapshot_bytes")
+      .set(static_cast<double>(snap_bytes));
+  double age = 0.0;
+  if (snap_unix != 0) {
+    const auto now = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    age = std::max(0.0, static_cast<double>(now) -
+                            static_cast<double>(snap_unix));
+  }
+  metrics_->gauge("atcd_persist_snapshot_age_seconds").set(age);
 }
 
 MetricsPayload Dispatcher::metrics_payload() const {
@@ -214,6 +238,12 @@ StatsPayload Dispatcher::stats() const {
   s.latency.p50 = request_micros_->percentile(0.50);
   s.latency.p95 = request_micros_->percentile(0.95);
   s.latency.p99 = request_micros_->percentile(0.99);
+  s.persist.saves = persist_saves_->value();
+  s.persist.loads = persist_loads_->value();
+  s.persist.save_errors = persist_save_errors_->value();
+  s.persist.load_errors = persist_load_errors_->value();
+  s.persist.snapshot_bytes =
+      last_snapshot_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -482,6 +512,49 @@ struct OperationHandler {
   Payload operator()(const ShutdownRequest&) {
     // The serving loop fills in its per-connection handled count.
     return ShutdownPayload{0};
+  }
+
+  /// Stamps the "last snapshot touched" gauges after a save or load.
+  void note_snapshot(const persist::SnapshotInfo& info) {
+    d.last_snapshot_bytes_.store(static_cast<std::uint64_t>(info.bytes),
+                                 std::memory_order_relaxed);
+    const auto now = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    d.last_snapshot_unix_.store(static_cast<std::uint64_t>(now),
+                                std::memory_order_relaxed);
+  }
+
+  Payload operator()(const SnapshotSaveRequest& r) {
+    persist::SnapshotInfo info;
+    std::string err;
+    if (!persist::save_snapshot(r.path, d.service_->cache(),
+                                d.service_->subtree_cache(), &info, &err)) {
+      d.persist_save_errors_->add(1);
+      raise(ErrorCode::PersistError, std::move(err));
+    }
+    d.persist_saves_->add(1);
+    note_snapshot(info);
+    return SnapshotPayload{"save", r.path, info.result_entries,
+                           info.subtree_entries, info.bytes};
+  }
+
+  Payload operator()(const SnapshotLoadRequest& r) {
+    persist::SnapshotInfo info;
+    std::string err;
+    const persist::LoadStatus status = persist::load_snapshot(
+        r.path, &d.service_->cache(), &d.service_->subtree_cache(), &info,
+        &err);
+    if (status != persist::LoadStatus::Ok) {
+      d.persist_load_errors_->add(1);
+      std::string message = persist::to_string(status);
+      if (!err.empty()) message += ": " + err;
+      raise(ErrorCode::PersistError, std::move(message));
+    }
+    d.persist_loads_->add(1);
+    note_snapshot(info);
+    return SnapshotPayload{"load", r.path, info.result_entries,
+                           info.subtree_entries, info.bytes};
   }
 };
 

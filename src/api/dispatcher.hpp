@@ -150,6 +150,16 @@ class Dispatcher {
   obs::Counter* session_closes_ = nullptr;
   obs::Counter* analyses_ = nullptr;
   obs::Counter* errors_ = nullptr;
+  obs::Counter* persist_saves_ = nullptr;
+  obs::Counter* persist_loads_ = nullptr;
+  obs::Counter* persist_save_errors_ = nullptr;
+  obs::Counter* persist_load_errors_ = nullptr;
+  /// Last snapshot image touched (saved or loaded) by this dispatcher:
+  /// size in bytes and wall-clock seconds, for the atcd_persist_*
+  /// gauges.  Kept out of the snapshot image itself so save → load →
+  /// save stays byte-identical.
+  std::atomic<std::uint64_t> last_snapshot_bytes_{0};
+  std::atomic<std::uint64_t> last_snapshot_unix_{0};
   obs::Histogram* request_micros_ = nullptr;  ///< all ops
   /// Per-op latency, indexed by the Operation variant alternative.
   std::array<obs::Histogram*, std::variant_size_v<Operation>> op_micros_{};

@@ -480,6 +480,8 @@ struct RequestEncoder {
   void operator()(const StatsRequest&) {}
   void operator()(const MetricsRequest&) {}
   void operator()(const ShutdownRequest&) {}
+  void operator()(const SnapshotSaveRequest& r) { o.str("path", r.path); }
+  void operator()(const SnapshotLoadRequest& r) { o.str("path", r.path); }
 };
 
 // ---------------------------------------------------------------------------
@@ -789,10 +791,23 @@ FieldError decode_operation(const std::string& op, Fields& f,
     *out = ShutdownRequest{};
     return {};
   }
+  if (op == "snapshot-save") {
+    SnapshotSaveRequest r;
+    if (FieldError e = require_string(f, "path", &r.path); !e.ok()) return e;
+    *out = std::move(r);
+    return {};
+  }
+  if (op == "snapshot-load") {
+    SnapshotLoadRequest r;
+    if (FieldError e = require_string(f, "path", &r.path); !e.ok()) return e;
+    *out = std::move(r);
+    return {};
+  }
   return {ErrorCode::UnknownOperation,
           "unknown op '" + op +
               "' (expected solve, batch, open, edit, resolve, close, sweep, "
-              "sensitivity, portfolio, stats, metrics, or quit)"};
+              "sensitivity, portfolio, stats, metrics, snapshot-save, "
+              "snapshot-load, or quit)"};
 }
 
 // ---------------------------------------------------------------------------
@@ -838,6 +853,16 @@ std::string counter_obj(const Stats& c) {
   o.uint("collisions", c.collisions);
   o.uint("entries", c.entries);
   o.uint("bytes", c.bytes);
+  return o.close();
+}
+
+std::string counter_obj(const PersistCounters& c) {
+  Obj o;
+  o.uint("saves", c.saves);
+  o.uint("loads", c.loads);
+  o.uint("save_errors", c.save_errors);
+  o.uint("load_errors", c.load_errors);
+  o.uint("snapshot_bytes", c.snapshot_bytes);
   return o.close();
 }
 
@@ -906,6 +931,7 @@ struct PayloadEncoder {
     o.raw("subtree", counter_obj(p.subtree));
     o.uint("sessions", p.sessions);
     o.raw("api", counter_obj(p.api));
+    o.raw("persist", counter_obj(p.persist));
     // Wall-clock data, gated like the envelope's micros field: stats
     // responses stay byte-deterministic when timing echo is off.
     if (with_timing) {
@@ -928,6 +954,14 @@ struct PayloadEncoder {
   void operator()(const ShutdownPayload& p) {
     o.str("kind", "shutdown");
     o.uint("handled", p.handled);
+  }
+  void operator()(const SnapshotPayload& p) {
+    o.str("kind", "snapshot");
+    o.str("action", p.action);
+    o.str("path", p.path);
+    o.uint("result_entries", p.result_entries);
+    o.uint("subtree_entries", p.subtree_entries);
+    o.uint("file_bytes", p.file_bytes);
   }
 };
 
@@ -1289,6 +1323,14 @@ Decoded<Response> decode_response(const std::string& text) {
     std::uint64_t sessions = 0;
     if (read_uint(doc, "sessions", &sessions)) p.sessions = sessions;
     decode_api_counters(doc, &p.api);
+    if (const Value* per = doc.find("persist");
+        per && per->kind == Value::Kind::Object) {
+      read_uint(*per, "saves", &p.persist.saves);
+      read_uint(*per, "loads", &p.persist.loads);
+      read_uint(*per, "save_errors", &p.persist.save_errors);
+      read_uint(*per, "load_errors", &p.persist.load_errors);
+      read_uint(*per, "snapshot_bytes", &p.persist.snapshot_bytes);
+    }
     if (const Value* lat = doc.find("latency");
         lat && lat->kind == Value::Kind::Object) {
       read_uint(*lat, "count", &p.latency.count);
@@ -1312,6 +1354,15 @@ Decoded<Response> decode_response(const std::string& text) {
     ShutdownPayload p;
     read_uint(doc, "handled", &p.handled);
     out.value.payload = p;
+  } else if (kind == "snapshot") {
+    SnapshotPayload p;
+    if (!read_string(doc, "action", &p.action))
+      return fail("missing \"action\"");
+    read_string(doc, "path", &p.path);
+    read_uint(doc, "result_entries", &p.result_entries);
+    read_uint(doc, "subtree_entries", &p.subtree_entries);
+    read_uint(doc, "file_bytes", &p.file_bytes);
+    out.value.payload = std::move(p);
   } else {
     return fail("unknown kind '" + kind + "'");
   }

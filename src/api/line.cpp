@@ -467,6 +467,12 @@ std::string format_stats_block(const StatsPayload& s) {
       << "latency_p50=" << num(s.latency.p50) << '\n'
       << "latency_p95=" << num(s.latency.p95) << '\n'
       << "latency_p99=" << num(s.latency.p99) << '\n'
+      // Persist counters after latency, same append-only discipline.
+      << "persist_saves=" << s.persist.saves << '\n'
+      << "persist_loads=" << s.persist.loads << '\n'
+      << "persist_save_errors=" << s.persist.save_errors << '\n'
+      << "persist_load_errors=" << s.persist.load_errors << '\n'
+      << "persist_snapshot_bytes=" << s.persist.snapshot_bytes << '\n'
       << "done\n";
   return out.str();
 }
@@ -531,6 +537,16 @@ struct LineFormatter {
     out << "ok=true\nkind=shutdown\nhandled=" << p.handled << "\ndone\n";
     return out.str();
   }
+  std::string operator()(const SnapshotPayload& p) const {
+    // Not reachable over the line protocol (it has no snapshot
+    // command); rendered for programmatic callers, like batch above.
+    std::ostringstream out;
+    out << "ok=true\nkind=snapshot\naction=" << p.action
+        << "\nresult_entries=" << p.result_entries
+        << "\nsubtree_entries=" << p.subtree_entries
+        << "\nfile_bytes=" << p.file_bytes << "\ndone\n";
+    return out.str();
+  }
 };
 
 template <typename Counters>
@@ -564,7 +580,12 @@ std::string format_stats_json_line(const StatsPayload& s) {
       << "},\"latency\":{\"count\":" << s.latency.count
       << ",\"sum_micros\":" << s.latency.sum_micros << ",\"p50\":"
       << num(s.latency.p50) << ",\"p95\":" << num(s.latency.p95)
-      << ",\"p99\":" << num(s.latency.p99) << "}}\ndone\n";
+      << ",\"p99\":" << num(s.latency.p99) << "},\"persist\":{\"saves\":"
+      << s.persist.saves << ",\"loads\":" << s.persist.loads
+      << ",\"save_errors\":" << s.persist.save_errors
+      << ",\"load_errors\":" << s.persist.load_errors
+      << ",\"snapshot_bytes\":" << s.persist.snapshot_bytes
+      << "}}\ndone\n";
   return out.str();
 }
 

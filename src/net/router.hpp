@@ -1,0 +1,180 @@
+#pragma once
+/// \file router.hpp
+/// net::Router — a shard-by-canonical-hash front door over K workers.
+///
+/// The router listens like net::Server (one accept loop, one thread per
+/// connection, self-pipe drain) but owns no solver: every request is
+/// forwarded over net::Client to one of K JSON-lines workers, chosen by
+/// the request's *canonical* model hash (service::model_fingerprint).
+/// The hash is invariant under node renaming and child reordering, so
+/// isomorphic resubmissions of one model — the result cache's whole
+/// reason to exist — always land on the same warm shard, and a fleet of
+/// K workers behaves like one cache K times the size.
+///
+/// Routing rules:
+///   * solve / open / analyze: canonical hash of the request's model,
+///     modulo K.  A model that fails to parse hashes by raw bytes — any
+///     shard produces the identical typed error, the choice just has to
+///     be deterministic.
+///   * batch: routed whole by its first item's model (items share one
+///     response, so they cannot be split without reassembly).
+///   * edit / resolve / close: pinned to the shard that opened the
+///     session.  The router speaks its own session-id space (sequential
+///     from 1, exactly like a single dispatcher) and translates ids on
+///     both legs, so clients cannot observe K id generators colliding;
+///     an unknown id is answered locally with the dispatcher's exact
+///     no_such_session error.
+///   * stats / metrics: fanned out to every shard and merged — counters
+///     and sums add, latency percentiles take the worst shard.
+///   * quit: answered locally with the structured shutdown response
+///     (it ends the *client's* connection, not the fleet).
+///
+/// Forwarding is lockstep per connection (one in-flight request per
+/// downstream connection), so a fast client is backpressured by its
+/// slowest shard exactly as the serve-loop queue bound backpressures a
+/// single server.  Responses relay as decoded+re-encoded canonical
+/// envelopes; since both codecs are canonical, a routed response is
+/// byte-identical to the worker's (and, cache disposition aside, to an
+/// in-process dispatcher's — suites/golden.suite pins this).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/api.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace atcd::net {
+
+/// One worker address.
+struct ShardAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  /// The worker fleet; at least one.
+  std::vector<ShardAddress> shards;
+  /// Open-connection cap; further clients get a typed capacity
+  /// rejection (same contract as net::Server).
+  std::size_t max_conns = 64;
+  int backlog = 64;
+  /// Longest accepted input line (same cap + typed error as the serve
+  /// loop).
+  std::size_t max_line_bytes = 1u << 20;  // 1 MiB
+  /// Echo per-response wall micros on locally synthesized responses.
+  bool timing = false;
+};
+
+/// Deterministic shard choice for a model: the canonical
+/// (isomorphism-invariant) fingerprint when the model parses, a raw
+/// byte hash otherwise.  Exposed for tests and for the suite's router
+/// path.
+std::uint64_t routing_hash(engine::Problem problem, const std::string& model);
+
+class Router {
+ public:
+  /// \p metrics is the instrument home (atcd_router_*); null = a
+  /// private registry.
+  explicit Router(RouterOptions options, obs::Registry* metrics = nullptr);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds, listens, and starts the accept loop.  Fails when no shards
+  /// are configured or the listen socket cannot be bound.
+  bool start(std::string* error);
+
+  /// The bound port (after start(); resolves ephemeral binds).
+  std::uint16_t port() const { return port_; }
+
+  /// Number of configured worker shards.
+  std::size_t shard_count() const { return options_.shards.size(); }
+
+  /// Graceful drain, exactly net::Server's contract: stop accepting,
+  /// EOF every connection's read side, finish in-flight requests.
+  void request_drain();
+
+  /// Blocks until the drain completes.
+  void wait();
+
+  /// Routes SIGTERM/SIGINT to request_drain() of this router.
+  void install_signal_handlers();
+
+  /// Requests forwarded to shards over the router's lifetime.
+  std::uint64_t forwarded() const { return forwarded_.load(); }
+
+  /// Solve/resolve/analyze requests handled across closed connections.
+  std::uint64_t handled() const { return handled_.load(); }
+
+ private:
+  /// Where a router session lives: the shard and the worker's own id.
+  struct SessionRoute {
+    std::size_t shard = 0;
+    std::uint64_t worker_session = 0;
+  };
+
+  /// Per-connection forwarding state: one lazy net::Client per shard
+  /// (lockstep request/response, so one in-flight request per shard
+  /// per connection).
+  struct Connection;
+
+  void accept_loop();
+  void connection_main(std::uint64_t id, Fd fd);
+  void reject(Fd fd);
+  void reap_finished();
+
+  /// Forwards \p request to \p shard and decodes the worker's reply.
+  /// Transport or decode failures come back as typed Internal errors.
+  api::Response forward(Connection& conn, std::size_t shard,
+                        const api::Request& request);
+  /// Full routing switch (everything except quit, which the connection
+  /// loop answers locally).
+  api::Response route(Connection& conn, api::Request request);
+  api::Response merged_stats(Connection& conn, const api::Request& request);
+  api::Response merged_metrics(Connection& conn,
+                               const api::Request& request);
+
+  RouterOptions options_;
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+
+  Fd listen_fd_;
+  Fd pipe_rd_, pipe_wr_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> handled_{0};
+
+  /// Router-global session table: ids are sequential from 1 (the same
+  /// id discipline as a single dispatcher's SessionManager).
+  std::mutex sessions_mu_;
+  std::unordered_map<std::uint64_t, SessionRoute> sessions_;
+  std::uint64_t next_session_ = 0;
+
+  mutable std::mutex conns_mu_;
+  std::map<std::uint64_t, int> conn_fds_;
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_;
+  std::uint64_t next_conn_id_ = 0;
+
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* forwards_ = nullptr;
+  obs::Counter* shard_errors_ = nullptr;
+};
+
+}  // namespace atcd::net

@@ -1,0 +1,112 @@
+#pragma once
+/// \file snapshot.hpp
+/// Versioned, checksummed binary snapshots of the serving caches —
+/// warm restarts for the result cache and the Merkle subtree cache
+/// (ROADMAP item 2).
+///
+/// Format.  A snapshot is `magic + version + section table`:
+///
+///   bytes 0..8    magic "ATCDSNAP"
+///   bytes 8..12   u32 format version (kFormatVersion; forward-
+///                 incompatible versions are rejected as BadVersion)
+///   bytes 12..16  u32 section count
+///   per section:  u32 tag, u64 payload size, u32 CRC-32 of the
+///                 payload, payload bytes
+///
+/// Two sections are written: the ResultCache ('RC\0\1') and the
+/// SubtreeCache ('SC\0\1').  Models are serialized as at/parser.hpp
+/// text (printed at 17 significant digits, so every double round-trips
+/// bit-exactly), fronts ride in one FrontSoaStore image per section,
+/// and witnesses are raw DynBitset words.  Entries are listed shard by
+/// shard, least-recently-used first, so a load that replays them
+/// through the caches' normal insert paths reproduces the LRU order —
+/// and an over-budget load into a smaller cache evicts exactly the
+/// least recent entries.  Byte/entry bookkeeping is never serialized:
+/// the receiving cache recomputes it, so a snapshot can never talk a
+/// cache out of its budgets and the two sections can never double-count
+/// each other's bytes.
+///
+/// Integrity.  decode_snapshot() is all-or-nothing: the whole image is
+/// decoded into staging storage (every model reparsed, every canonical
+/// hash recomputed and verified) before either cache is touched, so a
+/// truncated, bit-flipped, or version-bumped file loads as a typed
+/// LoadStatus and leaves the caches exactly as they were.  save is
+/// atomic: write to `<path>.tmp`, fsync-free rename over `<path>`.
+///
+/// The byte layout uses native (little-endian) integer and IEEE-754
+/// encodings; snapshots are a warm-restart/fleet-handoff format for
+/// like machines, not an archival interchange format.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/cache.hpp"
+#include "service/subtree_cache.hpp"
+
+namespace atcd::persist {
+
+/// Snapshot format version this build writes and accepts.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Magic prefix of every snapshot file.
+inline constexpr char kMagic[8] = {'A', 'T', 'C', 'D', 'S', 'N', 'A', 'P'};
+
+/// Typed outcome of a snapshot load.  Everything except Ok leaves the
+/// target caches untouched.
+enum class LoadStatus {
+  Ok = 0,
+  IoError,           ///< file missing or unreadable
+  BadMagic,          ///< not a snapshot file
+  BadVersion,        ///< written by an incompatible (newer) format
+  Truncated,         ///< shorter than its own section table claims
+  ChecksumMismatch,  ///< a section's CRC-32 does not match its bytes
+  Corrupt,           ///< CRC passed but the payload does not decode
+};
+
+/// Stable wire name of a load status ("ok", "bad_version", ...).
+const char* to_string(LoadStatus status);
+
+/// What a save wrote / a load restored.
+struct SnapshotInfo {
+  std::size_t result_entries = 0;   ///< ResultCache entries in the image
+  std::size_t subtree_entries = 0;  ///< SubtreeCache entries in the image
+  std::size_t bytes = 0;            ///< encoded image size
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte range; \p seed chains
+/// incremental updates (pass the previous return value).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Serializes both caches into a snapshot image.
+std::string encode_snapshot(const service::ResultCache& results,
+                            const service::SubtreeCache& subtrees,
+                            SnapshotInfo* info = nullptr);
+
+/// Decodes an image and replays its entries into the given caches
+/// through their normal insert paths (budget-enforced, MRU-ordered).
+/// All-or-nothing: any status other than Ok leaves both caches
+/// untouched.  Either cache pointer may be null to skip its section.
+/// \p error (optional) receives a human-readable diagnostic.
+LoadStatus decode_snapshot(const std::string& bytes,
+                           service::ResultCache* results,
+                           service::SubtreeCache* subtrees,
+                           SnapshotInfo* info = nullptr,
+                           std::string* error = nullptr);
+
+/// encode_snapshot() to `<path>.tmp`, then atomic rename over \p path.
+/// Returns false (with \p error set) when the file cannot be written.
+bool save_snapshot(const std::string& path,
+                   const service::ResultCache& results,
+                   const service::SubtreeCache& subtrees,
+                   SnapshotInfo* info = nullptr, std::string* error = nullptr);
+
+/// Reads \p path and decode_snapshot()s it into the caches.
+LoadStatus load_snapshot(const std::string& path,
+                         service::ResultCache* results,
+                         service::SubtreeCache* subtrees,
+                         SnapshotInfo* info = nullptr,
+                         std::string* error = nullptr);
+
+}  // namespace atcd::persist

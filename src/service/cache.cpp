@@ -263,6 +263,16 @@ void ResultCache::store(const engine::Instance& in,
   insert(*key, std::move(det), std::move(prob), result);
 }
 
+std::vector<ResultCache::ExportedEntry> ResultCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      out.push_back({it->key, it->det, it->prob, it->result});
+  }
+  return out;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   Stats s;
   s.hits = hits_->value();

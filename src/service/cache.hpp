@@ -135,6 +135,23 @@ class ResultCache final : public engine::SolveCache {
   /// workloads.
   std::size_t shard_index(const CacheKey& key) const;
 
+  /// One resident entry in snapshot form (src/persist/): the key, the
+  /// retained model (exactly one of det/prob), and the cached result.
+  /// Byte bookkeeping is not exported — insert() recomputes it.
+  struct ExportedEntry {
+    CacheKey key;
+    std::shared_ptr<const CdAt> det;
+    std::shared_ptr<const CdpAt> prob;
+    std::shared_ptr<const engine::SolveResult> result;
+  };
+
+  /// Every resident entry, shard by shard, least-recently-used first
+  /// within each shard — replaying the list through insert() into an
+  /// empty cache reproduces both the contents and the LRU recency
+  /// order (so a snapshot round-trips byte-identically), and into a
+  /// smaller cache evicts exactly the least recent entries.
+  std::vector<ExportedEntry> export_entries() const;
+
  private:
   /// Model and result are shared immutable so lookups can release the
   /// shard lock before the isomorphism deep check and witness remap.

@@ -437,6 +437,25 @@ void SubtreeCache::evict_to_budget(Shard& shard) {
   }
 }
 
+std::vector<SubtreeCache::ExportedEntry> SubtreeCache::export_entries()
+    const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      out.push_back({it->key.hash, it->key.budget, it->sig, it->front});
+  }
+  return out;
+}
+
+void SubtreeCache::restore_entry(std::uint64_t hash, double budget,
+                                 const std::string& sig,
+                                 std::vector<AttrTriple> front) {
+  // Same budget normalization as SubtreeBinding: -0.0 keys as 0.0.
+  Key key{hash, double_bits(budget) == double_bits(0.0) ? 0.0 : budget};
+  put(key, sig, std::move(front));
+}
+
 SubtreeCache::Stats SubtreeCache::stats() const {
   Stats s;
   s.hits = hits_->value();

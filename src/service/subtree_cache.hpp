@@ -134,6 +134,28 @@ class SubtreeCache final : public engine::SubtreeMemo {
 
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// One resident entry in snapshot form (src/persist/): the key
+  /// components, the full canonical signature, and the local-space
+  /// front.  Byte bookkeeping is not exported — restore recomputes it.
+  struct ExportedEntry {
+    std::uint64_t hash = 0;
+    double budget = 0.0;
+    std::shared_ptr<const std::string> sig;
+    std::shared_ptr<const std::vector<AttrTriple>> front;
+  };
+
+  /// Every resident entry, shard by shard, least-recently-used first
+  /// within each shard — replaying the list through restore_entry()
+  /// into an empty cache reproduces contents and recency order, and
+  /// into a smaller cache evicts exactly the least recent entries.
+  std::vector<ExportedEntry> export_entries() const;
+
+  /// Re-inserts one exported entry through the normal put() path: the
+  /// entry lands at MRU of its shard, budgets are enforced (over-budget
+  /// loads evict in LRU order), and bytes are recomputed from scratch.
+  void restore_entry(std::uint64_t hash, double budget,
+                     const std::string& sig, std::vector<AttrTriple> front);
+
  private:
   friend class SubtreeBinding;
 

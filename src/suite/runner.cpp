@@ -9,6 +9,7 @@
 #include "api/dispatcher.hpp"
 #include "api/json.hpp"
 #include "net/client.hpp"
+#include "net/router.hpp"
 #include "net/server.hpp"
 
 namespace atcd::suite {
@@ -145,6 +146,60 @@ struct ServerState {
   net::Server server;
   std::unique_ptr<net::Client> client;
   bool started = false;
+};
+
+/// Two cache-disabled workers behind a shard-by-hash router; one
+/// client against the router's port.
+struct RouterState {
+  RouterState()
+      : d0(pinned_options()), d1(pinned_options()),
+        w0(d0, ServerState::server_options()),
+        w1(d1, ServerState::server_options()) {}
+
+  bool ensure_started(std::string* error) {
+    if (client) return true;
+    if (!workers_started) {
+      if (!w0.start(error)) return false;
+      if (!w1.start(error)) return false;
+      workers_started = true;
+    }
+    if (!router) {
+      net::RouterOptions ropt;
+      ropt.shards = {{"127.0.0.1", w0.port()}, {"127.0.0.1", w1.port()}};
+      auto r = std::make_unique<net::Router>(std::move(ropt));
+      if (!r->start(error)) return false;
+      router = std::move(r);
+    }
+    std::string err;
+    client =
+        std::make_unique<net::Client>("127.0.0.1", router->port(), &err);
+    if (!client->valid()) {
+      client.reset();
+      *error = "connect failed: " + err;
+      return false;
+    }
+    return true;
+  }
+
+  ~RouterState() {
+    client.reset();  // EOF the router connection first
+    if (router) {
+      router->request_drain();
+      router->wait();
+    }
+    if (workers_started) {
+      w0.request_drain();
+      w1.request_drain();
+      w0.wait();
+      w1.wait();
+    }
+  }
+
+  api::Dispatcher d0, d1;
+  net::Server w0, w1;
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<net::Client> client;
+  bool workers_started = false;
 };
 
 /// Checks the case's expectations against the decoded reference
@@ -286,6 +341,23 @@ Path server_path() {
                                         &out.response)) {
               state->client.reset();  // reconnect on the next case
               out.error = "server connection failed mid-request";
+              return out;
+            }
+            out.ok = true;
+            return out;
+          }};
+}
+
+Path router_path() {
+  auto state = std::make_shared<RouterState>();
+  return {"router", [state](const Case&, const api::Request& req,
+                            const std::string&) {
+            PathOutcome out;
+            if (!state->ensure_started(&out.error)) return out;
+            if (!state->client->request(api::encode_request(req),
+                                        &out.response)) {
+              state->client.reset();  // reconnect on the next case
+              out.error = "router connection failed mid-request";
               return out;
             }
             out.ok = true;

@@ -61,6 +61,12 @@ Path cli_path(std::string cli_binary);
 /// ephemeral port; cases run lockstep through one net::Client.
 Path server_path();
 
+/// Lazily starts two cache-disabled workers behind a net::Router
+/// (shard-by-canonical-hash) on ephemeral ports; cases run through one
+/// net::Client against the router.  Pins the routed fleet to the exact
+/// bytes of the in-process dispatcher.
+Path router_path();
+
 struct CaseReport {
   std::string name;
   bool ok = false;

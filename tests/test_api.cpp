@@ -204,7 +204,7 @@ SolveSpec random_spec(Rng& rng) {
 Request random_request(Rng& rng) {
   Request req;
   if (rng.chance(0.8)) req.id = random_text(rng, 16);
-  switch (rng.below(11)) {
+  switch (rng.below(13)) {
     case 0: req.op = SolveRequest{random_spec(rng)}; break;
     case 1: {
       BatchRequest b;
@@ -276,6 +276,8 @@ Request random_request(Rng& rng) {
       break;
     }
     case 9: req.op = StatsRequest{}; break;
+    case 10: req.op = SnapshotSaveRequest{random_text(rng, 24)}; break;
+    case 11: req.op = SnapshotLoadRequest{random_text(rng, 24)}; break;
     default: req.op = ShutdownRequest{}; break;
   }
   return req;
